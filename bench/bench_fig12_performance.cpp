@@ -1,0 +1,227 @@
+// Figure 12: performance evaluation.
+//  (a) memory consumption and loading time of the activity traces,
+//  (b) activeness-evaluation and purge-decision time,
+//  (c/d) snapshot-scanning time, sequential vs parallel shards.
+//
+// Paper shape: trace loading is hundreds of MB / ~1.5 min at full Titan
+// scale; activeness evaluation is sub-second; purge decisions for ~1M files
+// take seconds; the snapshot scan parallelizes across ranks.
+//
+// Part (a) prints a table from real RSS probes; parts (b)-(d) are
+// google-benchmark micro/macro benches.
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <iostream>
+
+#include "common/scenario_cache.hpp"
+#include "sim/emulator.hpp"
+#include "util/memory.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "util/thread_pool.hpp"
+
+namespace {
+
+adr::bench::BenchOptions g_options;
+
+const adr::synth::TitanScenario& scenario() {
+  return adr::bench::shared_scenario(g_options.titan);
+}
+
+adr::activeness::ActivityStore build_store(
+    const adr::synth::TitanScenario& s) {
+  adr::activeness::ActivityStore store(s.registry.size(), 2);
+  adr::activeness::ingest_jobs(store, 0, 1.0, s.jobs);
+  adr::activeness::ingest_publications(store, 1, 1.0, s.pubs);
+  store.sort_all();
+  return store;
+}
+
+// ---- Fig. 12a: trace loading memory/time (printed, not benchmarked) ------
+void print_fig12a() {
+  using namespace adr;
+  util::Table table("Fig. 12a: trace loading memory and time");
+  table.set_headers({"Trace", "Records", "Memory", "Load time"});
+
+  const auto t0 = std::chrono::steady_clock::now();
+  util::RssDelta scenario_delta;
+  const synth::TitanScenario& s = scenario();
+  const double synth_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  table.add_row({"scenario (all traces)",
+                 util::fmt_int(static_cast<std::int64_t>(
+                     s.jobs.size() + s.pubs.size() + s.replay.size() +
+                     s.snapshot.size())),
+                 util::format_bytes(static_cast<double>(scenario_delta.bytes())),
+                 util::format_duration_seconds(synth_seconds)});
+
+  {
+    util::RssDelta delta;
+    const auto t1 = std::chrono::steady_clock::now();
+    auto store = build_store(s);
+    const double secs =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t1)
+            .count();
+    // Small stores fit in already-resident heap pages (RSS delta 0);
+    // report the logical footprint in that case.
+    const double bytes = std::max<double>(
+        static_cast<double>(delta.bytes()),
+        static_cast<double>(store.total_activities() *
+                            sizeof(adr::activeness::Activity)));
+    table.add_row({"activity store (jobs+pubs)",
+                   util::fmt_int(static_cast<std::int64_t>(
+                       store.total_activities())),
+                   util::format_bytes(bytes),
+                   util::format_duration_seconds(secs)});
+  }
+  {
+    util::RssDelta delta;
+    const auto t1 = std::chrono::steady_clock::now();
+    fs::Vfs vfs;
+    vfs.import_snapshot(s.snapshot);
+    const double secs =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t1)
+            .count();
+    table.add_row(
+        {"snapshot -> prefix tree (" +
+             util::fmt_int(static_cast<std::int64_t>(vfs.index().node_count())) +
+             " nodes)",
+         util::fmt_int(static_cast<std::int64_t>(vfs.file_count())),
+         util::format_bytes(static_cast<double>(vfs.index().memory_bytes())),
+         util::format_duration_seconds(secs)});
+  }
+  table.print(std::cout);
+}
+
+// ---- Fig. 12b: activeness evaluation + purge decision --------------------
+void BM_ActivenessEvaluation(benchmark::State& state) {
+  const auto& s = scenario();
+  const auto store = build_store(s);
+  const adr::activeness::ActivityCatalog catalog =
+      adr::activeness::ActivityCatalog::paper_default();
+  adr::activeness::EvaluationParams params;
+  params.period_length_days = static_cast<int>(state.range(0));
+  params.now = s.sim_begin;
+  const adr::activeness::Evaluator evaluator(catalog, params);
+  for (auto _ : state) {
+    auto users = evaluator.evaluate_all(store);
+    benchmark::DoNotOptimize(users);
+  }
+  state.counters["users"] = static_cast<double>(s.registry.size());
+}
+BENCHMARK(BM_ActivenessEvaluation)->Arg(7)->Arg(90)->Unit(benchmark::kMillisecond);
+
+void BM_PurgeDecision(benchmark::State& state) {
+  // Decision phase cost: one full ActiveDR run (no target -> single pass
+  // over every user directory) on a freshly imported snapshot.
+  const auto& s = scenario();
+  const auto store = build_store(s);
+  adr::activeness::EvaluationParams params;
+  params.period_length_days = 90;
+  params.now = s.sim_begin;
+  const adr::activeness::ActivityCatalog catalog =
+      adr::activeness::ActivityCatalog::paper_default();
+  const adr::activeness::Evaluator evaluator(catalog, params);
+  const auto plan = adr::activeness::build_scan_plan(evaluator.evaluate_all(store));
+  const adr::retention::ActiveDrPolicy policy(adr::retention::ActiveDrConfig{},
+                                              s.registry);
+  for (auto _ : state) {
+    state.PauseTiming();
+    adr::fs::Vfs vfs;
+    vfs.import_snapshot(s.snapshot);
+    state.ResumeTiming();
+    auto report = policy.run(vfs, s.sim_begin, 0, plan);
+    benchmark::DoNotOptimize(report);
+  }
+  state.counters["files"] = static_cast<double>(s.snapshot.size());
+}
+BENCHMARK(BM_PurgeDecision)->Unit(benchmark::kMillisecond);
+
+// ---- Fig. 12c/d: snapshot scanning, sequential vs sharded ----------------
+void BM_SnapshotScanSequential(benchmark::State& state) {
+  const auto& s = scenario();
+  adr::fs::Vfs vfs;
+  vfs.import_snapshot(s.snapshot);
+  for (auto _ : state) {
+    std::uint64_t bytes = 0;
+    vfs.for_each([&](const std::string&, const adr::fs::FileMeta& meta) {
+      bytes += meta.size_bytes;
+    });
+    benchmark::DoNotOptimize(bytes);
+  }
+}
+BENCHMARK(BM_SnapshotScanSequential)->Unit(benchmark::kMillisecond);
+
+void BM_SnapshotScanSharded(benchmark::State& state) {
+  // The mpi4py-style decomposition: each shard scans the user directories
+  // it owns (users are disjoint subtrees, so shards never contend).
+  const auto& s = scenario();
+  adr::fs::Vfs vfs;
+  vfs.import_snapshot(s.snapshot);
+  for (auto _ : state) {
+    std::atomic<std::uint64_t> bytes{0};
+    adr::util::global_pool().parallel_for(
+        0, s.registry.size(), [&](std::size_t u) {
+          std::uint64_t mine = 0;
+          vfs.for_each_under(
+              s.registry.home_dir(static_cast<adr::trace::UserId>(u)),
+              [&](const std::string&, const adr::fs::FileMeta& meta) {
+                mine += meta.size_bytes;
+              });
+          bytes.fetch_add(mine, std::memory_order_relaxed);
+        });
+    benchmark::DoNotOptimize(bytes.load());
+  }
+  state.counters["shards"] =
+      static_cast<double>(adr::util::global_pool().size() + 1);
+}
+BENCHMARK(BM_SnapshotScanSharded)->Unit(benchmark::kMillisecond);
+
+// ---- supporting microbenches: the prefix tree -----------------------------
+void BM_TrieLookup(benchmark::State& state) {
+  const auto& s = scenario();
+  adr::fs::Vfs vfs;
+  vfs.import_snapshot(s.snapshot);
+  const auto& entries = s.snapshot.entries();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto* meta = vfs.stat(entries[i % entries.size()].path);
+    benchmark::DoNotOptimize(meta);
+    ++i;
+  }
+}
+BENCHMARK(BM_TrieLookup);
+
+void BM_TrieInsertErase(benchmark::State& state) {
+  adr::fs::PathTrie trie;
+  adr::fs::FileMeta meta;
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const std::string path =
+        "/scratch/u/p/r/file_" + std::to_string(i++ % 4096) + ".dat";
+    trie.insert(path, meta);
+    trie.erase(path);
+  }
+}
+BENCHMARK(BM_TrieInsertErase);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  g_options = adr::bench::BenchOptions::from_args(argc, argv);
+  adr::bench::print_banner(
+      "Figure 12: ActiveDR performance (memory, evaluation, scan)", "Fig. 12",
+      g_options);
+  print_fig12a();
+
+  // Hand benchmark only the flags it understands.
+  int bench_argc = 1;
+  benchmark::Initialize(&bench_argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

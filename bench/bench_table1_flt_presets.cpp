@@ -1,0 +1,56 @@
+// Table 1: the FLT retention settings deployed at four HPC facilities
+// (NCAR 120d, OLCF 90d, TACC 30d, NERSC 12 weeks), replayed as strict FLT
+// over the same scenario so the lifetime's effect on file misses is visible.
+
+#include <iostream>
+
+#include "common/scenario_cache.hpp"
+#include "sim/metrics.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace adr;
+  bench::BenchOptions options = bench::BenchOptions::from_args(argc, argv);
+  bench::print_banner("Table 1: facility FLT presets head-to-head", "Tab. 1",
+                      options);
+
+  struct Facility {
+    const char* name;
+    const char* policy;
+    retention::FltConfig config;
+  };
+  const Facility facilities[] = {
+      {"NCAR", "purge any 120-day old", retention::FltConfig::ncar()},
+      {"OLCF", "purge any 90-day old", retention::FltConfig::olcf()},
+      {"TACC", "purge any 30-day old", retention::FltConfig::tacc()},
+      {"NERSC", "purge any 12-week old", retention::FltConfig::nersc()},
+  };
+
+  const synth::TitanScenario& scenario = bench::shared_scenario(options.titan);
+
+  util::Table table("Strict FLT replay under each facility's lifetime");
+  table.set_headers({"Facility", "Policy", "Lifetime", "Misses",
+                     "Miss ratio", "Days >5% misses", "Final utilization"});
+  for (const auto& f : facilities) {
+    sim::ExperimentConfig config = options.experiment;
+    config.lifetime_days = f.config.lifetime_days;
+    const sim::EmulationResult r = sim::run_flt_strict(scenario, config);
+    table.add_row(
+        {f.name, f.policy, std::to_string(f.config.lifetime_days) + "d",
+         util::fmt_int(static_cast<std::int64_t>(r.total_misses)),
+         util::format_percent(
+             r.total_accesses
+                 ? static_cast<double>(r.total_misses) /
+                       static_cast<double>(r.total_accesses)
+                 : 0.0),
+         util::fmt_int(static_cast<std::int64_t>(
+             sim::days_above(r.daily, 0.05))),
+         util::format_percent(static_cast<double>(r.final_bytes) /
+                              static_cast<double>(scenario.capacity_bytes))});
+  }
+  table.print(std::cout);
+  std::cout << "Shape check: shorter lifetimes purge harder -> more misses, "
+               "lower utilization\n";
+  return 0;
+}

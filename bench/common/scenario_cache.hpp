@@ -1,0 +1,35 @@
+#pragma once
+// Shared plumbing for the bench binaries: CLI options (--users, --seed,
+// --lifetime, ...), a per-process scenario cache (lifetime sweeps reuse one
+// synthesized scenario), and the standard header every bench prints so
+// bench_output.txt records the run's provenance.
+
+#include <string>
+
+#include "sim/experiment.hpp"
+#include "synth/titan_model.hpp"
+#include "util/config.hpp"
+
+namespace adr::bench {
+
+struct BenchOptions {
+  synth::TitanParams titan;
+  sim::ExperimentConfig experiment;
+
+  /// Parse standard flags: --users N --seed S --lifetime D --interval D
+  /// --target F --scale F (scale multiplies the user count).
+  static BenchOptions from_args(int argc, char** argv);
+};
+
+/// Build (or fetch the cached) scenario for the given parameters. Cached by
+/// (users, seed) within the process.
+const synth::TitanScenario& shared_scenario(const synth::TitanParams& params);
+
+/// Print the standard bench banner.
+void print_banner(const std::string& title, const std::string& paper_ref,
+                  const BenchOptions& options);
+
+/// "G(1)".."G(4)" labels in paper order for table headers.
+const char* group_label(std::size_t group_index);
+
+}  // namespace adr::bench

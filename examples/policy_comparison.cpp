@@ -1,0 +1,72 @@
+// Policy comparison: the paper's §4 experiment in miniature. Synthesizes a
+// scaled Titan scenario, replays one year under FLT and under ActiveDR at
+// the same 50% purge target, and prints the headline numbers (file-miss
+// reduction, per-group impact).
+//
+// Usage: ./policy_comparison [--users N] [--seed S] [--lifetime D]
+
+#include <cstdio>
+#include <iostream>
+
+#include "sim/experiment.hpp"
+#include "util/config.hpp"
+#include "util/table.hpp"
+
+using namespace adr;
+
+int main(int argc, char** argv) {
+  const util::Config cli = util::Config::from_args(argc, argv);
+  synth::TitanParams params;
+  params.users = static_cast<std::size_t>(cli.get_int("users", 400));
+  params.seed = static_cast<std::uint64_t>(cli.get_int("seed", 42));
+
+  std::cout << "Synthesizing a scaled Titan scenario (" << params.users
+            << " users)...\n";
+  const synth::TitanScenario scenario = synth::build_titan_scenario(params);
+  std::printf("  %zu jobs, %zu publications, %zu snapshot files (%.1f TiB), "
+              "%zu replay entries\n",
+              scenario.jobs.size(), scenario.pubs.size(),
+              scenario.snapshot.size(),
+              static_cast<double>(scenario.capacity_bytes) / (1ull << 40),
+              scenario.replay.size());
+
+  sim::ExperimentConfig config;
+  config.lifetime_days = static_cast<int>(cli.get_int("lifetime", 90));
+  std::cout << "Replaying the year under FLT and ActiveDR ("
+            << config.lifetime_days << "-day lifetime, 7-day trigger, 50% "
+            << "purge target)...\n";
+  const sim::ComparisonResult result = sim::run_comparison(scenario, config);
+
+  util::Table table("Year-replay comparison");
+  table.set_headers({"Metric", "FLT", "ActiveDR"});
+  table.add_row({"File misses",
+                 util::fmt_int(static_cast<std::int64_t>(result.flt.total_misses)),
+                 util::fmt_int(static_cast<std::int64_t>(
+                     result.activedr.total_misses))});
+  table.add_row({"Purge triggers",
+                 util::fmt_int(static_cast<std::int64_t>(result.flt.purges.size())),
+                 util::fmt_int(static_cast<std::int64_t>(
+                     result.activedr.purges.size()))});
+  for (std::size_t g = 0; g < activeness::kGroupCount; ++g) {
+    table.add_row(
+        {std::string("Affected users: ") +
+             activeness::group_name(static_cast<activeness::UserGroup>(g)),
+         util::fmt_int(static_cast<std::int64_t>(
+             result.flt.groups[g].unique_affected_users)),
+         util::fmt_int(static_cast<std::int64_t>(
+             result.activedr.groups[g].unique_affected_users))});
+  }
+  table.print(std::cout);
+
+  const double reduction =
+      result.flt.total_misses
+          ? 100.0 *
+                static_cast<double>(result.flt.total_misses -
+                                    result.activedr.total_misses) /
+                static_cast<double>(result.flt.total_misses)
+          : 0.0;
+  std::printf("ActiveDR reduced file misses by %.1f%% at the same purge "
+              "target (paper: up to 37%% for both-active users).\n",
+              reduction);
+  return 0;
+}

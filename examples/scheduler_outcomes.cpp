@@ -1,0 +1,76 @@
+// Scheduler outcomes: Table 2 lists "successful completion of a job" as an
+// outcome-activity example. This example runs the synthetic submission
+// stream through the batch-scheduler substrate and feeds *completions* to
+// the engine as an outcome type — an activeness setup that needs nothing
+// outside the HPC system (no publication database).
+//
+// Usage: ./scheduler_outcomes [--users N]
+
+#include <cstdio>
+#include <iostream>
+
+#include "core/engine.hpp"
+#include "synth/titan_model.hpp"
+#include "util/config.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+using namespace adr;
+
+int main(int argc, char** argv) {
+  const util::Config cli = util::Config::from_args(argc, argv);
+  synth::TitanParams params;
+  params.users = static_cast<std::size_t>(cli.get_int("users", 300));
+  params.seed = 7;
+
+  std::cout << "Synthesizing and scheduling " << params.users
+            << " users' job streams...\n";
+  const synth::TitanScenario scenario = synth::build_titan_scenario(params);
+
+  const auto stats = sched::summarize(scenario.schedule, scenario.scheduler_used);
+  util::Table sched_table("Batch scheduler (FCFS + EASY backfill)");
+  sched_table.set_headers({"Metric", "Value"});
+  sched_table.add_row({"Jobs", util::fmt_int(static_cast<std::int64_t>(stats.jobs))});
+  sched_table.add_row(
+      {"Completed", util::fmt_int(static_cast<std::int64_t>(stats.completed))});
+  sched_table.add_row(
+      {"Failed", util::fmt_int(static_cast<std::int64_t>(stats.failed))});
+  sched_table.add_row(
+      {"Backfilled", util::fmt_int(static_cast<std::int64_t>(stats.backfilled))});
+  sched_table.add_row(
+      {"Mean wait", util::format_duration_seconds(stats.mean_wait_seconds)});
+  sched_table.add_row(
+      {"Utilization", util::format_percent(stats.utilization, 1)});
+  sched_table.print(std::cout);
+
+  // Engine setup: submissions are operations (core-hours), *completions*
+  // are outcomes (impact = completed node-hours).
+  core::Engine engine(scenario.registry, core::Engine::Options{});
+  const auto submissions = engine.register_operation_type("job_submission");
+  const auto completions =
+      engine.register_outcome_type("job_completion", /*weight=*/1.0);
+  engine.ingest_jobs(scenario.jobs, submissions);
+  for (const auto& s : scenario.schedule) {
+    if (!s.completed) continue;
+    const double node_hours = static_cast<double>(s.nodes) *
+                              static_cast<double>(s.runtime()) / 3600.0;
+    engine.record(s.user, completions, s.end_time, node_hours);
+  }
+
+  engine.evaluate(scenario.sim_begin);
+  const auto counts = engine.group_counts();
+  util::Table matrix("Activeness with job completions as the outcome");
+  matrix.set_headers({"Group", "Users"});
+  for (std::size_t g = 0; g < activeness::kGroupCount; ++g) {
+    matrix.add_row(
+        {activeness::group_name(static_cast<activeness::UserGroup>(g)),
+         util::fmt_int(static_cast<std::int64_t>(counts[g]))});
+  }
+  matrix.print(std::cout);
+
+  std::cout << "With completions as outcomes, operation- and outcome-\n"
+               "activeness correlate strongly (§5 discusses this choice:\n"
+               "the paper deliberately picked publications to show an\n"
+               "outcome *outside* the system's purview).\n";
+  return 0;
+}

@@ -1,0 +1,127 @@
+#include "activeness/activity.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <stdexcept>
+
+#include "util/csv.hpp"
+
+namespace adr::activeness {
+
+ActivityTypeId ActivityCatalog::add(ActivityTypeSpec spec) {
+  specs_.push_back(std::move(spec));
+  return specs_.size() - 1;
+}
+
+const ActivityTypeSpec& ActivityCatalog::spec(ActivityTypeId id) const {
+  if (id >= specs_.size())
+    throw std::out_of_range("ActivityCatalog: bad type id");
+  return specs_[id];
+}
+
+std::vector<ActivityTypeId> ActivityCatalog::types_in(
+    ActivityCategory category) const {
+  std::vector<ActivityTypeId> out;
+  for (std::size_t i = 0; i < specs_.size(); ++i) {
+    if (specs_[i].category == category) out.push_back(i);
+  }
+  return out;
+}
+
+ActivityCatalog ActivityCatalog::paper_default() {
+  ActivityCatalog catalog;
+  catalog.add({"job_submission", ActivityCategory::kOperation, 1.0});
+  catalog.add({"publication", ActivityCategory::kOutcome, 1.0});
+  return catalog;
+}
+
+ActivityStore::ActivityStore(std::size_t user_count, std::size_t type_count)
+    : users_(user_count), types_(type_count), streams_(user_count * type_count) {}
+
+void ActivityStore::add(trace::UserId user, ActivityTypeId type,
+                        Activity activity) {
+  if (user >= users_ || type >= types_)
+    throw std::out_of_range("ActivityStore: bad user/type");
+  streams_[user * types_ + type].push_back(activity);
+}
+
+void ActivityStore::sort_all() {
+  for (auto& s : streams_) {
+    std::stable_sort(s.begin(), s.end(),
+                     [](const Activity& a, const Activity& b) {
+                       return a.timestamp < b.timestamp;
+                     });
+  }
+}
+
+std::span<const Activity> ActivityStore::stream(trace::UserId user,
+                                                ActivityTypeId type) const {
+  if (user >= users_ || type >= types_)
+    throw std::out_of_range("ActivityStore: bad user/type");
+  return streams_[user * types_ + type];
+}
+
+std::size_t ActivityStore::total_activities() const {
+  std::size_t n = 0;
+  for (const auto& s : streams_) n += s.size();
+  return n;
+}
+
+void ingest_jobs(ActivityStore& store, ActivityTypeId type, double weight,
+                 const trace::JobLog& jobs) {
+  for (const auto& job : jobs.records()) {
+    if (job.user == trace::kInvalidUser || job.user >= store.user_count())
+      continue;
+    store.add(job.user, type,
+              Activity{job.submit_time, weight * job.core_hours()});
+  }
+}
+
+void ingest_publications(ActivityStore& store, ActivityTypeId type,
+                         double weight, const trace::PublicationLog& pubs) {
+  for (const auto& pub : pubs.records()) {
+    for (std::size_t i = 0; i < pub.authors.size(); ++i) {
+      const trace::UserId author = pub.authors[i];
+      if (author == trace::kInvalidUser || author >= store.user_count())
+        continue;
+      store.add(author, type,
+                Activity{pub.published, weight * pub.impact_for_author(i + 1)});
+    }
+  }
+}
+
+std::size_t ingest_activities_csv(ActivityStore& store, ActivityTypeId type,
+                                  double weight, const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("ingest_activities_csv: cannot open " + path);
+  util::CsvReader reader(in);
+  if (!reader.read_header())
+    throw std::runtime_error("ingest_activities_csv: empty file " + path);
+  std::size_t ingested = 0;
+  while (auto row = reader.next()) {
+    if (row->size() != 3)
+      throw std::runtime_error("ingest_activities_csv: malformed row in " +
+                               path);
+    const auto user = static_cast<trace::UserId>(std::stoul((*row)[0]));
+    if (user >= store.user_count()) continue;
+    store.add(user, type,
+              Activity{std::stoll((*row)[1]), weight * std::stod((*row)[2])});
+    ++ingested;
+  }
+  return ingested;
+}
+
+void save_activities_csv(const std::string& path,
+                         const std::vector<std::pair<trace::UserId, Activity>>&
+                             activities) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("save_activities_csv: cannot write " + path);
+  util::CsvWriter w(out);
+  w.write_row({"user", "timestamp", "impact"});
+  for (const auto& [user, activity] : activities) {
+    w.write_row({std::to_string(user), std::to_string(activity.timestamp),
+                 std::to_string(activity.impact)});
+  }
+}
+
+}  // namespace adr::activeness

@@ -1,0 +1,93 @@
+#include "activeness/classifier.hpp"
+
+#include <algorithm>
+
+namespace adr::activeness {
+
+const char* group_name(UserGroup g) {
+  switch (g) {
+    case UserGroup::kBothActive: return "Both Active";
+    case UserGroup::kOperationActiveOnly: return "Operation Active Only";
+    case UserGroup::kOutcomeActiveOnly: return "Outcome Active Only";
+    case UserGroup::kBothInactive: return "Both Inactive";
+  }
+  return "?";
+}
+
+UserGroup classify(const UserActiveness& ua) {
+  const bool op = ua.op.active();
+  const bool oc = ua.oc.active();
+  if (op && oc) return UserGroup::kBothActive;
+  if (op) return UserGroup::kOperationActiveOnly;
+  if (oc) return UserGroup::kOutcomeActiveOnly;
+  return UserGroup::kBothInactive;
+}
+
+std::size_t ScanPlan::total_users() const {
+  std::size_t n = 0;
+  for (const auto& g : groups) n += g.size();
+  return n;
+}
+
+ScanPlan build_scan_plan(const std::vector<UserActiveness>& users) {
+  ScanPlan plan;
+  for (const auto& ua : users) {
+    plan.groups[static_cast<std::size_t>(classify(ua))].push_back(ua);
+  }
+  // Operation-inactive groups (Both Inactive, Outcome Active Only): sort by
+  // operation rank, then outcome rank (§3.3: operation rank has priority).
+  // Rank ties (the bulk of the population sits at Φ = 0 exactly) break on
+  // recency, *most recently active first*: a still-writing-but-inactive
+  // user keeps producing fresh data and rarely re-reads old files, so their
+  // stale files are the harmless purge fodder; a user who has gone quiet is
+  // exactly the paused-project case of §1 who may come back for what they
+  // left — scan them last. User id breaks exact ties for determinism.
+  const auto tie_break = [](const UserActiveness& a, const UserActiveness& b) {
+    if (a.last_activity != b.last_activity)
+      return a.last_activity > b.last_activity;
+    return a.user < b.user;
+  };
+  const auto by_op = [&](const UserActiveness& a, const UserActiveness& b) {
+    const auto ka = a.op.sort_key(), kb = b.op.sort_key();
+    if (ka != kb) return ka < kb;
+    if (a.oc.sort_key() != b.oc.sort_key())
+      return a.oc.sort_key() < b.oc.sort_key();
+    return tie_break(a, b);
+  };
+  // Operation-active groups: "in an ascending order of the outcome
+  // activeness" (§3.4).
+  const auto by_oc = [&](const UserActiveness& a, const UserActiveness& b) {
+    const auto ka = a.oc.sort_key(), kb = b.oc.sort_key();
+    if (ka != kb) return ka < kb;
+    if (a.op.sort_key() != b.op.sort_key())
+      return a.op.sort_key() < b.op.sort_key();
+    return tie_break(a, b);
+  };
+  auto& bi = plan.groups[static_cast<std::size_t>(UserGroup::kBothInactive)];
+  auto& oc = plan.groups[static_cast<std::size_t>(UserGroup::kOutcomeActiveOnly)];
+  auto& op = plan.groups[static_cast<std::size_t>(UserGroup::kOperationActiveOnly)];
+  auto& ba = plan.groups[static_cast<std::size_t>(UserGroup::kBothActive)];
+  std::sort(bi.begin(), bi.end(), by_op);
+  std::sort(oc.begin(), oc.end(), by_op);
+  std::sort(op.begin(), op.end(), by_oc);
+  std::sort(ba.begin(), ba.end(), by_oc);
+  return plan;
+}
+
+double lifetime_multiplier(const UserActiveness& ua, LifetimeMode mode,
+                           double min_multiplier, double max_multiplier) {
+  double m = 1.0;
+  switch (mode) {
+    case LifetimeMode::kActiveCategoriesOnly:
+      if (ua.op.active()) m *= ua.op.value(1.0, max_multiplier);
+      if (ua.oc.active()) m *= ua.oc.value(1.0, max_multiplier);
+      break;
+    case LifetimeMode::kLiteralEq7:
+      m = ua.op.value(min_multiplier, max_multiplier) *
+          ua.oc.value(min_multiplier, max_multiplier);
+      break;
+  }
+  return std::clamp(m, min_multiplier, max_multiplier);
+}
+
+}  // namespace adr::activeness

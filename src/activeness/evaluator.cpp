@@ -1,0 +1,165 @@
+#include "activeness/evaluator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/thread_pool.hpp"
+
+namespace adr::activeness {
+
+double Rank::value(double min_value, double max_value) const {
+  if (!has_data) return std::clamp(1.0, min_value, max_value);
+  if (zero) return min_value;
+  const long double lo = std::log(static_cast<long double>(
+      min_value > 0.0 ? min_value : 1e-300));
+  const long double hi = std::log(static_cast<long double>(max_value));
+  const long double clamped = std::clamp(log_phi, lo, hi);
+  const double v = static_cast<double>(std::exp(clamped));
+  return std::clamp(v, min_value, max_value);
+}
+
+long double Rank::sort_key() const {
+  if (!has_data) return 0.0L;  // ln 1
+  if (zero) return -std::numeric_limits<long double>::infinity();
+  return log_phi;
+}
+
+Rank& Rank::operator*=(const Rank& other) {
+  if (!other.has_data) return *this;
+  if (!has_data) {
+    *this = other;
+    return *this;
+  }
+  zero = zero || other.zero;
+  log_phi = zero ? 0.0L : log_phi + other.log_phi;
+  return *this;
+}
+
+Rank Rank::from_value(double v) {
+  Rank r;
+  r.has_data = true;
+  if (v <= 0.0) {
+    r.zero = true;
+  } else {
+    r.log_phi = std::log(static_cast<long double>(v));
+  }
+  return r;
+}
+
+Rank evaluate_stream(std::span<const Activity> stream,
+                     const EvaluationParams& params) {
+  if (stream.empty()) return Rank::no_data();
+
+  const util::Duration plen = util::days(params.period_length_days);
+
+  // Eq. 1: number of periods from the activity span (>= 1).
+  const util::Duration span_ts =
+      stream.back().timestamp - stream.front().timestamp;
+  std::int64_t m = span_ts <= 0 ? 1 : (span_ts + plen - 1) / plen;
+  if (m < 1) m = 1;
+  if (params.max_periods > 0 && m > params.max_periods) m = params.max_periods;
+
+  // Eq. 2: average activeness per period over all k activities.
+  double total = 0.0;
+  for (const auto& a : stream) total += a.impact;
+  Rank r;
+  r.has_data = true;
+  if (total <= 0.0) {
+    r.zero = true;
+    return r;
+  }
+  const double avg = total / static_cast<double>(m);
+
+  // Eq. 4: bucket activities into periods indexed 1..m (m = most recent).
+  std::vector<double> period_impact(static_cast<std::size_t>(m) + 1, 0.0);
+  for (const auto& a : stream) {
+    const util::Duration age = params.now - a.timestamp;
+    const std::int64_t c = age <= 0 ? 0 : (age + plen - 1) / plen;
+    std::int64_t e = m - c + 1;
+    if (e < 1) {  // older than the evaluation window
+      if (params.stale == StaleHandling::kDrop) continue;
+      e = 1;
+    }
+    if (e > m) e = m;  // at/after t_c: newest period
+    period_impact[static_cast<std::size_t>(e)] += a.impact;
+  }
+
+  // Eq. 3 + Eq. 5 in log space.
+  long double log_phi = 0.0L;
+  for (std::int64_t e = 1; e <= m; ++e) {
+    const double d_pe = period_impact[static_cast<std::size_t>(e)];
+    if (d_pe <= 0.0) {
+      r.zero = true;
+      return r;
+    }
+    const long double b = static_cast<long double>(d_pe / avg);
+    long double exponent = 1.0L;
+    switch (params.scheme) {
+      case ExponentScheme::kPaperExponent:
+        exponent = static_cast<long double>(e);
+        break;
+      case ExponentScheme::kUniform:
+        exponent = 1.0L;
+        break;
+      case ExponentScheme::kCappedLinear:
+        exponent = static_cast<long double>(
+            std::min<std::int64_t>(e, params.exponent_cap));
+        break;
+    }
+    log_phi += exponent * std::log(b);
+  }
+  r.log_phi = log_phi;
+  return r;
+}
+
+Evaluator::Evaluator(const ActivityCatalog& catalog, EvaluationParams params)
+    : catalog_(&catalog),
+      params_(params),
+      op_types_(catalog.types_in(ActivityCategory::kOperation)),
+      oc_types_(catalog.types_in(ActivityCategory::kOutcome)) {}
+
+namespace {
+
+/// Drop activities after t_c — during trace replay the store holds the whole
+/// trace, but an evaluation at t_c must only see the past.
+std::span<const Activity> trim_to_now(std::span<const Activity> stream,
+                                      util::TimePoint now) {
+  const auto it = std::upper_bound(
+      stream.begin(), stream.end(), now,
+      [](util::TimePoint t, const Activity& a) { return t < a.timestamp; });
+  return stream.first(static_cast<std::size_t>(it - stream.begin()));
+}
+
+}  // namespace
+
+UserActiveness Evaluator::evaluate_user(const ActivityStore& store,
+                                        trace::UserId user) const {
+  UserActiveness ua;
+  ua.user = user;
+  for (const ActivityTypeId t : op_types_) {
+    const auto stream = trim_to_now(store.stream(user, t), params_.now);
+    if (!stream.empty()) {
+      ua.last_activity = std::max(ua.last_activity, stream.back().timestamp);
+    }
+    ua.op *= evaluate_stream(stream, params_);
+  }
+  for (const ActivityTypeId t : oc_types_) {
+    const auto stream = trim_to_now(store.stream(user, t), params_.now);
+    if (!stream.empty()) {
+      ua.last_activity = std::max(ua.last_activity, stream.back().timestamp);
+    }
+    ua.oc *= evaluate_stream(stream, params_);
+  }
+  return ua;
+}
+
+std::vector<UserActiveness> Evaluator::evaluate_all(
+    const ActivityStore& store) const {
+  std::vector<UserActiveness> out(store.user_count());
+  util::global_pool().parallel_for(0, store.user_count(), [&](std::size_t u) {
+    out[u] = evaluate_user(store, static_cast<trace::UserId>(u));
+  });
+  return out;
+}
+
+}  // namespace adr::activeness

@@ -1,0 +1,96 @@
+#include "activeness/rank_store.hpp"
+
+#include <fstream>
+#include <stdexcept>
+
+#include "util/csv.hpp"
+
+namespace adr::activeness {
+
+RankStore::RankStore(std::vector<UserActiveness> users)
+    : users_(std::move(users)) {
+  reindex();
+}
+
+void RankStore::reindex() {
+  index_.clear();
+  for (std::size_t i = 0; i < users_.size(); ++i) {
+    const trace::UserId u = users_[i].user;
+    if (u == trace::kInvalidUser) continue;
+    if (u >= index_.size()) index_.resize(u + 1, 0);
+    index_[u] = i + 1;
+  }
+}
+
+void RankStore::set(const UserActiveness& ua) {
+  if (ua.user == trace::kInvalidUser)
+    throw std::invalid_argument("RankStore: invalid user");
+  if (ua.user < index_.size() && index_[ua.user] != 0) {
+    users_[index_[ua.user] - 1] = ua;
+    return;
+  }
+  users_.push_back(ua);
+  if (ua.user >= index_.size()) index_.resize(ua.user + 1, 0);
+  index_[ua.user] = users_.size();
+}
+
+UserActiveness RankStore::get(trace::UserId user) const {
+  if (user < index_.size() && index_[user] != 0) return users_[index_[user] - 1];
+  UserActiveness fresh;
+  fresh.user = user;
+  return fresh;
+}
+
+bool RankStore::contains(trace::UserId user) const {
+  return user < index_.size() && index_[user] != 0;
+}
+
+std::array<std::size_t, kGroupCount> RankStore::group_counts() const {
+  std::array<std::size_t, kGroupCount> counts{};
+  for (const auto& ua : users_) {
+    ++counts[static_cast<std::size_t>(classify(ua))];
+  }
+  return counts;
+}
+
+void RankStore::save_csv(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("RankStore: cannot write " + path);
+  util::CsvWriter w(out);
+  w.write_row({"user", "op_has_data", "op_zero", "op_log_phi", "oc_has_data",
+               "oc_zero", "oc_log_phi", "last_activity"});
+  for (const auto& ua : users_) {
+    w.write_row({std::to_string(ua.user), ua.op.has_data ? "1" : "0",
+                 ua.op.zero ? "1" : "0",
+                 std::to_string(static_cast<double>(ua.op.log_phi)),
+                 ua.oc.has_data ? "1" : "0", ua.oc.zero ? "1" : "0",
+                 std::to_string(static_cast<double>(ua.oc.log_phi)),
+                 std::to_string(ua.last_activity)});
+  }
+}
+
+RankStore RankStore::load_csv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("RankStore: cannot open " + path);
+  util::CsvReader reader(in);
+  if (!reader.read_header())
+    throw std::runtime_error("RankStore: empty file " + path);
+  std::vector<UserActiveness> users;
+  while (auto row = reader.next()) {
+    if (row->size() != 8)
+      throw std::runtime_error("RankStore: malformed row in " + path);
+    UserActiveness ua;
+    ua.user = static_cast<trace::UserId>(std::stoul((*row)[0]));
+    ua.op.has_data = (*row)[1] == "1";
+    ua.op.zero = (*row)[2] == "1";
+    ua.op.log_phi = std::stold((*row)[3]);
+    ua.oc.has_data = (*row)[4] == "1";
+    ua.oc.zero = (*row)[5] == "1";
+    ua.oc.log_phi = std::stold((*row)[6]);
+    ua.last_activity = std::stoll((*row)[7]);
+    users.push_back(ua);
+  }
+  return RankStore(std::move(users));
+}
+
+}  // namespace adr::activeness

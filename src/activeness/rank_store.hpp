@@ -1,0 +1,44 @@
+#pragma once
+// Persistent store of evaluated user activeness. A site runs the evaluator
+// once per purge trigger and keeps the result; storing it lets operators
+// audit why a purge ordered users the way it did, and lets the emulator
+// re-load rather than re-evaluate when replaying long traces.
+
+#include <string>
+#include <vector>
+
+#include "activeness/classifier.hpp"
+
+namespace adr::activeness {
+
+class RankStore {
+ public:
+  RankStore() = default;
+  explicit RankStore(std::vector<UserActiveness> users);
+
+  void set(const UserActiveness& ua);
+
+  /// Stored activeness for a user; a fresh default (no-data ranks, §3.4
+  /// semantics) if the user is unknown.
+  UserActiveness get(trace::UserId user) const;
+  bool contains(trace::UserId user) const;
+
+  const std::vector<UserActiveness>& all() const { return users_; }
+  std::size_t size() const { return users_.size(); }
+
+  /// Per-group population counts in G(1)..G(4) order (Fig. 5's percentages).
+  std::array<std::size_t, kGroupCount> group_counts() const;
+
+  /// CSV persistence
+  /// (header: user,op_has_data,op_zero,op_log_phi,oc_has_data,oc_zero,oc_log_phi).
+  void save_csv(const std::string& path) const;
+  static RankStore load_csv(const std::string& path);
+
+ private:
+  void reindex();
+
+  std::vector<UserActiveness> users_;            // packed
+  std::vector<std::size_t> index_;               // user id -> packed slot + 1
+};
+
+}  // namespace adr::activeness

@@ -1,0 +1,24 @@
+#pragma once
+// The `activedr` command-line tool, as a library so tests can drive it.
+//
+// Subcommands (run `activedr help` for the full usage text):
+//   synth     generate a synthetic Titan-style trace bundle into a directory
+//   evaluate  compute user activeness ranks from job/publication logs
+//   classify  print the Fig. 4 activeness matrix from a rank file
+//   purge     run one retention pass (ActiveDR or FLT) over a snapshot
+//   replay    replay an application log for a year, FLT vs ActiveDR
+//   info      summarize a metadata snapshot
+//
+// Every command reads/writes the CSV trace formats of src/trace (the same
+// files `synth` emits), so the tool chains with site-local exports.
+
+#include <iosfwd>
+
+namespace adr::cli {
+
+/// Entry point: argv[1] selects the subcommand. Returns a process exit
+/// code; all human output goes to `out`, errors to `err`.
+int run_cli(int argc, const char* const* argv, std::ostream& out,
+            std::ostream& err);
+
+}  // namespace adr::cli

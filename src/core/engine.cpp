@@ -1,0 +1,146 @@
+#include "core/engine.hpp"
+
+#include "retention/policy.hpp"
+
+namespace adr::core {
+
+Engine::Engine(trace::UserRegistry registry, Options options)
+    : registry_(std::move(registry)), options_(options) {}
+
+activeness::ActivityTypeId Engine::register_operation_type(
+    const std::string& name, double weight) {
+  store_.reset();
+  return catalog_.add({name, activeness::ActivityCategory::kOperation, weight});
+}
+
+activeness::ActivityTypeId Engine::register_outcome_type(
+    const std::string& name, double weight) {
+  store_.reset();
+  return catalog_.add({name, activeness::ActivityCategory::kOutcome, weight});
+}
+
+void Engine::reserve(const std::string& path) {
+  exemptions_.reserve(path);
+  exemptions_dirty_ = true;
+}
+
+void Engine::record(trace::UserId user, activeness::ActivityTypeId type,
+                    util::TimePoint t, double impact) {
+  if (type >= catalog_.size())
+    throw std::out_of_range("Engine::record: unregistered activity type");
+  const double weight = catalog_.spec(type).weight;
+  pending_activities_.emplace_back(user, type,
+                                   activeness::Activity{t, weight * impact});
+  store_.reset();
+  last_eval_time_.reset();
+}
+
+void Engine::ingest_jobs(const trace::JobLog& jobs,
+                         activeness::ActivityTypeId type, double weight) {
+  for (const auto& job : jobs.records()) {
+    if (job.user == trace::kInvalidUser || job.user >= registry_.size())
+      continue;
+    pending_activities_.emplace_back(
+        job.user, type,
+        activeness::Activity{job.submit_time, weight * job.core_hours()});
+  }
+  store_.reset();
+  last_eval_time_.reset();
+}
+
+void Engine::ingest_publications(const trace::PublicationLog& pubs,
+                                 activeness::ActivityTypeId type,
+                                 double weight) {
+  for (const auto& pub : pubs.records()) {
+    for (std::size_t i = 0; i < pub.authors.size(); ++i) {
+      const trace::UserId author = pub.authors[i];
+      if (author == trace::kInvalidUser || author >= registry_.size()) continue;
+      pending_activities_.emplace_back(
+          author, type,
+          activeness::Activity{pub.published,
+                               weight * pub.impact_for_author(i + 1)});
+    }
+  }
+  store_.reset();
+  last_eval_time_.reset();
+}
+
+void Engine::load_snapshot(const trace::Snapshot& snapshot) {
+  vfs_.import_snapshot(snapshot);
+}
+
+const activeness::ActivityStore& Engine::store() {
+  if (!store_) {
+    activeness::ActivityStore built(registry_.size(), catalog_.size());
+    for (const auto& [user, type, activity] : pending_activities_) {
+      built.add(user, type, activity);
+    }
+    built.sort_all();
+    store_.emplace(std::move(built));
+  }
+  return *store_;
+}
+
+const activeness::RankStore& Engine::evaluate(util::TimePoint now) {
+  if (last_eval_time_ && *last_eval_time_ == now) return ranks_;
+  activeness::EvaluationParams params;
+  params.period_length_days = options_.lifetime_days;
+  params.now = now;
+  params.scheme = options_.scheme;
+  params.max_periods = options_.max_periods;
+  activeness::Evaluator evaluator(catalog_, params);
+  std::vector<activeness::UserActiveness> users =
+      evaluator.evaluate_all(store());
+  plan_ = activeness::build_scan_plan(users);
+  ranks_ = activeness::RankStore(std::move(users));
+  last_eval_time_ = now;
+  return ranks_;
+}
+
+std::array<std::size_t, activeness::kGroupCount> Engine::group_counts() const {
+  return ranks_.group_counts();
+}
+
+activeness::UserActiveness Engine::activeness_of(trace::UserId user) const {
+  return ranks_.get(user);
+}
+
+util::Duration Engine::effective_lifetime_of(trace::UserId user) const {
+  const double mult = activeness::lifetime_multiplier(
+      ranks_.get(user), options_.lifetime_mode);
+  return static_cast<util::Duration>(
+      static_cast<double>(util::days(options_.lifetime_days)) * mult);
+}
+
+retention::PurgeReport Engine::purge(util::TimePoint now) {
+  evaluate(now);
+  retention::ActiveDrConfig config;
+  config.initial_lifetime_days = options_.lifetime_days;
+  config.retrospective_passes = options_.retrospective_passes;
+  config.retrospective_decay = options_.retrospective_decay;
+  config.lifetime_mode = options_.lifetime_mode;
+  retention::ActiveDrPolicy policy(config, registry_);
+  if (!exemptions_.empty()) {
+    retention::ExemptionList copy;
+    for (const auto& p : exemptions_.reserved_paths()) copy.reserve(p);
+    policy.set_exemptions(std::move(copy));
+  }
+  const std::uint64_t target =
+      options_.purge_target_utilization > 0.0
+          ? retention::purge_target_bytes(vfs_,
+                                          options_.purge_target_utilization)
+          : 0;
+  return policy.run(vfs_, now, target, plan_);
+}
+
+retention::PurgeReport Engine::purge_flt(util::TimePoint now) {
+  retention::FltPolicy policy(retention::FltConfig{options_.lifetime_days});
+  const std::uint64_t target =
+      options_.purge_target_utilization > 0.0
+          ? retention::purge_target_bytes(vfs_,
+                                          options_.purge_target_utilization)
+          : 0;
+  return policy.run(vfs_, now, target);
+}
+
+}  // namespace adr::core

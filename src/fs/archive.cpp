@@ -1,0 +1,47 @@
+#include "fs/archive.hpp"
+
+namespace adr::fs {
+
+ArchiveTier::ArchiveTier(ArchiveConfig config) : config_(config) {}
+
+void ArchiveTier::archive(const std::string& path, const FileMeta& meta) {
+  const auto it = files_.find(path);
+  if (it == files_.end()) {
+    files_.emplace(path, meta);
+    stats_.archived_bytes += meta.size_bytes;
+    ++stats_.archived_files;
+    return;
+  }
+  // Replaced: keep the latest version's bytes in the accounting.
+  stats_.archived_bytes -= it->second.size_bytes;
+  stats_.archived_bytes += meta.size_bytes;
+  it->second = meta;
+}
+
+const FileMeta* ArchiveTier::restore(std::string_view path) {
+  const auto it = files_.find(std::string(path));
+  if (it == files_.end()) {
+    ++stats_.restore_misses;
+    return nullptr;
+  }
+  stats_.restored_bytes += it->second.size_bytes;
+  ++stats_.restore_count;
+  stats_.restore_hours +=
+      (config_.restore_latency_s +
+       static_cast<double>(it->second.size_bytes) /
+           config_.restore_bandwidth_bytes_per_s) /
+      3600.0;
+  return &it->second;
+}
+
+const FileMeta* ArchiveTier::peek(std::string_view path) const {
+  const auto it = files_.find(std::string(path));
+  return it == files_.end() ? nullptr : &it->second;
+}
+
+void ArchiveTier::clear() {
+  files_.clear();
+  stats_ = ArchiveStats{};
+}
+
+}  // namespace adr::fs

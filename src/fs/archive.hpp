@@ -1,0 +1,66 @@
+#pragma once
+// The archival storage tier behind the scratch space (HPSS at OLCF).
+//
+// The paper's motivation leans on the cost of recovering purged files:
+// "re-transmission or re-generation ... can take hours to days ... causing a
+// significant amount of network traffic" (§2). This tier makes that cost
+// measurable: purged files land here with their metadata; a miss triggers a
+// restore whose bytes and modeled transfer time accumulate into the
+// emulation result (bench_related_work's cost columns).
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "fs/file_meta.hpp"
+
+namespace adr::fs {
+
+struct ArchiveStats {
+  std::uint64_t archived_bytes = 0;
+  std::size_t archived_files = 0;   ///< currently held
+  std::uint64_t restored_bytes = 0;
+  std::size_t restore_count = 0;
+  std::size_t restore_misses = 0;   ///< restore requests for unknown paths
+  /// Modeled wall time users spent waiting on restores, in hours.
+  double restore_hours = 0.0;
+};
+
+struct ArchiveConfig {
+  /// Effective archive-to-scratch restore bandwidth. Tape-backed HSM
+  /// systems deliver far below the PFS peak; 1 GiB/s is generous.
+  double restore_bandwidth_bytes_per_s = 1024.0 * 1024 * 1024;
+  /// Fixed per-restore latency (staging, tape mount, queueing).
+  double restore_latency_s = 600.0;
+};
+
+class ArchiveTier {
+ public:
+  explicit ArchiveTier(ArchiveConfig config = {});
+
+  /// Ingest a purged file (keeps the latest metadata for the path).
+  void archive(const std::string& path, const FileMeta& meta);
+
+  /// Restore a file: returns its metadata and accounts the transfer cost.
+  /// Returns nullptr (and counts a restore miss) if the path was never
+  /// archived — the "sometimes even impossible" recovery of §1. The file
+  /// stays archived (restores are copies).
+  const FileMeta* restore(std::string_view path);
+
+  /// Metadata lookup without cost accounting.
+  const FileMeta* peek(std::string_view path) const;
+
+  const ArchiveStats& stats() const { return stats_; }
+  const ArchiveConfig& config() const { return config_; }
+  std::size_t size() const { return files_.size(); }
+
+  void clear();
+
+ private:
+  ArchiveConfig config_;
+  std::unordered_map<std::string, FileMeta> files_;
+  ArchiveStats stats_;
+};
+
+}  // namespace adr::fs

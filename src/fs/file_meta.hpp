@@ -1,0 +1,26 @@
+#pragma once
+// Per-file metadata tracked by the virtual file system. This is the complete
+// set of attributes the retention policies read: owner (scan grouping),
+// size (purge-target accounting), atime (lifetime checks), stripe count
+// (size synthesis provenance).
+
+#include <cstdint>
+
+#include "trace/types.hpp"
+#include "util/time.hpp"
+
+namespace adr::fs {
+
+struct FileMeta {
+  trace::UserId owner = trace::kInvalidUser;
+  std::int32_t stripe_count = 1;
+  std::uint64_t size_bytes = 0;
+  util::TimePoint atime = 0;  ///< last access
+  util::TimePoint ctime = 0;  ///< creation
+  /// Accesses recorded since creation — value-based retention (§2's second
+  /// strategy family) scores files by access frequency among other
+  /// attributes.
+  std::uint32_t access_count = 0;
+};
+
+}  // namespace adr::fs

@@ -1,0 +1,61 @@
+#include "fs/striping.hpp"
+
+#include <cmath>
+
+namespace adr::fs {
+
+namespace {
+
+constexpr std::uint64_t kKiB = 1024ULL;
+constexpr std::uint64_t kMiB = kKiB * 1024;
+constexpr std::uint64_t kGiB = kMiB * 1024;
+constexpr std::uint64_t kTiB = kGiB * 1024;
+
+constexpr StripeBand kBands[] = {
+    {1, 4 * kKiB, 1 * kGiB},
+    {4, 1 * kGiB, 10 * kGiB},
+    {16, 10 * kGiB, 100 * kGiB},
+    {64, 100 * kGiB, 1 * kTiB},
+    {1024, 1 * kTiB, 10 * kTiB},
+};
+
+}  // namespace
+
+const StripeBand* stripe_bands(std::size_t* count) {
+  if (count) *count = std::size(kBands);
+  return kBands;
+}
+
+StripeBand band_for_stripes(std::int32_t stripes) {
+  for (const auto& b : kBands) {
+    if (stripes <= b.max_stripes) return b;
+  }
+  return kBands[std::size(kBands) - 1];
+}
+
+std::uint64_t synthesize_size(std::int32_t stripes, util::Rng& rng) {
+  const StripeBand b = band_for_stripes(stripes);
+  const double lo = std::log(static_cast<double>(b.min_bytes));
+  const double hi = std::log(static_cast<double>(b.max_bytes));
+  const double v = std::exp(rng.uniform(lo, hi));
+  return static_cast<std::uint64_t>(v);
+}
+
+std::int32_t sample_stripe_count(util::Rng& rng) {
+  // Empirical shape: ~85% single stripe, thin power-law tail of wide files.
+  const double u = rng.uniform();
+  if (u < 0.85) return 1;
+  if (u < 0.95) return static_cast<std::int32_t>(rng.uniform_int(2, 4));
+  if (u < 0.99) return static_cast<std::int32_t>(rng.uniform_int(5, 16));
+  if (u < 0.998) return static_cast<std::int32_t>(rng.uniform_int(17, 64));
+  return static_cast<std::int32_t>(rng.uniform_int(65, 512));
+}
+
+std::int32_t recommended_stripes(std::uint64_t size_bytes) {
+  for (const auto& b : kBands) {
+    if (size_bytes <= b.max_bytes) return b.max_stripes;
+  }
+  return kBands[std::size(kBands) - 1].max_stripes;
+}
+
+}  // namespace adr::fs

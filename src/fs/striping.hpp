@@ -1,0 +1,45 @@
+#pragma once
+// Lustre striping model.
+//
+// Spider II metadata snapshots expose a stripe count per file but no size;
+// the paper synthesizes sizes "according to the best striping practice of
+// the Spider file system" (OLCF Best Practices: stripe wider as files grow).
+// We encode that practice as size bands per stripe-count tier and draw a
+// log-uniform size within the band — deterministic given the RNG stream.
+
+#include <cstdint>
+
+#include "util/rng.hpp"
+
+namespace adr::fs {
+
+/// Inclusive size band associated with a stripe count tier.
+struct StripeBand {
+  std::int32_t max_stripes;   ///< tier applies to counts <= this
+  std::uint64_t min_bytes;
+  std::uint64_t max_bytes;
+};
+
+/// The OLCF best-practice tiers:
+///   1 stripe   : up to 1 GiB
+///   2-4        : 1 GiB .. 10 GiB
+///   5-16       : 10 GiB .. 100 GiB
+///   17-64      : 100 GiB .. 1 TiB
+///   65+        : 1 TiB .. 10 TiB
+const StripeBand* stripe_bands(std::size_t* count);
+
+/// Band for a given stripe count.
+StripeBand band_for_stripes(std::int32_t stripes);
+
+/// Synthesize a file size for a stripe count: log-uniform within the band.
+std::uint64_t synthesize_size(std::int32_t stripes, util::Rng& rng);
+
+/// Sample a stripe count with the empirical skew of HPC scratch (the vast
+/// majority of files are single-stripe; wide stripes are rare).
+std::int32_t sample_stripe_count(util::Rng& rng);
+
+/// The best-practice stripe count an administrator would assign to a file of
+/// the given size (inverse direction; used by tests as a consistency check).
+std::int32_t recommended_stripes(std::uint64_t size_bytes);
+
+}  // namespace adr::fs

@@ -1,0 +1,89 @@
+#include "fs/vfs.hpp"
+
+#include <algorithm>
+
+namespace adr::fs {
+
+bool Vfs::create(std::string_view path, const FileMeta& meta) {
+  if (FileMeta* existing = trie_.find(path)) {
+    account_remove(*existing);
+    *existing = meta;
+    account_add(meta);
+    return false;
+  }
+  trie_.insert(path, meta);
+  account_add(meta);
+  return true;
+}
+
+bool Vfs::access(std::string_view path, util::TimePoint t) {
+  FileMeta* meta = trie_.find(path);
+  if (!meta) return false;
+  meta->atime = std::max(meta->atime, t);
+  ++meta->access_count;
+  return true;
+}
+
+bool Vfs::remove(std::string_view path) {
+  const FileMeta* meta = trie_.find(path);
+  if (!meta) return false;
+  if (removal_sink_) removal_sink_(std::string(path), *meta);
+  account_remove(*meta);
+  trie_.erase(path);
+  return true;
+}
+
+UserUsage Vfs::usage(trace::UserId user) const {
+  const auto it = usage_.find(user);
+  return it == usage_.end() ? UserUsage{} : it->second;
+}
+
+void Vfs::import_snapshot(const trace::Snapshot& snapshot) {
+  for (const auto& e : snapshot.entries()) {
+    FileMeta meta;
+    meta.owner = e.owner;
+    meta.stripe_count = e.stripe_count;
+    meta.size_bytes = e.size_bytes;
+    meta.atime = e.atime;
+    meta.ctime = e.atime;
+    create(e.path, meta);
+  }
+}
+
+trace::Snapshot Vfs::export_snapshot() const {
+  trace::Snapshot snap;
+  snap.reserve(file_count());
+  trie_.for_each([&](const std::string& path, const FileMeta& meta) {
+    trace::SnapshotEntry e;
+    e.path = path;
+    e.owner = meta.owner;
+    e.stripe_count = meta.stripe_count;
+    e.size_bytes = meta.size_bytes;
+    e.atime = meta.atime;
+    snap.add(std::move(e));
+  });
+  return snap;
+}
+
+void Vfs::clear() {
+  trie_.clear();
+  total_bytes_ = 0;
+  capacity_bytes_ = 0;
+  usage_.clear();
+}
+
+void Vfs::account_add(const FileMeta& meta) {
+  total_bytes_ += meta.size_bytes;
+  auto& u = usage_[meta.owner];
+  u.bytes += meta.size_bytes;
+  u.files += 1;
+}
+
+void Vfs::account_remove(const FileMeta& meta) {
+  total_bytes_ -= meta.size_bytes;
+  auto& u = usage_[meta.owner];
+  u.bytes -= meta.size_bytes;
+  u.files -= 1;
+}
+
+}  // namespace adr::fs

@@ -1,0 +1,99 @@
+#pragma once
+// Virtual file system: the emulation substrate standing in for Spider II.
+//
+// A Vfs is a path-trie index plus full accounting: total bytes, per-user
+// bytes/files, and a nominal capacity (purge targets are expressed as a
+// fraction of it). The emulator replays application logs against it; the
+// retention policies scan and purge it.
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "fs/path_trie.hpp"
+#include "trace/snapshot.hpp"
+
+namespace adr::fs {
+
+/// Per-user usage accounting.
+struct UserUsage {
+  std::uint64_t bytes = 0;
+  std::uint64_t files = 0;
+};
+
+class Vfs {
+ public:
+  Vfs() = default;
+
+  /// Create (or overwrite) a file. Accounting is updated for both the old
+  /// and new metadata. Returns true if the file is new.
+  bool create(std::string_view path, const FileMeta& meta);
+
+  /// Record an access at time `t`: bumps atime monotonically. Returns false
+  /// (a *file miss*) if the path does not exist.
+  bool access(std::string_view path, util::TimePoint t);
+
+  /// Remove a file; returns false if absent. The removal sink (if any)
+  /// observes the file before it disappears.
+  bool remove(std::string_view path);
+
+  /// Observer invoked for every removed file — how the emulator routes
+  /// purged files into the archive tier. Overwrites via create() do not
+  /// fire it (they are not purges).
+  using RemovalSink = std::function<void(const std::string&, const FileMeta&)>;
+  void set_removal_sink(RemovalSink sink) { removal_sink_ = std::move(sink); }
+
+  const FileMeta* stat(std::string_view path) const { return trie_.find(path); }
+  bool exists(std::string_view path) const { return trie_.contains(path); }
+
+  std::uint64_t total_bytes() const { return total_bytes_; }
+  std::size_t file_count() const { return trie_.file_count(); }
+
+  /// Usage of one user (zeros if unknown).
+  UserUsage usage(trace::UserId user) const;
+  const std::unordered_map<trace::UserId, UserUsage>& usage_by_user() const {
+    return usage_;
+  }
+
+  /// Nominal capacity. Defaults to the high-water total after the last
+  /// import/create burst unless set explicitly.
+  void set_capacity_bytes(std::uint64_t capacity) { capacity_bytes_ = capacity; }
+  std::uint64_t capacity_bytes() const {
+    return capacity_bytes_ ? capacity_bytes_ : total_bytes_;
+  }
+
+  /// Visit all files under a path prefix (policy scan entry point).
+  void for_each_under(
+      std::string_view prefix,
+      const std::function<void(const std::string&, const FileMeta&)>& fn) const {
+    trie_.for_each_under(prefix, fn);
+  }
+  void for_each(
+      const std::function<void(const std::string&, const FileMeta&)>& fn) const {
+    trie_.for_each(fn);
+  }
+
+  /// Underlying index (read-only), exposed for memory probes.
+  const PathTrie& index() const { return trie_; }
+
+  /// Seed from / export to a metadata snapshot.
+  void import_snapshot(const trace::Snapshot& snapshot);
+  trace::Snapshot export_snapshot() const;
+
+  void clear();
+
+ private:
+  void account_add(const FileMeta& meta);
+  void account_remove(const FileMeta& meta);
+
+  PathTrie trie_;
+  RemovalSink removal_sink_;
+  std::uint64_t total_bytes_ = 0;
+  std::uint64_t capacity_bytes_ = 0;
+  std::unordered_map<trace::UserId, UserUsage> usage_;
+};
+
+}  // namespace adr::fs

@@ -1,0 +1,166 @@
+#include "retention/activedr_policy.hpp"
+
+#include <atomic>
+#include <set>
+#include <cmath>
+#include <utility>
+#include <vector>
+
+#include "util/logging.hpp"
+#include "util/thread_pool.hpp"
+
+namespace adr::retention {
+
+ActiveDrPolicy::ActiveDrPolicy(ActiveDrConfig config,
+                               const trace::UserRegistry& registry)
+    : config_(config), registry_(&registry) {}
+
+void ActiveDrPolicy::set_exemptions(ExemptionList exemptions) {
+  exemptions_ = std::move(exemptions);
+}
+
+std::string ActiveDrPolicy::name() const {
+  return "ActiveDR-" + std::to_string(config_.initial_lifetime_days) + "d";
+}
+
+util::Duration ActiveDrPolicy::effective_lifetime(
+    const activeness::UserActiveness& ua, int pass) const {
+  const double mult =
+      activeness::lifetime_multiplier(ua, config_.lifetime_mode,
+                                      config_.min_multiplier,
+                                      config_.max_multiplier) *
+      std::pow(1.0 - config_.retrospective_decay, pass);
+  const double seconds =
+      static_cast<double>(util::days(config_.initial_lifetime_days)) * mult;
+  return static_cast<util::Duration>(seconds);
+}
+
+PurgeReport ActiveDrPolicy::run(fs::Vfs& vfs, util::TimePoint now,
+                                std::uint64_t target_purge_bytes,
+                                const activeness::ScanPlan& plan) const {
+  PurgeReport report;
+  report.policy = name();
+  report.when = now;
+  report.target_purge_bytes = target_purge_bytes;
+
+  // Dense user -> group lookup for report attribution.
+  std::vector<activeness::UserGroup> group_lookup;
+  for (std::size_t gi = 0; gi < activeness::kGroupCount; ++gi) {
+    for (const auto& ua : plan.groups[gi]) {
+      if (ua.user >= group_lookup.size()) {
+        group_lookup.resize(ua.user + 1, activeness::UserGroup::kBothInactive);
+      }
+      group_lookup[ua.user] = static_cast<activeness::UserGroup>(gi);
+    }
+  }
+  const GroupOf fast_group_of = [&group_lookup](trace::UserId user) {
+    return user < group_lookup.size() ? group_lookup[user]
+                                      : activeness::UserGroup::kBothInactive;
+  };
+
+  fill_users_total(report, vfs, fast_group_of);
+
+  report.dry_run = config_.dry_run;
+  const bool record = config_.dry_run || config_.record_victims;
+  // Dry runs cannot mutate the vfs, so passes would re-select earlier
+  // victims; dedupe by path instead.
+  std::set<std::string> claimed;
+
+  std::uint64_t remaining = target_purge_bytes;
+  const bool no_target = target_purge_bytes == 0;
+  std::vector<bool> user_affected;
+  std::atomic<std::size_t> exempted{0};
+
+  struct Victim {
+    std::string path;
+    std::uint64_t size;
+  };
+
+  bool done = false;
+  for (const activeness::UserGroup group : activeness::kScanOrder) {
+    if (done) break;
+    const auto& users = plan.group(group);
+    if (users.empty()) continue;
+
+    const int max_pass = no_target ? 0 : config_.retrospective_passes;
+    for (int pass = 0; pass <= max_pass && !done; ++pass) {
+      if (pass > 0) ++report.retrospective_passes_used;
+
+      // Decision phase: parallel over disjoint user directories.
+      std::vector<std::vector<Victim>> victims(users.size());
+      util::global_pool().parallel_for(0, users.size(), [&](std::size_t ui) {
+        const auto& ua = users[ui];
+        const util::Duration lifetime = effective_lifetime(ua, pass);
+        const std::string home = registry_->home_dir(ua.user);
+        auto& mine = victims[ui];
+        vfs.for_each_under(home, [&](const std::string& path,
+                                     const fs::FileMeta& meta) {
+          if (exemptions_.is_exempt(path)) {
+            exempted.fetch_add(1, std::memory_order_relaxed);
+            return;
+          }
+          if (now - meta.atime > lifetime) {
+            mine.push_back({path, meta.size_bytes});
+          }
+        });
+      });
+
+      // Apply phase: sequential, ascending activeness order; stop exactly
+      // at the target.
+      bool purged_any = false;
+      for (std::size_t ui = 0; ui < users.size() && !done; ++ui) {
+        const trace::UserId user = users[ui].user;
+        for (const auto& v : victims[ui]) {
+          if (config_.dry_run) {
+            if (!claimed.insert(v.path).second) continue;  // earlier pass
+          } else if (!vfs.remove(v.path)) {
+            continue;  // purged in an earlier pass
+          }
+          if (record) report.victim_paths.push_back(v.path);
+          purged_any = true;
+          report.purged_bytes += v.size;
+          ++report.purged_files;
+          auto& g = report.group(group);
+          g.purged_bytes += v.size;
+          ++g.purged_files;
+          if (user != trace::kInvalidUser) {
+            if (user >= user_affected.size())
+              user_affected.resize(user + 1, false);
+            if (!user_affected[user]) {
+              user_affected[user] = true;
+              ++g.users_affected;
+              report.affected_users.push_back(user);
+            }
+          }
+          if (!no_target) {
+            remaining -= std::min(remaining, v.size);
+            if (remaining == 0) {
+              done = true;
+              break;
+            }
+          }
+        }
+      }
+      if (!purged_any && pass > 0) {
+        // Decayed lifetime freed nothing new; further decay of this group
+        // can only help if files sit just under the current threshold —
+        // keep going (cheap) unless lifetimes have bottomed out.
+        if (effective_lifetime(users.front(), pass) == 0) break;
+      }
+      ADR_DEBUG << name() << ": group '" << activeness::group_name(group)
+                << "' pass " << pass << " done, remaining "
+                << (no_target ? 0 : remaining) << " bytes";
+    }
+  }
+
+  report.exempted_files = exempted.load();
+  report.target_reached = no_target || remaining == 0;
+  if (!report.target_reached) {
+    ADR_WARN << name() << ": purge target NOT reached; " << remaining
+             << " bytes short after all groups and retrospective passes";
+  }
+  fill_retained_stats(report, vfs, fast_group_of);
+  return report;
+}
+
+}  // namespace adr::retention

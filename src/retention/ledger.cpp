@@ -1,0 +1,103 @@
+#include "retention/ledger.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+
+#include "util/csv.hpp"
+
+namespace adr::retention {
+
+namespace {
+
+std::vector<std::string> header() {
+  std::vector<std::string> cols{
+      "when",          "policy",        "target_bytes", "purged_bytes",
+      "purged_files",  "target_reached", "retro_passes", "exempted_files"};
+  for (const char* g : {"g1", "g2", "g3", "g4"}) {
+    cols.push_back(std::string(g) + "_purged_bytes");
+    cols.push_back(std::string(g) + "_purged_files");
+    cols.push_back(std::string(g) + "_users_affected");
+  }
+  return cols;
+}
+
+}  // namespace
+
+LedgerRow LedgerRow::from_report(const PurgeReport& report) {
+  LedgerRow row;
+  row.when = report.when;
+  row.policy = report.policy;
+  row.target_purge_bytes = report.target_purge_bytes;
+  row.purged_bytes = report.purged_bytes;
+  row.purged_files = report.purged_files;
+  row.target_reached = report.target_reached;
+  row.retrospective_passes_used = report.retrospective_passes_used;
+  row.exempted_files = report.exempted_files;
+  for (std::size_t g = 0; g < activeness::kGroupCount; ++g) {
+    row.group_purged_bytes[g] = report.by_group[g].purged_bytes;
+    row.group_purged_files[g] = report.by_group[g].purged_files;
+    row.group_users_affected[g] = report.by_group[g].users_affected;
+  }
+  return row;
+}
+
+PurgeLedger::PurgeLedger(std::string path) : path_(std::move(path)) {}
+
+void PurgeLedger::append(const PurgeReport& report) {
+  const bool fresh = !std::filesystem::exists(path_);
+  std::ofstream out(path_, std::ios::app);
+  if (!out) throw std::runtime_error("PurgeLedger: cannot write " + path_);
+  util::CsvWriter w(out);
+  if (fresh) w.write_row(header());
+
+  const LedgerRow row = LedgerRow::from_report(report);
+  std::vector<std::string> cells{
+      std::to_string(row.when),
+      row.policy,
+      std::to_string(row.target_purge_bytes),
+      std::to_string(row.purged_bytes),
+      std::to_string(row.purged_files),
+      row.target_reached ? "1" : "0",
+      std::to_string(row.retrospective_passes_used),
+      std::to_string(row.exempted_files)};
+  for (std::size_t g = 0; g < activeness::kGroupCount; ++g) {
+    cells.push_back(std::to_string(row.group_purged_bytes[g]));
+    cells.push_back(std::to_string(row.group_purged_files[g]));
+    cells.push_back(std::to_string(row.group_users_affected[g]));
+  }
+  w.write_row(cells);
+}
+
+std::vector<LedgerRow> PurgeLedger::load() const {
+  std::vector<LedgerRow> rows;
+  std::ifstream in(path_);
+  if (!in) return rows;
+  util::CsvReader reader(in);
+  if (!reader.read_header()) return rows;
+  const std::size_t expected = header().size();
+  while (auto csv_row = reader.next()) {
+    if (csv_row->size() != expected) {
+      throw std::runtime_error("PurgeLedger: malformed row in " + path_);
+    }
+    LedgerRow row;
+    std::size_t i = 0;
+    row.when = std::stoll((*csv_row)[i++]);
+    row.policy = (*csv_row)[i++];
+    row.target_purge_bytes = std::stoull((*csv_row)[i++]);
+    row.purged_bytes = std::stoull((*csv_row)[i++]);
+    row.purged_files = std::stoull((*csv_row)[i++]);
+    row.target_reached = (*csv_row)[i++] == "1";
+    row.retrospective_passes_used = std::stoi((*csv_row)[i++]);
+    row.exempted_files = std::stoull((*csv_row)[i++]);
+    for (std::size_t g = 0; g < activeness::kGroupCount; ++g) {
+      row.group_purged_bytes[g] = std::stoull((*csv_row)[i++]);
+      row.group_purged_files[g] = std::stoull((*csv_row)[i++]);
+      row.group_users_affected[g] = std::stoull((*csv_row)[i++]);
+    }
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+}  // namespace adr::retention

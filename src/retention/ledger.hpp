@@ -1,0 +1,52 @@
+#pragma once
+// The purge ledger: an append-only CSV history of every retention run.
+//
+// Operators need an audit trail — §3.4's "report to the administrator via
+// specified reporting mechanism". Each run appends one row summarizing the
+// report (target, purged volume, per-group breakdown, retrospective-pass
+// usage); the ledger can be reloaded for dashboards or the CLI's history
+// view.
+
+#include <string>
+#include <vector>
+
+#include "retention/report.hpp"
+
+namespace adr::retention {
+
+/// One ledger row — the flattened summary of a PurgeReport.
+struct LedgerRow {
+  util::TimePoint when = 0;
+  std::string policy;
+  std::uint64_t target_purge_bytes = 0;
+  std::uint64_t purged_bytes = 0;
+  std::size_t purged_files = 0;
+  bool target_reached = true;
+  int retrospective_passes_used = 0;
+  std::size_t exempted_files = 0;
+  /// Per group (G1..G4): purged bytes / purged files / users affected.
+  std::array<std::uint64_t, activeness::kGroupCount> group_purged_bytes{};
+  std::array<std::size_t, activeness::kGroupCount> group_purged_files{};
+  std::array<std::size_t, activeness::kGroupCount> group_users_affected{};
+
+  static LedgerRow from_report(const PurgeReport& report);
+};
+
+class PurgeLedger {
+ public:
+  /// Bind to a CSV file. The file need not exist yet.
+  explicit PurgeLedger(std::string path);
+
+  /// Append one report (creates the file with a header on first use).
+  void append(const PurgeReport& report);
+
+  /// All rows currently on disk (empty if the file does not exist).
+  std::vector<LedgerRow> load() const;
+
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+}  // namespace adr::retention

@@ -1,0 +1,201 @@
+#include "sched/batch_scheduler.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+#include <queue>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace adr::sched {
+
+namespace {
+
+struct Running {
+  util::TimePoint release_time;  ///< when its nodes free up
+  std::int64_t nodes;
+  bool operator>(const Running& other) const {
+    return release_time > other.release_time;
+  }
+};
+
+struct Pending {
+  std::size_t index;            ///< into the input/output arrays
+  std::int64_t nodes;
+  util::Duration walltime_req;  ///< padded request (backfill reservations)
+  util::Duration actual;        ///< real runtime (with failure applied)
+  bool completes;
+};
+
+}  // namespace
+
+std::vector<ScheduledJob> schedule(const std::vector<trace::JobRecord>& jobs,
+                                   const SchedulerConfig& config) {
+  if (config.nodes <= 0 || config.cores_per_node <= 0) {
+    throw std::invalid_argument("SchedulerConfig: nodes and cores_per_node "
+                                "must be positive");
+  }
+  if (!std::is_sorted(jobs.begin(), jobs.end(),
+                      [](const trace::JobRecord& a, const trace::JobRecord& b) {
+                        return a.submit_time < b.submit_time;
+                      })) {
+    throw std::invalid_argument("schedule: jobs must be sorted by submit time");
+  }
+
+  std::vector<ScheduledJob> out(jobs.size());
+  util::Rng rng(config.seed);
+
+  // Pre-draw per-job failure outcomes so they are independent of schedule
+  // order (deterministic given the seed and the input order).
+  std::vector<Pending> prepared(jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    const auto& j = jobs[i];
+    Pending p;
+    p.index = i;
+    p.nodes = std::clamp<std::int64_t>(
+        (static_cast<std::int64_t>(j.cores) + config.cores_per_node - 1) /
+            config.cores_per_node,
+        1, config.nodes);
+    const util::Duration runtime = std::max<util::Duration>(j.duration_seconds, 1);
+    p.completes = !rng.bernoulli(config.failure_rate);
+    p.actual = p.completes
+                   ? runtime
+                   : std::max<util::Duration>(
+                         1, static_cast<util::Duration>(
+                                rng.uniform(0.05, 0.95) *
+                                static_cast<double>(runtime)));
+    p.walltime_req = static_cast<util::Duration>(
+        config.walltime_padding * static_cast<double>(runtime));
+    prepared[i] = p;
+
+    out[i].job_id = j.job_id;
+    out[i].user = j.user;
+    out[i].submit_time = j.submit_time;
+    out[i].nodes = p.nodes;
+    out[i].completed = p.completes;
+  }
+
+  std::int64_t free_nodes = config.nodes;
+  std::priority_queue<Running, std::vector<Running>, std::greater<>> running;
+  std::deque<Pending> queue;
+  std::size_t next_submission = 0;
+
+  auto start_job = [&](const Pending& p, util::TimePoint now) {
+    free_nodes -= p.nodes;
+    running.push(Running{now + p.actual, p.nodes});
+    out[p.index].start_time = now;
+    out[p.index].end_time = now + p.actual;
+  };
+
+  // Attempt FCFS starts + EASY backfill at time `now`.
+  auto try_start = [&](util::TimePoint now) {
+    // FCFS: start from the head while it fits.
+    while (!queue.empty() && queue.front().nodes <= free_nodes) {
+      start_job(queue.front(), now);
+      queue.pop_front();
+    }
+    if (queue.empty()) return;
+
+    // Head blocked: compute its shadow start from the running set.
+    const Pending& head = queue.front();
+    std::int64_t free_at_shadow = free_nodes;
+    util::TimePoint shadow = now;
+    {
+      auto copy = running;  // heap walk in release order
+      while (!copy.empty() && free_at_shadow < head.nodes) {
+        shadow = copy.top().release_time;
+        free_at_shadow += copy.top().nodes;
+        copy.pop();
+      }
+    }
+    const std::int64_t spare_at_shadow = free_at_shadow - head.nodes;
+
+    // Backfill: later jobs may start now if they fit and cannot delay the
+    // head's reservation.
+    for (auto it = queue.begin() + 1; it != queue.end();) {
+      const bool fits_now = it->nodes <= free_nodes;
+      const bool ends_before_shadow = now + it->walltime_req <= shadow;
+      const bool fits_spare = it->nodes <= spare_at_shadow;
+      if (fits_now && (ends_before_shadow || fits_spare)) {
+        out[it->index].backfilled = true;
+        start_job(*it, now);
+        it = queue.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  };
+
+  while (next_submission < prepared.size() || !running.empty()) {
+    // Next event: the earlier of next submission and next completion.
+    const util::TimePoint next_submit =
+        next_submission < prepared.size()
+            ? jobs[next_submission].submit_time
+            : std::numeric_limits<util::TimePoint>::max();
+    const util::TimePoint next_release =
+        !running.empty() ? running.top().release_time
+                         : std::numeric_limits<util::TimePoint>::max();
+
+    if (next_submit <= next_release) {
+      const util::TimePoint now = next_submit;
+      while (next_submission < prepared.size() &&
+             jobs[next_submission].submit_time == now) {
+        queue.push_back(prepared[next_submission]);
+        ++next_submission;
+      }
+      try_start(now);
+    } else {
+      const util::TimePoint now = next_release;
+      while (!running.empty() && running.top().release_time == now) {
+        free_nodes += running.top().nodes;
+        running.pop();
+      }
+      try_start(now);
+    }
+  }
+
+  return out;
+}
+
+std::vector<ScheduledJob> schedule(const trace::JobLog& log,
+                                   const SchedulerConfig& config) {
+  return schedule(log.records(), config);
+}
+
+ScheduleStats summarize(const std::vector<ScheduledJob>& schedule,
+                        const SchedulerConfig& config) {
+  ScheduleStats stats;
+  stats.jobs = schedule.size();
+  if (schedule.empty()) return stats;
+
+  util::TimePoint begin = std::numeric_limits<util::TimePoint>::max();
+  util::TimePoint end = std::numeric_limits<util::TimePoint>::min();
+  double wait_sum = 0.0;
+  double node_seconds = 0.0;
+  for (const auto& s : schedule) {
+    if (s.completed) ++stats.completed;
+    else ++stats.failed;
+    wait_sum += static_cast<double>(s.wait());
+    stats.max_wait_seconds =
+        std::max(stats.max_wait_seconds, static_cast<double>(s.wait()));
+    node_seconds +=
+        static_cast<double>(s.nodes) * static_cast<double>(s.runtime());
+    begin = std::min(begin, s.submit_time);
+    end = std::max(end, s.end_time);
+  }
+  stats.mean_wait_seconds = wait_sum / static_cast<double>(schedule.size());
+
+  for (const auto& s : schedule) {
+    if (s.backfilled) ++stats.backfilled;
+  }
+
+  const double span = static_cast<double>(end - begin);
+  if (span > 0) {
+    stats.utilization =
+        node_seconds / (span * static_cast<double>(config.nodes));
+  }
+  return stats;
+}
+
+}  // namespace adr::sched

@@ -1,0 +1,254 @@
+#include "sim/emulator.hpp"
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "retention/policy.hpp"
+#include "util/logging.hpp"
+
+namespace adr::sim {
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+}  // namespace
+
+ActivenessTimeline::ActivenessTimeline(
+    const activeness::ActivityCatalog& catalog,
+    activeness::ActivityStore store, activeness::EvaluationParams base_params)
+    : catalog_(&catalog), store_(std::move(store)), base_params_(base_params) {
+  store_.sort_all();
+}
+
+ActivenessTimeline ActivenessTimeline::for_scenario(
+    const synth::TitanScenario& scenario,
+    activeness::EvaluationParams params) {
+  static const activeness::ActivityCatalog catalog =
+      activeness::ActivityCatalog::paper_default();
+  activeness::ActivityStore store(scenario.registry.size(), catalog.size());
+  activeness::ingest_jobs(store, 0, 1.0, scenario.jobs);
+  activeness::ingest_publications(store, 1, 1.0, scenario.pubs);
+  return ActivenessTimeline(catalog, std::move(store), params);
+}
+
+const activeness::ScanPlan& ActivenessTimeline::plan_at(util::TimePoint t) {
+  auto it = evals_.find(t);
+  if (it != evals_.end()) return it->second.plan;
+
+  const auto start = std::chrono::steady_clock::now();
+  activeness::EvaluationParams params = base_params_;
+  params.now = t;
+  activeness::Evaluator evaluator(*catalog_, params);
+  std::vector<activeness::UserActiveness> users = evaluator.evaluate_all(store_);
+
+  Eval eval;
+  eval.group_of.resize(store_.user_count(),
+                       activeness::UserGroup::kBothInactive);
+  for (const auto& ua : users) {
+    eval.group_of[ua.user] = activeness::classify(ua);
+  }
+  eval.plan = activeness::build_scan_plan(users);
+  eval_seconds_ += seconds_since(start);
+
+  return evals_.emplace(t, std::move(eval)).first->second.plan;
+}
+
+activeness::UserGroup ActivenessTimeline::group_at(trace::UserId user,
+                                                   util::TimePoint t) const {
+  auto it = evals_.upper_bound(t);
+  if (it == evals_.begin()) return activeness::UserGroup::kBothInactive;
+  --it;
+  const auto& lookup = it->second.group_of;
+  return user < lookup.size() ? lookup[user]
+                              : activeness::UserGroup::kBothInactive;
+}
+
+FltDriver::FltDriver(retention::FltConfig config, ActivenessTimeline& timeline)
+    : policy_(config), timeline_(&timeline) {}
+
+std::string FltDriver::name() const { return policy_.name(); }
+
+retention::PurgeReport FltDriver::trigger(fs::Vfs& vfs, util::TimePoint now,
+                                          std::uint64_t target_bytes) {
+  timeline_->plan_at(now);  // keep classifications in lockstep with ActiveDR
+  policy_.set_group_of([this, now](trace::UserId user) {
+    return timeline_->group_at(user, now);
+  });
+  return policy_.run(vfs, now, target_bytes);
+}
+
+ActiveDrDriver::ActiveDrDriver(retention::ActiveDrConfig config,
+                               const trace::UserRegistry& registry,
+                               ActivenessTimeline& timeline)
+    : policy_(config, registry), timeline_(&timeline) {}
+
+void ActiveDrDriver::set_exemptions(retention::ExemptionList exemptions) {
+  policy_.set_exemptions(std::move(exemptions));
+}
+
+std::string ActiveDrDriver::name() const { return policy_.name(); }
+
+retention::PurgeReport ActiveDrDriver::trigger(fs::Vfs& vfs,
+                                               util::TimePoint now,
+                                               std::uint64_t target_bytes) {
+  const activeness::ScanPlan& plan = timeline_->plan_at(now);
+  return policy_.run(vfs, now, target_bytes, plan);
+}
+
+ValueDriver::ValueDriver(retention::ValueConfig config,
+                         ActivenessTimeline& timeline)
+    : policy_(std::move(config)), timeline_(&timeline) {}
+
+std::string ValueDriver::name() const { return policy_.name(); }
+
+retention::PurgeReport ValueDriver::trigger(fs::Vfs& vfs, util::TimePoint now,
+                                            std::uint64_t target_bytes) {
+  timeline_->plan_at(now);
+  policy_.set_group_of([this, now](trace::UserId user) {
+    return timeline_->group_at(user, now);
+  });
+  return policy_.run(vfs, now, target_bytes);
+}
+
+ScratchCacheDriver::ScratchCacheDriver(retention::ScratchCacheConfig config,
+                                       ActivenessTimeline& timeline)
+    : policy_(config), timeline_(&timeline) {}
+
+std::string ScratchCacheDriver::name() const { return policy_.name(); }
+
+retention::PurgeReport ScratchCacheDriver::trigger(
+    fs::Vfs& vfs, util::TimePoint now, std::uint64_t target_bytes) {
+  timeline_->plan_at(now);
+  policy_.set_group_of([this, now](trace::UserId user) {
+    return timeline_->group_at(user, now);
+  });
+  return policy_.run(vfs, now, target_bytes);
+}
+
+Emulator::Emulator(const synth::TitanScenario& scenario, EmulatorConfig config,
+                   ActivenessTimeline& timeline)
+    : scenario_(&scenario), config_(config), timeline_(&timeline) {}
+
+EmulationResult Emulator::run(RetentionDriver& driver,
+                              double target_utilization_override) {
+  const double target_utilization = target_utilization_override >= 0.0
+                                        ? target_utilization_override
+                                        : config_.purge_target_utilization;
+  EmulationResult result;
+  result.policy = driver.name();
+
+  fs::Vfs vfs;
+  vfs.import_snapshot(scenario_->snapshot);
+  vfs.set_capacity_bytes(scenario_->capacity_bytes);
+
+  // Every purge displaces the file into the archive tier; misses restore
+  // from it (with cost accounting) when restore_on_miss is set.
+  fs::ArchiveTier archive(config_.archive);
+  vfs.set_removal_sink([&archive](const std::string& path,
+                                  const fs::FileMeta& meta) {
+    archive.archive(path, meta);
+  });
+
+  MetricsCollector metrics(scenario_->sim_begin, scenario_->sim_end);
+
+  // Seed classifications so pre-first-trigger misses attribute correctly.
+  timeline_->plan_at(scenario_->sim_begin);
+
+  const util::Duration interval = util::days(config_.purge_interval_days);
+  util::TimePoint next_trigger = scenario_->sim_begin + interval;
+
+  auto fire_trigger = [&](util::TimePoint when) {
+    const auto start = std::chrono::steady_clock::now();
+    std::uint64_t target = 0;
+    if (target_utilization > 0.0) {
+      target = retention::purge_target_bytes(vfs, target_utilization);
+      if (target == 0) return;  // already at/below target utilization
+    }
+    retention::PurgeReport report = driver.trigger(vfs, when, target);
+    result.purge_seconds += seconds_since(start);
+    result.purges.push_back(std::move(report));
+  };
+
+  const auto replay_start = std::chrono::steady_clock::now();
+  for (const auto& entry : scenario_->replay.entries()) {
+    while (entry.timestamp >= next_trigger &&
+           next_trigger < scenario_->sim_end) {
+      fire_trigger(next_trigger);
+      next_trigger += interval;
+    }
+    if (entry.op == trace::FileOp::kCreate) {
+      fs::FileMeta meta;
+      meta.owner = entry.user;
+      meta.stripe_count = entry.stripe_count;
+      meta.size_bytes = entry.size_bytes;
+      meta.atime = entry.timestamp;
+      meta.ctime = entry.timestamp;
+      vfs.create(entry.path, meta);
+    } else {
+      const bool hit = vfs.access(entry.path, entry.timestamp);
+      metrics.record_access(entry.timestamp,
+                            timeline_->group_at(entry.user, entry.timestamp),
+                            !hit);
+      if (!hit && config_.restore_on_miss) {
+        if (const fs::FileMeta* archived = archive.restore(entry.path)) {
+          fs::FileMeta meta = *archived;
+          meta.atime = entry.timestamp;
+          vfs.create(entry.path, meta);
+        }
+      }
+    }
+  }
+  while (next_trigger < scenario_->sim_end) {
+    fire_trigger(next_trigger);
+    next_trigger += interval;
+  }
+  result.replay_seconds = seconds_since(replay_start) - result.purge_seconds;
+
+  result.archive = archive.stats();
+  result.daily = metrics.daily();
+  result.total_accesses = metrics.total_accesses();
+  result.total_misses = metrics.total_misses();
+  result.final_bytes = vfs.total_bytes();
+  result.final_files = vfs.file_count();
+
+  // Per-group aggregates. Purged totals accumulate over triggers; retained
+  // state and group populations come from the end of the year.
+  const util::TimePoint end = scenario_->sim_end;
+  for (const auto& report : result.purges) {
+    for (std::size_t g = 0; g < activeness::kGroupCount; ++g) {
+      result.groups[g].purged_bytes += report.by_group[g].purged_bytes;
+      result.groups[g].purged_files += report.by_group[g].purged_files;
+    }
+  }
+  std::unordered_set<trace::UserId> affected;
+  for (const auto& report : result.purges) {
+    for (const trace::UserId u : report.affected_users) affected.insert(u);
+  }
+  for (const trace::UserId u : affected) {
+    ++result.groups[static_cast<std::size_t>(timeline_->group_at(u, end))]
+          .unique_affected_users;
+  }
+  for (const auto& [user, usage] : vfs.usage_by_user()) {
+    if (usage.files == 0) continue;
+    auto& g =
+        result.groups[static_cast<std::size_t>(timeline_->group_at(user, end))];
+    g.retained_bytes += usage.bytes;
+    g.retained_files += usage.files;
+  }
+  for (trace::UserId u = 0; u < scenario_->registry.size(); ++u) {
+    ++result.groups[static_cast<std::size_t>(timeline_->group_at(u, end))]
+          .users_in_group;
+  }
+
+  ADR_INFO << result.policy << ": " << result.total_misses << "/"
+           << result.total_accesses << " misses, final "
+           << result.final_files << " files";
+  return result;
+}
+
+}  // namespace adr::sim

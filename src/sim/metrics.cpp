@@ -1,0 +1,97 @@
+#include "sim/metrics.hpp"
+
+#include <stdexcept>
+
+namespace adr::sim {
+
+MetricsCollector::MetricsCollector(util::TimePoint begin, util::TimePoint end)
+    : begin_(util::floor_to_day(begin)) {
+  const std::int64_t n =
+      (util::floor_to_day(end - 1) - begin_) / util::kSecondsPerDay + 1;
+  if (n <= 0) throw std::invalid_argument("MetricsCollector: empty window");
+  days_.resize(static_cast<std::size_t>(n));
+  for (std::size_t i = 0; i < days_.size(); ++i) {
+    days_[i].day = begin_ + static_cast<util::TimePoint>(i) *
+                                util::kSecondsPerDay;
+  }
+}
+
+void MetricsCollector::record_access(util::TimePoint t,
+                                     activeness::UserGroup group, bool miss) {
+  const std::int64_t idx = (util::floor_to_day(t) - begin_) /
+                           util::kSecondsPerDay;
+  if (idx < 0 || idx >= static_cast<std::int64_t>(days_.size())) return;
+  auto& d = days_[static_cast<std::size_t>(idx)];
+  ++d.accesses;
+  ++d.accesses_by_group[static_cast<std::size_t>(group)];
+  if (miss) {
+    ++d.misses;
+    ++d.misses_by_group[static_cast<std::size_t>(group)];
+  }
+}
+
+std::size_t MetricsCollector::total_accesses() const {
+  std::size_t n = 0;
+  for (const auto& d : days_) n += d.accesses;
+  return n;
+}
+
+std::size_t MetricsCollector::total_misses() const {
+  std::size_t n = 0;
+  for (const auto& d : days_) n += d.misses;
+  return n;
+}
+
+std::size_t MetricsCollector::misses_in_group(activeness::UserGroup g) const {
+  std::size_t n = 0;
+  for (const auto& d : days_) n += d.misses_by_group[static_cast<std::size_t>(g)];
+  return n;
+}
+
+util::RangeHistogram miss_ratio_day_histogram(
+    const std::vector<DailyMissStats>& daily) {
+  util::RangeHistogram h = util::RangeHistogram::paper_miss_ratio_bins();
+  for (const auto& d : daily) h.add(d.miss_ratio());
+  return h;
+}
+
+std::size_t days_above(const std::vector<DailyMissStats>& daily,
+                       double threshold) {
+  std::size_t n = 0;
+  for (const auto& d : daily) {
+    if (d.miss_ratio() > threshold) ++n;
+  }
+  return n;
+}
+
+std::vector<MonthlyGroupMisses> monthly_group_misses(
+    const std::vector<DailyMissStats>& daily) {
+  std::vector<MonthlyGroupMisses> out;
+  for (const auto& d : daily) {
+    const std::string label = util::format_month(d.day);
+    if (out.empty() || out.back().month != label) {
+      out.push_back(MonthlyGroupMisses{label, {}});
+    }
+    for (std::size_t g = 0; g < activeness::kGroupCount; ++g) {
+      out.back().misses[g] += d.misses_by_group[g];
+    }
+  }
+  return out;
+}
+
+std::vector<double> daily_miss_reduction_ratios(
+    const std::vector<DailyMissStats>& baseline,
+    const std::vector<DailyMissStats>& treated, activeness::UserGroup group) {
+  const std::size_t gi = static_cast<std::size_t>(group);
+  std::vector<double> out;
+  const std::size_t n = std::min(baseline.size(), treated.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    const double base = static_cast<double>(baseline[i].misses_by_group[gi]);
+    if (base <= 0.0) continue;
+    const double trt = static_cast<double>(treated[i].misses_by_group[gi]);
+    out.push_back((base - trt) / base);
+  }
+  return out;
+}
+
+}  // namespace adr::sim

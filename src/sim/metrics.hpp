@@ -1,0 +1,76 @@
+#pragma once
+// Replay metrics: the daily and per-group file-miss accounting every
+// evaluation figure is derived from (Figs. 1, 6, 7, 8).
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "activeness/classifier.hpp"
+#include "util/stats.hpp"
+#include "util/time.hpp"
+
+namespace adr::sim {
+
+/// One replay day's access/miss tallies.
+struct DailyMissStats {
+  util::TimePoint day = 0;  ///< midnight UTC
+  std::size_t accesses = 0;
+  std::size_t misses = 0;
+  std::array<std::size_t, activeness::kGroupCount> misses_by_group{};
+  std::array<std::size_t, activeness::kGroupCount> accesses_by_group{};
+
+  /// Fraction of the day's accesses that missed (0 when idle).
+  double miss_ratio() const {
+    return accesses ? static_cast<double>(misses) /
+                          static_cast<double>(accesses)
+                    : 0.0;
+  }
+};
+
+/// Collects per-day miss statistics across a replay window.
+class MetricsCollector {
+ public:
+  MetricsCollector(util::TimePoint begin, util::TimePoint end);
+
+  void record_access(util::TimePoint t, activeness::UserGroup group,
+                     bool miss);
+
+  const std::vector<DailyMissStats>& daily() const { return days_; }
+
+  std::size_t total_accesses() const;
+  std::size_t total_misses() const;
+  std::size_t misses_in_group(activeness::UserGroup g) const;
+
+ private:
+  util::TimePoint begin_;
+  std::vector<DailyMissStats> days_;
+};
+
+/// The paper's Fig. 1/6 histogram: how many days fall into each daily
+/// miss-ratio range.
+util::RangeHistogram miss_ratio_day_histogram(
+    const std::vector<DailyMissStats>& daily);
+
+/// Number of days whose miss ratio strictly exceeds `threshold` (the
+/// paper's ">5% misses on 138 days" statistic).
+std::size_t days_above(const std::vector<DailyMissStats>& daily,
+                       double threshold);
+
+/// Monthly per-group miss sums (Fig. 7's series). Returns one row per
+/// calendar month: {label, misses per group}.
+struct MonthlyGroupMisses {
+  std::string month;  ///< "YYYY-MM"
+  std::array<std::size_t, activeness::kGroupCount> misses{};
+};
+std::vector<MonthlyGroupMisses> monthly_group_misses(
+    const std::vector<DailyMissStats>& daily);
+
+/// Fig. 8's samples: per-day file-miss reduction ratio of `treated` vs
+/// `baseline` for one group, over days where the baseline missed anything:
+/// (baseline − treated) / baseline.
+std::vector<double> daily_miss_reduction_ratios(
+    const std::vector<DailyMissStats>& baseline,
+    const std::vector<DailyMissStats>& treated, activeness::UserGroup group);
+
+}  // namespace adr::sim

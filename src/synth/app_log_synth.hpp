@@ -1,0 +1,48 @@
+#pragma once
+// Application-log synthesis: turns a user's job stream into file accesses.
+//
+// Each job works inside one project (sticky across an episode, switching
+// after long gaps), touches a working-set sample of the files already
+// introduced there, and introduces the project's remaining initial files
+// over the job history; occasionally it creates brand-new output files
+// (storage growth during replay). Toucher users additionally emit periodic
+// touch-all events that renew atimes without real work — the FLT-gaming
+// behaviour of §1.
+
+#include <vector>
+
+#include "synth/fs_synth.hpp"
+#include "trace/types.hpp"
+
+namespace adr::synth {
+
+struct AppSynthParams {
+  util::TimePoint begin = 0;          ///< trace start (first possible access)
+  util::TimePoint end = 0;            ///< trace end (exclusive)
+  util::TimePoint snapshot_time = 0;  ///< state-capture instant (atime probe)
+  /// Expected brand-new files per job beyond the initial tree.
+  double extra_files_per_job = 0.05;
+  /// Size clamp for dump files (0 = unlimited; see fs_synth.hpp).
+  std::uint64_t max_file_bytes = 0;
+};
+
+/// Everything synthesized for one user.
+struct UserActivityTrace {
+  /// Time-sorted accesses/creates over [begin, end).
+  std::vector<trace::AppLogEntry> entries;
+  /// Initial tree plus files created along the way.
+  std::vector<FileSpec> all_files;
+  /// Per all_files index: creation instant (first touch), or -1 if the file
+  /// was never introduced by any job.
+  std::vector<util::TimePoint> created_at;
+  /// Per all_files index: last access at or before snapshot_time, or -1 if
+  /// the file did not exist yet at the snapshot.
+  std::vector<util::TimePoint> atime_at_snapshot;
+};
+
+UserActivityTrace synthesize_user_activity(
+    const UserProfile& profile, const std::string& home, UserTree tree,
+    const std::vector<trace::JobRecord>& jobs, const AppSynthParams& params,
+    util::Rng& rng);
+
+}  // namespace adr::synth

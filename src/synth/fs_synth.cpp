@@ -1,0 +1,96 @@
+#include "synth/fs_synth.hpp"
+
+#include <cstdio>
+
+#include "fs/striping.hpp"
+
+namespace adr::synth {
+
+namespace {
+
+const char* const kDirNames[] = {"run", "data", "out", "ckpt", "analysis"};
+const char* const kFileStems[] = {"out", "dump", "snap", "mesh", "traj",
+                                  "spectra", "field", "log"};
+const char* const kFileExts[] = {".h5", ".dat", ".nc", ".bin", ".bp"};
+
+std::string project_dir(const std::string& home, std::size_t project) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "/proj%02zu", project);
+  return home + buf;
+}
+
+}  // namespace
+
+namespace {
+
+std::uint64_t clamp_size(std::uint64_t size, std::uint64_t max_bytes) {
+  return max_bytes > 0 && size > max_bytes ? max_bytes : size;
+}
+
+}  // namespace
+
+UserTree synthesize_user_tree(const UserProfile& profile,
+                              const std::string& home, util::Rng& rng,
+                              std::uint64_t max_file_bytes) {
+  UserTree tree;
+  // 1..5 projects, larger users hold more.
+  const std::size_t projects = static_cast<std::size_t>(
+      rng.uniform_int(1, profile.file_count > 100 ? 5 : 3));
+  tree.project_count = projects;
+  tree.files.reserve(profile.file_count);
+
+  // Distribute files over projects (first projects get more).
+  std::vector<std::size_t> per_project(projects, 0);
+  for (std::size_t f = 0; f < profile.file_count; ++f) {
+    const double u = rng.uniform();
+    // Geometric-ish preference for earlier projects.
+    std::size_t p = 0;
+    double acc = 0.5;
+    while (p + 1 < projects && u > acc) {
+      acc += (1.0 - acc) * 0.5;
+      ++p;
+    }
+    ++per_project[p];
+  }
+
+  for (std::size_t p = 0; p < projects; ++p) {
+    const std::string proj = project_dir(home, p);
+    // Each project has a handful of run directories.
+    const std::size_t runs =
+        static_cast<std::size_t>(rng.uniform_int(1, 6));
+    for (std::size_t f = 0; f < per_project[p]; ++f) {
+      const std::size_t run = rng.bounded(runs);
+      const char* dir = kDirNames[rng.bounded(std::size(kDirNames))];
+      const char* stem = kFileStems[rng.bounded(std::size(kFileStems))];
+      const char* ext = kFileExts[rng.bounded(std::size(kFileExts))];
+      char leaf[96];
+      std::snprintf(leaf, sizeof(leaf), "/%s_%03zu/%s_%04zu%s", dir, run, stem,
+                    f, ext);
+      FileSpec spec;
+      spec.path = proj + leaf;
+      spec.stripe_count = fs::sample_stripe_count(rng);
+      spec.size_bytes =
+          clamp_size(fs::synthesize_size(spec.stripe_count, rng),
+                     max_file_bytes);
+      spec.project = p;
+      tree.files.push_back(std::move(spec));
+    }
+  }
+  return tree;
+}
+
+FileSpec synthesize_extra_file(const std::string& home, std::size_t project,
+                               std::size_t ordinal, util::Rng& rng,
+                               std::uint64_t max_file_bytes) {
+  char leaf[64];
+  std::snprintf(leaf, sizeof(leaf), "/new/out_%06zu.h5", ordinal);
+  FileSpec spec;
+  spec.path = project_dir(home, project) + leaf;
+  spec.stripe_count = fs::sample_stripe_count(rng);
+  spec.size_bytes = clamp_size(fs::synthesize_size(spec.stripe_count, rng),
+                               max_file_bytes);
+  spec.project = project;
+  return spec;
+}
+
+}  // namespace adr::synth

@@ -1,0 +1,43 @@
+#pragma once
+// Per-user scratch tree synthesis: directory layout, stripe counts, and
+// synthesized sizes (fs/striping.hpp). A user's files are organized into
+// projects — the unit the access synthesizer uses for working sets.
+
+#include <string>
+#include <vector>
+
+#include "synth/user_model.hpp"
+
+namespace adr::synth {
+
+/// One synthesized file (not yet placed in a Vfs).
+struct FileSpec {
+  std::string path;
+  std::int32_t stripe_count = 1;
+  std::uint64_t size_bytes = 0;
+  std::size_t project = 0;  ///< index of the project directory it lives in
+};
+
+/// A user's synthesized scratch contents.
+struct UserTree {
+  std::vector<FileSpec> files;      ///< grouped by project, project-major
+  std::size_t project_count = 0;
+};
+
+/// Generate the scratch tree for one user under `home`
+/// (e.g. "/scratch/user_00042"). Deterministic given `rng`.
+/// `max_file_bytes` (0 = unlimited) clamps synthesized sizes — small-scale
+/// scenarios must cap the heavy tail or a single multi-TiB file dominates
+/// the byte dynamics (at Titan scale, 935M files average ~34 MB, so no one
+/// file matters; a scaled-down population needs the same property).
+UserTree synthesize_user_tree(const UserProfile& profile,
+                              const std::string& home, util::Rng& rng,
+                              std::uint64_t max_file_bytes = 0);
+
+/// Generate one extra output file for `project` (used for files created
+/// during replay). `ordinal` keeps paths unique.
+FileSpec synthesize_extra_file(const std::string& home, std::size_t project,
+                               std::size_t ordinal, util::Rng& rng,
+                               std::uint64_t max_file_bytes = 0);
+
+}  // namespace adr::synth

@@ -1,0 +1,51 @@
+#include "synth/job_synth.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace adr::synth {
+
+std::vector<trace::JobRecord> synthesize_user_jobs(const UserProfile& profile,
+                                                   util::TimePoint begin,
+                                                   util::TimePoint end,
+                                                   util::Rng& rng) {
+  std::vector<trace::JobRecord> jobs;
+  const double day = static_cast<double>(util::kSecondsPerDay);
+
+  auto draw_gap = [&] {
+    // Lognormal around the profile's revisit gap.
+    const double gap_days = rng.lognormal(std::log(profile.gap_days_mean),
+                                          profile.gap_days_sigma);
+    return gap_days * day;
+  };
+
+  // Random initial phase so users don't all start aligned at `begin`.
+  double t = static_cast<double>(begin) + rng.uniform() * draw_gap();
+
+  while (t < static_cast<double>(end)) {
+    // One active episode.
+    const double episode_len =
+        rng.exponential(1.0 / profile.episode_days_mean) * day;
+    const double episode_end =
+        std::min(t + episode_len, static_cast<double>(end));
+    while (t < episode_end) {
+      trace::JobRecord job;
+      job.user = profile.user;
+      job.submit_time = static_cast<util::TimePoint>(t);
+      const double dur =
+          rng.lognormal(profile.duration_log_mean, profile.duration_log_sigma);
+      job.duration_seconds =
+          static_cast<std::int64_t>(std::clamp(dur, 60.0, 86400.0));
+      const double cores =
+          rng.lognormal(profile.cores_log_mean, profile.cores_log_sigma);
+      job.cores = static_cast<std::int32_t>(std::clamp(cores, 1.0, 262144.0));
+      jobs.push_back(job);
+
+      t += rng.exponential(profile.job_rate_per_day) * day;
+    }
+    t = episode_end + draw_gap();
+  }
+  return jobs;
+}
+
+}  // namespace adr::synth

@@ -1,0 +1,20 @@
+#pragma once
+// Job-stream synthesis: alternating active episodes (Poisson job arrivals)
+// and idle gaps (lognormal), the renewal process that creates the revisit
+// gaps behind the paper's FLT file-miss analysis (Fig. 1).
+
+#include <vector>
+
+#include "synth/user_model.hpp"
+#include "trace/types.hpp"
+
+namespace adr::synth {
+
+/// Jobs of one user over [begin, end), time-sorted. job_id is left 0; the
+/// orchestrator assigns globally unique ids after merging users.
+std::vector<trace::JobRecord> synthesize_user_jobs(const UserProfile& profile,
+                                                   util::TimePoint begin,
+                                                   util::TimePoint end,
+                                                   util::Rng& rng);
+
+}  // namespace adr::synth

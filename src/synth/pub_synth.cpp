@@ -1,0 +1,97 @@
+#include "synth/pub_synth.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace adr::synth {
+
+trace::PublicationLog synthesize_publications(const UserPopulation& population,
+                                              const PubSynthParams& params,
+                                              util::Rng& rng) {
+  trace::PublicationLog log;
+  const std::size_t n = population.size();
+  std::uint64_t next_id = 1;
+
+  // Authorship concentrates: publishing users form small collaboration
+  // teams, and a team's publications cluster inside a campaign window.
+  // Both properties matter for the Fig. 5 shape — a user's publication
+  // activities must span few periods (clustered ⇒ small m in Eq. 1 ⇒
+  // outcome-active), and co-authorship must not leak across the whole
+  // population (uniform sampling would make far too many users
+  // outcome-active).
+  std::vector<trace::UserId> pool;
+  for (const auto& p : population.profiles()) {
+    if (p.pubs_total_mean >= 0.5) pool.push_back(p.user);
+  }
+  for (std::size_t i = pool.size(); i > 1; --i) {
+    std::swap(pool[i - 1], pool[rng.bounded(i)]);
+  }
+  constexpr std::size_t kTeamSize = 5;
+  const std::size_t team_count = pool.empty() ? 0 : (pool.size() - 1) / kTeamSize + 1;
+  std::vector<std::size_t> team_of(n, static_cast<std::size_t>(-1));
+  for (std::size_t i = 0; i < pool.size(); ++i) {
+    team_of[pool[i]] = i / kTeamSize;
+  }
+  // Each team's campaign window: an epoch plus ~4 months of spread.
+  std::vector<util::TimePoint> team_epoch(team_count);
+  for (auto& epoch : team_epoch) {
+    epoch = params.begin + static_cast<util::TimePoint>(
+        rng.uniform(0.1, 0.95) *
+        static_cast<double>(params.end - params.begin));
+  }
+
+  auto team_members = [&](std::size_t team) {
+    std::vector<trace::UserId> members;
+    for (std::size_t i = team * kTeamSize;
+         i < std::min(pool.size(), (team + 1) * kTeamSize); ++i) {
+      members.push_back(pool[i]);
+    }
+    return members;
+  };
+
+  for (const auto& profile : population.profiles()) {
+    if (profile.pubs_total_mean <= 0.0) continue;
+    const std::int64_t count = rng.poisson(profile.pubs_total_mean);
+    if (count == 0) continue;
+
+    const std::size_t team = team_of[profile.user] != static_cast<std::size_t>(-1)
+                                 ? team_of[profile.user]
+                                 : (team_count ? rng.bounded(team_count) : 0);
+    const util::TimePoint epoch =
+        team_count ? team_epoch[team]
+                   : params.begin + (params.end - params.begin) / 2;
+
+    for (std::int64_t k = 0; k < count; ++k) {
+      trace::PublicationRecord pub;
+      pub.pub_id = next_id++;
+      pub.published = std::clamp<util::TimePoint>(
+          epoch + static_cast<util::Duration>(rng.normal(0.0, 120.0) * 86400),
+          params.begin, params.end - 1);
+      // Power-law citations; most publications have few, a handful many.
+      pub.citations = static_cast<std::int32_t>(
+          std::min(rng.pareto(1.0, params.citation_pareto_alpha) - 1.0, 500.0));
+
+      // Lead author first; co-authors mostly teammates, occasionally an
+      // outsider (a student or external collaborator).
+      pub.authors.push_back(profile.user);
+      const auto members = team_count ? team_members(team)
+                                      : std::vector<trace::UserId>{};
+      const std::int64_t coauthors = rng.uniform_int(0, params.max_coauthors);
+      for (std::int64_t c = 0; c < coauthors; ++c) {
+        const trace::UserId other =
+            !members.empty() && rng.bernoulli(0.95)
+                ? members[rng.bounded(members.size())]
+                : static_cast<trace::UserId>(rng.bounded(n));
+        if (std::find(pub.authors.begin(), pub.authors.end(), other) ==
+            pub.authors.end()) {
+          pub.authors.push_back(other);
+        }
+      }
+      log.add(std::move(pub));
+    }
+  }
+  log.sort_by_time();
+  return log;
+}
+
+}  // namespace adr::synth

@@ -1,0 +1,23 @@
+#pragma once
+// Publication-list synthesis (the outcome-activity trace). Lead authors are
+// drawn from each profile's pubs_total_mean; co-authors are sampled from the
+// whole population — which is exactly how moderately-active users end up in
+// the Outcome-Active-Only quadrant of Fig. 5. Citations follow a power law.
+
+#include "synth/user_model.hpp"
+#include "trace/publication_log.hpp"
+
+namespace adr::synth {
+
+struct PubSynthParams {
+  util::TimePoint begin = 0;
+  util::TimePoint end = 0;
+  double citation_pareto_alpha = 1.1;  ///< heavy-tailed citation counts
+  int max_coauthors = 6;
+};
+
+trace::PublicationLog synthesize_publications(const UserPopulation& population,
+                                              const PubSynthParams& params,
+                                              util::Rng& rng);
+
+}  // namespace adr::synth

@@ -1,0 +1,112 @@
+#include "synth/titan_model.hpp"
+
+#include <algorithm>
+
+#include "synth/job_synth.hpp"
+#include "util/logging.hpp"
+
+namespace adr::synth {
+
+TitanScenario build_titan_scenario(const TitanParams& params) {
+  TitanScenario scenario;
+  scenario.trace_begin = util::from_civil(params.trace_start_year, 1, 1);
+  scenario.sim_begin = util::from_civil(params.replay_year, 1, 1);
+  scenario.sim_end = util::from_civil(params.replay_year + 1, 1, 1);
+
+  util::Rng rng(params.seed);
+  scenario.registry = trace::UserRegistry::with_synthetic_users(params.users);
+  scenario.population =
+      UserPopulation::generate(params.users, params.mix, rng);
+
+  AppSynthParams app_params;
+  app_params.begin = scenario.trace_begin;
+  app_params.end = scenario.sim_end;
+  app_params.snapshot_time = scenario.sim_begin;
+  app_params.extra_files_per_job = params.extra_files_per_job;
+  app_params.max_file_bytes = params.max_file_bytes;
+
+  const util::Duration prepurge = util::days(params.flt_prepurge_days);
+
+  for (const auto& profile : scenario.population.profiles()) {
+    util::Rng user_rng = rng.fork(0x517AF00DULL + profile.user);
+    const std::string home = scenario.registry.home_dir(profile.user);
+
+    UserTree tree =
+        synthesize_user_tree(profile, home, user_rng, params.max_file_bytes);
+    // Account tenure: a late joiner's history starts partway through the
+    // trace (never within ~4 months of the snapshot, so everyone has some
+    // state to retain).
+    const util::TimePoint latest_join = scenario.sim_begin - util::days(120);
+    const util::TimePoint user_begin =
+        scenario.trace_begin +
+        static_cast<util::Duration>(
+            profile.tenure_fraction *
+            static_cast<double>(latest_join - scenario.trace_begin));
+    std::vector<trace::JobRecord> jobs = synthesize_user_jobs(
+        profile, user_begin, scenario.sim_end, user_rng);
+
+    UserActivityTrace activity = synthesize_user_activity(
+        profile, home, std::move(tree), jobs, app_params, user_rng);
+
+    for (auto& job : jobs) scenario.jobs.add(std::move(job));
+
+    // Initial snapshot: files that existed at sim_begin and survived the
+    // facility's FLT (atime within the pre-purge lifetime).
+    for (std::size_t fi = 0; fi < activity.all_files.size(); ++fi) {
+      const util::TimePoint atime = activity.atime_at_snapshot[fi];
+      if (atime < 0) continue;  // not created yet at the snapshot
+      if (scenario.sim_begin - atime > prepurge) continue;  // FLT-purged
+      const FileSpec& spec = activity.all_files[fi];
+      trace::SnapshotEntry e;
+      e.path = spec.path;
+      e.owner = profile.user;
+      e.stripe_count = spec.stripe_count;
+      e.size_bytes = spec.size_bytes;
+      e.atime = atime;
+      scenario.snapshot.add(std::move(e));
+    }
+
+    // Replay log: the replay year's entries only.
+    for (auto& entry : activity.entries) {
+      if (entry.timestamp > scenario.sim_begin &&
+          entry.timestamp < scenario.sim_end) {
+        scenario.replay.add(std::move(entry));
+      }
+    }
+  }
+
+  scenario.jobs.sort_by_time();
+  scenario.jobs.assign_ids();
+
+  if (params.schedule_jobs) {
+    sched::SchedulerConfig sched_config = params.scheduler;
+    if (sched_config.nodes == 0) {
+      sched_config.nodes = std::max<std::int64_t>(
+          64, static_cast<std::int64_t>(
+                  static_cast<double>(params.users) * 1.35));
+    }
+    scenario.schedule = sched::schedule(scenario.jobs, sched_config);
+    scenario.scheduler_used = sched_config;
+  }
+
+  scenario.replay.sort_by_time();
+
+  PubSynthParams pub_params;
+  pub_params.begin = scenario.trace_begin;
+  pub_params.end = scenario.sim_end;
+  scenario.pubs =
+      synthesize_publications(scenario.population, pub_params, rng);
+
+  scenario.capacity_bytes = static_cast<std::uint64_t>(
+      static_cast<double>(scenario.snapshot.total_bytes()) *
+      params.capacity_headroom);
+
+  ADR_INFO << "Titan scenario: " << params.users << " users, "
+           << scenario.jobs.size() << " jobs, " << scenario.pubs.size()
+           << " publications, " << scenario.snapshot.size()
+           << " snapshot files, " << scenario.replay.size()
+           << " replay entries";
+  return scenario;
+}
+
+}  // namespace adr::synth

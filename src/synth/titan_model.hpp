@@ -1,0 +1,90 @@
+#pragma once
+// The scaled Titan/Spider II scenario builder — our substitute for the OLCF
+// dataset of §4.1.1 (see DESIGN.md §2 for the substitution argument).
+//
+// A scenario bundles everything one paper-style experiment needs:
+//   * job-scheduler log (2013 .. end of the replay year),
+//   * publication list over the same span,
+//   * the application log for the replay year,
+//   * a metadata snapshot of the scratch state at the replay start —
+//     already the result of the facility's 90-day FLT retention, exactly as
+//     the paper's last-weekly-of-2015 snapshot was,
+//   * the user registry and the behaviour population behind it all.
+
+#include <cstdint>
+
+#include "sched/batch_scheduler.hpp"
+#include "synth/app_log_synth.hpp"
+#include "synth/pub_synth.hpp"
+#include "synth/user_model.hpp"
+#include "trace/app_log.hpp"
+#include "trace/job_log.hpp"
+#include "trace/publication_log.hpp"
+#include "trace/snapshot.hpp"
+#include "trace/user_registry.hpp"
+
+namespace adr::synth {
+
+struct TitanParams {
+  /// Population size (the real system had 13,813; default is a ~1/9 scale).
+  std::size_t users = 1500;
+  std::uint64_t seed = 42;
+
+  int trace_start_year = 2013;  ///< job/publication history begins here
+  int replay_year = 2016;       ///< the year the emulator replays
+
+  PopulationMix mix = PopulationMix::titan_default();
+
+  /// The facility FLT lifetime already applied to the initial snapshot.
+  int flt_prepurge_days = 90;
+
+  /// Per-file size cap (0 = unlimited). At scaled-down population sizes a
+  /// single multi-TiB file would dominate the byte dynamics; Titan-scale
+  /// snapshots average ~34 MB/file, so no one file matters there.
+  std::uint64_t max_file_bytes = 128ull << 30;  // 128 GiB
+
+  
+  /// utilization when the paper's last-2015 snapshot was taken (~28 PB
+  /// retained of 32 PB), so the snapshot does not fill the system.
+  double capacity_headroom = 2.0;
+
+  /// Storage growth knob: brand-new output files per job beyond the initial
+  /// tree. Most of these are write-once dumps — the churn that fills HPC
+  /// scratch with purgeable-without-misses bytes.
+  double extra_files_per_job = 0.4;
+
+  /// Run the merged submission stream through the batch-scheduler substrate
+  /// (FCFS + EASY backfill), producing start times, waits and completion
+  /// status alongside the job log.
+  bool schedule_jobs = true;
+  /// Scheduler sizing; nodes == 0 scales the machine to the population
+  /// (Titan ran ~1.35 nodes per registered user).
+  sched::SchedulerConfig scheduler{0, 16, 0.03, 1.5, 1};
+};
+
+struct TitanScenario {
+  trace::UserRegistry registry;
+  UserPopulation population;
+
+  trace::JobLog jobs;            ///< full span, time-sorted, ids assigned
+  /// Scheduling outcome per job (same order as jobs.records()); empty when
+  /// TitanParams::schedule_jobs is off.
+  std::vector<sched::ScheduledJob> schedule;
+  /// The scheduler configuration actually used (node sentinel resolved).
+  sched::SchedulerConfig scheduler_used;
+  trace::PublicationLog pubs;    ///< full span, time-sorted
+  trace::AppLog replay;          ///< entries within the replay year only
+  trace::Snapshot snapshot;      ///< scratch state at replay start
+
+  util::TimePoint trace_begin = 0;
+  util::TimePoint sim_begin = 0;  ///< == snapshot instant
+  util::TimePoint sim_end = 0;
+
+  /// The paper's "total capacity": the synthesized size of every file in
+  /// the initial snapshot.
+  std::uint64_t capacity_bytes = 0;
+};
+
+TitanScenario build_titan_scenario(const TitanParams& params);
+
+}  // namespace adr::synth

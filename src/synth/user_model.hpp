@@ -1,0 +1,111 @@
+#pragma once
+// User behaviour archetypes for the synthetic Titan population.
+//
+// The paper's trace analysis shows a heavily skewed population: <1% of users
+// are active on both operations and outcomes, a few percent on one of the
+// two, and >92% are inactive (Fig. 5). We reproduce that skew with six
+// archetypes whose mixing fractions and activity rates are the calibration
+// knobs. Every user gets a concrete parameter draw (a UserProfile) from its
+// archetype's ranges, so the population is heterogeneous within archetypes
+// too.
+
+#include <array>
+#include <cstddef>
+#include <vector>
+
+#include "trace/types.hpp"
+#include "util/rng.hpp"
+
+namespace adr::synth {
+
+enum class Archetype {
+  kHeavyBoth = 0,      ///< steady jobs + publications (targets G1)
+  kOperationHeavy = 1, ///< steady jobs, rarely publishes (targets G2)
+  kOutcomeHeavy = 2,   ///< publishes, sporadic jobs (targets G3)
+  kCasual = 3,         ///< episodic work with long revisit gaps (FLT misses)
+  kDormant = 4,        ///< a few old jobs, rarely returns (bulk of G4)
+  kToucher = 5,        ///< games FLT by touching files just under the
+                       ///< lifetime without doing real work (§1/§2)
+};
+
+inline constexpr std::size_t kArchetypeCount = 6;
+
+const char* archetype_name(Archetype a);
+
+/// Concrete behaviour parameters of one user.
+struct UserProfile {
+  trace::UserId user = trace::kInvalidUser;
+  Archetype archetype = Archetype::kDormant;
+
+  // Job arrival process: alternating active episodes and idle gaps.
+  double job_rate_per_day = 0.1;  ///< Poisson rate within an episode
+  double episode_days_mean = 14.0;
+  double gap_days_mean = 90.0;    ///< revisit gap (lognormal median)
+  double gap_days_sigma = 0.6;    ///< lognormal sigma of the gap
+
+  // Job shape.
+  double cores_log_mean = 4.0;    ///< ln cores ~ N(mean, sigma)
+  double cores_log_sigma = 1.2;
+  double duration_log_mean = 8.0; ///< ln seconds ~ N(mean, sigma)
+  double duration_log_sigma = 1.0;
+
+  // Outcomes: expected lead-author publications over the whole trace.
+  double pubs_total_mean = 0.0;
+
+  // Scratch contents.
+  std::size_t file_count = 20;
+  double working_set_fraction = 0.3;  ///< share of a project touched per job
+  /// Mean re-reads of recently-used inputs per job (temporal locality).
+  /// Heavy campaign users re-read their working set constantly — their
+  /// hit-dominated traffic is what keeps facility-wide daily miss ratios
+  /// low; sporadic users contribute little traffic but most of the misses.
+  double hot_accesses_per_job = 1.0;
+
+  /// Fraction of files that are write-once output dumps: created by a job
+  /// and never read again. HPC scratch is dominated by such data — it is
+  /// what a deep purge can reclaim without causing file misses.
+  double dead_file_fraction = 0.5;
+
+  /// Non-zero for kToucher: touch every file this often (days), just under
+  /// the facility lifetime, independent of real work.
+  int touch_interval_days = 0;
+
+  /// When the account joined the system, as a fraction of the trace span
+  /// (0 = present since trace start, 0.9 = joined near the end). Real HPC
+  /// populations churn; short-tenure users have few activeness periods
+  /// (small m in Eq. 1), which is where most of Fig. 5's active quadrants
+  /// come from.
+  double tenure_fraction = 0.0;
+
+  /// Output dumps rotate through a bounded set of checkpoint slots per
+  /// project (ckpt_000..ckpt_NNN overwritten in a cycle), so a user's
+  /// footprint plateaus instead of growing without bound.
+  int dump_rotation_depth = 16;
+};
+
+/// Archetype mixing fractions (must sum to ~1).
+struct PopulationMix {
+  std::array<double, kArchetypeCount> fraction{};
+
+  /// Calibrated to reproduce Fig. 5's group percentages at d = 90:
+  /// G1 ~0.9%, G2 ~3.5%, G3 ~2.9%, G4 ~92.7%.
+  static PopulationMix titan_default();
+};
+
+class UserPopulation {
+ public:
+  /// Draw `n` profiles from the mix. Deterministic given `rng`'s state.
+  static UserPopulation generate(std::size_t n, const PopulationMix& mix,
+                                 util::Rng& rng);
+
+  const std::vector<UserProfile>& profiles() const { return profiles_; }
+  const UserProfile& profile(trace::UserId user) const;
+  std::size_t size() const { return profiles_.size(); }
+
+  std::array<std::size_t, kArchetypeCount> archetype_counts() const;
+
+ private:
+  std::vector<UserProfile> profiles_;
+};
+
+}  // namespace adr::synth

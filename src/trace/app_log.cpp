@@ -1,0 +1,73 @@
+#include "trace/app_log.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <stdexcept>
+
+#include "util/csv.hpp"
+
+namespace adr::trace {
+
+void AppLog::add(AppLogEntry entry) { entries_.push_back(std::move(entry)); }
+
+void AppLog::sort_by_time() {
+  std::stable_sort(entries_.begin(), entries_.end(),
+                   [](const AppLogEntry& a, const AppLogEntry& b) {
+                     return a.timestamp < b.timestamp;
+                   });
+}
+
+bool AppLog::is_sorted_by_time() const {
+  return std::is_sorted(entries_.begin(), entries_.end(),
+                        [](const AppLogEntry& a, const AppLogEntry& b) {
+                          return a.timestamp < b.timestamp;
+                        });
+}
+
+std::pair<std::size_t, std::size_t> AppLog::range(util::TimePoint begin,
+                                                  util::TimePoint end) const {
+  const auto lo = std::lower_bound(
+      entries_.begin(), entries_.end(), begin,
+      [](const AppLogEntry& e, util::TimePoint t) { return e.timestamp < t; });
+  const auto hi = std::lower_bound(
+      lo, entries_.end(), end,
+      [](const AppLogEntry& e, util::TimePoint t) { return e.timestamp < t; });
+  return {static_cast<std::size_t>(lo - entries_.begin()),
+          static_cast<std::size_t>(hi - entries_.begin())};
+}
+
+void AppLog::save_csv(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("AppLog: cannot write " + path);
+  util::CsvWriter w(out);
+  w.write_row({"user", "timestamp", "op", "path", "size", "stripes"});
+  for (const auto& e : entries_) {
+    w.write_row({std::to_string(e.user), std::to_string(e.timestamp),
+                 e.op == trace::FileOp::kCreate ? "create" : "access", e.path,
+                 std::to_string(e.size_bytes), std::to_string(e.stripe_count)});
+  }
+}
+
+AppLog AppLog::load_csv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("AppLog: cannot open " + path);
+  util::CsvReader reader(in);
+  if (!reader.read_header())
+    throw std::runtime_error("AppLog: empty file " + path);
+  AppLog log;
+  while (auto row = reader.next()) {
+    if (row->size() != 6)
+      throw std::runtime_error("AppLog: malformed row in " + path);
+    AppLogEntry e;
+    e.user = static_cast<UserId>(std::stoul((*row)[0]));
+    e.timestamp = std::stoll((*row)[1]);
+    e.op = (*row)[2] == "create" ? FileOp::kCreate : FileOp::kAccess;
+    e.path = (*row)[3];
+    e.size_bytes = std::stoull((*row)[4]);
+    e.stripe_count = std::stoi((*row)[5]);
+    log.add(std::move(e));
+  }
+  return log;
+}
+
+}  // namespace adr::trace

@@ -1,0 +1,38 @@
+#pragma once
+// Application log: the file paths touched by application executions. The
+// emulator replays these entries to drive atime updates and to count file
+// misses (an entry whose path is no longer in the virtual file system).
+
+#include <string>
+#include <vector>
+
+#include "trace/types.hpp"
+
+namespace adr::trace {
+
+class AppLog {
+ public:
+  void add(AppLogEntry entry);
+  void reserve(std::size_t n) { entries_.reserve(n); }
+
+  void sort_by_time();
+  bool is_sorted_by_time() const;
+
+  const std::vector<AppLogEntry>& entries() const { return entries_; }
+  std::size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+
+  /// Entries with timestamp in [begin, end) — assumes sorted order and uses
+  /// binary search; returns [first, last) indices.
+  std::pair<std::size_t, std::size_t> range(util::TimePoint begin,
+                                            util::TimePoint end) const;
+
+  /// CSV persistence (header: user,timestamp,path).
+  void save_csv(const std::string& path) const;
+  static AppLog load_csv(const std::string& path);
+
+ private:
+  std::vector<AppLogEntry> entries_;
+};
+
+}  // namespace adr::trace

@@ -1,0 +1,74 @@
+#include "trace/job_log.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <stdexcept>
+
+#include "util/csv.hpp"
+
+namespace adr::trace {
+
+void JobLog::add(JobRecord record) { records_.push_back(std::move(record)); }
+
+void JobLog::sort_by_time() {
+  std::stable_sort(records_.begin(), records_.end(),
+                   [](const JobRecord& a, const JobRecord& b) {
+                     return a.submit_time < b.submit_time;
+                   });
+}
+
+void JobLog::assign_ids() {
+  std::uint64_t next = 1;
+  for (auto& r : records_) r.job_id = next++;
+}
+
+bool JobLog::is_sorted_by_time() const {
+  return std::is_sorted(records_.begin(), records_.end(),
+                        [](const JobRecord& a, const JobRecord& b) {
+                          return a.submit_time < b.submit_time;
+                        });
+}
+
+std::vector<JobRecord> JobLog::slice(util::TimePoint begin,
+                                     util::TimePoint end) const {
+  std::vector<JobRecord> out;
+  for (const auto& r : records_) {
+    if (r.submit_time >= begin && r.submit_time < end) out.push_back(r);
+  }
+  return out;
+}
+
+void JobLog::save_csv(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("JobLog: cannot write " + path);
+  util::CsvWriter w(out);
+  w.write_row({"job_id", "user", "submit_time", "duration_s", "cores"});
+  for (const auto& r : records_) {
+    w.write_row({std::to_string(r.job_id), std::to_string(r.user),
+                 std::to_string(r.submit_time),
+                 std::to_string(r.duration_seconds), std::to_string(r.cores)});
+  }
+}
+
+JobLog JobLog::load_csv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("JobLog: cannot open " + path);
+  util::CsvReader reader(in);
+  if (!reader.read_header())
+    throw std::runtime_error("JobLog: empty file " + path);
+  JobLog log;
+  while (auto row = reader.next()) {
+    if (row->size() != 5)
+      throw std::runtime_error("JobLog: malformed row in " + path);
+    JobRecord r;
+    r.job_id = std::stoull((*row)[0]);
+    r.user = static_cast<UserId>(std::stoul((*row)[1]));
+    r.submit_time = std::stoll((*row)[2]);
+    r.duration_seconds = std::stoll((*row)[3]);
+    r.cores = std::stoi((*row)[4]);
+    log.add(std::move(r));
+  }
+  return log;
+}
+
+}  // namespace adr::trace

@@ -1,0 +1,39 @@
+#pragma once
+// Job-scheduler log container with CSV persistence.
+
+#include <string>
+#include <vector>
+
+#include "trace/types.hpp"
+
+namespace adr::trace {
+
+/// Time-ordered collection of job records.
+class JobLog {
+ public:
+  void add(JobRecord record);
+  void reserve(std::size_t n) { records_.reserve(n); }
+
+  /// Sort by submit time (stable; ties keep insertion order).
+  void sort_by_time();
+
+  /// Assign sequential job ids (1-based) in current record order.
+  void assign_ids();
+  bool is_sorted_by_time() const;
+
+  const std::vector<JobRecord>& records() const { return records_; }
+  std::size_t size() const { return records_.size(); }
+  bool empty() const { return records_.empty(); }
+
+  /// Records with submit_time in [begin, end).
+  std::vector<JobRecord> slice(util::TimePoint begin, util::TimePoint end) const;
+
+  /// CSV persistence (header: job_id,user,submit_time,duration_s,cores).
+  void save_csv(const std::string& path) const;
+  static JobLog load_csv(const std::string& path);
+
+ private:
+  std::vector<JobRecord> records_;
+};
+
+}  // namespace adr::trace

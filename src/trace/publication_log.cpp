@@ -1,0 +1,63 @@
+#include "trace/publication_log.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/csv.hpp"
+
+namespace adr::trace {
+
+void PublicationLog::add(PublicationRecord record) {
+  records_.push_back(std::move(record));
+}
+
+void PublicationLog::sort_by_time() {
+  std::stable_sort(records_.begin(), records_.end(),
+                   [](const PublicationRecord& a, const PublicationRecord& b) {
+                     return a.published < b.published;
+                   });
+}
+
+void PublicationLog::save_csv(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("PublicationLog: cannot write " + path);
+  util::CsvWriter w(out);
+  w.write_row({"pub_id", "published", "citations", "authors"});
+  for (const auto& r : records_) {
+    std::string authors;
+    for (std::size_t i = 0; i < r.authors.size(); ++i) {
+      if (i) authors.push_back(';');
+      authors += std::to_string(r.authors[i]);
+    }
+    w.write_row({std::to_string(r.pub_id), std::to_string(r.published),
+                 std::to_string(r.citations), authors});
+  }
+}
+
+PublicationLog PublicationLog::load_csv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("PublicationLog: cannot open " + path);
+  util::CsvReader reader(in);
+  if (!reader.read_header())
+    throw std::runtime_error("PublicationLog: empty file " + path);
+  PublicationLog log;
+  while (auto row = reader.next()) {
+    if (row->size() != 4)
+      throw std::runtime_error("PublicationLog: malformed row in " + path);
+    PublicationRecord r;
+    r.pub_id = std::stoull((*row)[0]);
+    r.published = std::stoll((*row)[1]);
+    r.citations = std::stoi((*row)[2]);
+    std::istringstream authors((*row)[3]);
+    std::string tok;
+    while (std::getline(authors, tok, ';')) {
+      if (!tok.empty()) r.authors.push_back(static_cast<UserId>(std::stoul(tok)));
+    }
+    log.add(std::move(r));
+  }
+  return log;
+}
+
+}  // namespace adr::trace

@@ -1,0 +1,31 @@
+#pragma once
+// Publication list container with CSV persistence.
+
+#include <string>
+#include <vector>
+
+#include "trace/types.hpp"
+
+namespace adr::trace {
+
+class PublicationLog {
+ public:
+  void add(PublicationRecord record);
+  void reserve(std::size_t n) { records_.reserve(n); }
+
+  void sort_by_time();
+
+  const std::vector<PublicationRecord>& records() const { return records_; }
+  std::size_t size() const { return records_.size(); }
+  bool empty() const { return records_.empty(); }
+
+  /// CSV persistence. Authors are encoded as ';'-separated user ids in one
+  /// quoted field (header: pub_id,published,citations,authors).
+  void save_csv(const std::string& path) const;
+  static PublicationLog load_csv(const std::string& path);
+
+ private:
+  std::vector<PublicationRecord> records_;
+};
+
+}  // namespace adr::trace

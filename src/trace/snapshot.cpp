@@ -1,0 +1,140 @@
+#include "trace/snapshot.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+
+#include "util/csv.hpp"
+#include "util/gzfile.hpp"
+
+namespace adr::trace {
+
+namespace {
+
+const std::vector<std::string> kHeader = {"path", "owner", "stripes", "size",
+                                          "atime"};
+
+std::vector<std::string> entry_row(const SnapshotEntry& e) {
+  return {e.path, std::to_string(e.owner), std::to_string(e.stripe_count),
+          std::to_string(e.size_bytes), std::to_string(e.atime)};
+}
+
+SnapshotEntry parse_row(const std::vector<std::string>& row,
+                        const std::string& source) {
+  if (row.size() != 5)
+    throw std::runtime_error("Snapshot: malformed row in " + source);
+  SnapshotEntry e;
+  e.path = row[0];
+  e.owner = static_cast<UserId>(std::stoul(row[1]));
+  e.stripe_count = std::stoi(row[2]);
+  e.size_bytes = std::stoull(row[3]);
+  e.atime = std::stoll(row[4]);
+  return e;
+}
+
+}  // namespace
+
+void Snapshot::add(SnapshotEntry entry) { entries_.push_back(std::move(entry)); }
+
+std::uint64_t Snapshot::total_bytes() const {
+  std::uint64_t sum = 0;
+  for (const auto& e : entries_) sum += e.size_bytes;
+  return sum;
+}
+
+void Snapshot::save_csv(const std::string& path) const {
+  if (util::has_gz_suffix(path)) {
+    util::GzWriter out(path);
+    out.write_line(util::csv_join(kHeader));
+    for (const auto& e : entries_) out.write_line(util::csv_join(entry_row(e)));
+    out.close();
+    return;
+  }
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("Snapshot: cannot write " + path);
+  util::CsvWriter w(out);
+  w.write_row(kHeader);
+  for (const auto& e : entries_) w.write_row(entry_row(e));
+}
+
+Snapshot Snapshot::load_csv(const std::string& path) {
+  Snapshot snap;
+  if (util::has_gz_suffix(path)) {
+    util::GzReader in(path);
+    bool header = true;
+    while (auto line = in.next_line()) {
+      if (line->empty()) continue;
+      if (header) {
+        header = false;
+        continue;
+      }
+      snap.add(parse_row(util::csv_split(*line), path));
+    }
+    if (header) throw std::runtime_error("Snapshot: empty file " + path);
+    return snap;
+  }
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("Snapshot: cannot open " + path);
+  util::CsvReader reader(in);
+  if (!reader.read_header())
+    throw std::runtime_error("Snapshot: empty file " + path);
+  while (auto row = reader.next()) {
+    snap.add(parse_row(*row, path));
+  }
+  return snap;
+}
+
+std::vector<std::string> save_sharded_snapshot(const Snapshot& snapshot,
+                                               const std::string& dir,
+                                               std::size_t shards,
+                                               bool gzip) {
+  if (shards == 0) throw std::invalid_argument("save_sharded_snapshot: 0 shards");
+  std::filesystem::create_directories(dir);
+  std::vector<std::string> files;
+  const std::size_t n = snapshot.size();
+  for (std::size_t s = 0; s < shards; ++s) {
+    char name[48];
+    std::snprintf(name, sizeof(name), "/snapshot_%03zu.csv%s", s,
+                  gzip ? ".gz" : "");
+    const std::string path = dir + name;
+    // Contiguous slice per shard (files stay grouped by user directory).
+    const std::size_t lo = n * s / shards;
+    const std::size_t hi = n * (s + 1) / shards;
+    Snapshot shard;
+    shard.reserve(hi - lo);
+    for (std::size_t i = lo; i < hi; ++i) {
+      shard.add(snapshot.entries()[i]);
+    }
+    shard.save_csv(path);
+    files.push_back(path);
+  }
+  return files;
+}
+
+std::vector<std::string> sharded_snapshot_files(const std::string& dir) {
+  std::vector<std::string> files;
+  if (!std::filesystem::is_directory(dir)) return files;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("snapshot_", 0) == 0 &&
+        name.find(".csv") != std::string::npos) {
+      files.push_back(entry.path().string());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+Snapshot load_sharded_snapshot(const std::string& dir) {
+  Snapshot merged;
+  for (const auto& file : sharded_snapshot_files(dir)) {
+    const Snapshot shard = Snapshot::load_csv(file);
+    merged.reserve(merged.size() + shard.size());
+    for (const auto& e : shard.entries()) merged.add(e);
+  }
+  return merged;
+}
+
+}  // namespace adr::trace

@@ -1,0 +1,83 @@
+#pragma once
+// Core trace record types shared across the library.
+//
+// These mirror the OLCF datasets the paper consumed (§4.1.1): job-scheduler
+// logs, a publication list, application logs (file paths touched by runs),
+// a user list, and weekly metadata snapshots of the parallel file system.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/time.hpp"
+
+namespace adr::trace {
+
+/// Dense user identifier (index into the UserRegistry).
+using UserId = std::uint32_t;
+inline constexpr UserId kInvalidUser = static_cast<UserId>(-1);
+
+/// One job-scheduler record. Operations in the paper's evaluation are job
+/// submissions whose impact is core-hours (cores x duration).
+struct JobRecord {
+  std::uint64_t job_id = 0;
+  UserId user = kInvalidUser;
+  util::TimePoint submit_time = 0;
+  std::int64_t duration_seconds = 0;
+  std::int32_t cores = 0;
+
+  /// The paper's operation impact metric: CPU cores x job hours.
+  double core_hours() const {
+    return static_cast<double>(cores) *
+           (static_cast<double>(duration_seconds) / 3600.0);
+  }
+};
+
+/// One publication. Outcomes in the paper's evaluation are publications whose
+/// impact follows Eq. 8: D_pub = (c + 1) * (n - i + 1) for the i-th author
+/// (1-based) out of n, with citation count c.
+struct PublicationRecord {
+  std::uint64_t pub_id = 0;
+  util::TimePoint published = 0;
+  std::int32_t citations = 0;
+  std::vector<UserId> authors;  ///< in author-list order
+
+  /// Eq. 8 impact for the author at 1-based position `author_index`.
+  double impact_for_author(std::size_t author_index) const {
+    const double n = static_cast<double>(authors.size());
+    const double i = static_cast<double>(author_index);
+    return (static_cast<double>(citations) + 1.0) * (n - i + 1.0);
+  }
+};
+
+/// What an application-log entry did to the path.
+enum class FileOp : std::uint8_t {
+  kAccess = 0,  ///< read/overwrite an existing file (miss if absent)
+  kCreate = 1,  ///< first write of a new file (brings size_bytes/stripes)
+};
+
+/// One application-log entry: a run by `user` at `timestamp` touched `path`.
+/// Replaying these drives atime updates, file creation, and file-miss
+/// accounting.
+struct AppLogEntry {
+  UserId user = kInvalidUser;
+  util::TimePoint timestamp = 0;
+  FileOp op = FileOp::kAccess;
+  std::string path;
+  /// Only meaningful for kCreate.
+  std::uint64_t size_bytes = 0;
+  std::int32_t stripe_count = 1;
+};
+
+/// One file in a metadata snapshot. Spider snapshots expose stripe counts
+/// rather than sizes, so the size here is the synthesized one (see
+/// fs/striping.hpp), exactly as the paper does.
+struct SnapshotEntry {
+  std::string path;
+  UserId owner = kInvalidUser;
+  std::int32_t stripe_count = 1;
+  std::uint64_t size_bytes = 0;
+  util::TimePoint atime = 0;
+};
+
+}  // namespace adr::trace

@@ -1,0 +1,73 @@
+#include "trace/user_registry.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+
+#include "util/csv.hpp"
+
+namespace adr::trace {
+
+UserId UserRegistry::add(const std::string& name) {
+  const auto it = by_name_.find(name);
+  if (it != by_name_.end()) return it->second;
+  const UserId id = static_cast<UserId>(names_.size());
+  names_.push_back(name);
+  by_name_.emplace(name, id);
+  return id;
+}
+
+UserRegistry UserRegistry::with_synthetic_users(std::size_t n,
+                                                const std::string& prefix) {
+  UserRegistry reg;
+  char buf[32];
+  for (std::size_t i = 0; i < n; ++i) {
+    std::snprintf(buf, sizeof(buf), "%05zu", i);
+    reg.add(prefix + buf);
+  }
+  return reg;
+}
+
+const std::string& UserRegistry::name(UserId id) const {
+  if (!contains(id)) throw std::out_of_range("UserRegistry: bad id");
+  return names_[id];
+}
+
+UserId UserRegistry::find(const std::string& name) const {
+  const auto it = by_name_.find(name);
+  return it == by_name_.end() ? kInvalidUser : it->second;
+}
+
+std::string UserRegistry::home_dir(UserId id) const {
+  return "/scratch/" + name(id);
+}
+
+void UserRegistry::save_csv(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("UserRegistry: cannot write " + path);
+  util::CsvWriter w(out);
+  w.write_row({"user", "name"});
+  for (std::size_t i = 0; i < names_.size(); ++i) {
+    w.write_row({std::to_string(i), names_[i]});
+  }
+}
+
+UserRegistry UserRegistry::load_csv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("UserRegistry: cannot open " + path);
+  util::CsvReader reader(in);
+  if (!reader.read_header())
+    throw std::runtime_error("UserRegistry: empty file " + path);
+  UserRegistry reg;
+  while (auto row = reader.next()) {
+    if (row->size() != 2)
+      throw std::runtime_error("UserRegistry: malformed row in " + path);
+    const UserId expected = static_cast<UserId>(std::stoul((*row)[0]));
+    const UserId got = reg.add((*row)[1]);
+    if (expected != got)
+      throw std::runtime_error("UserRegistry: non-dense ids in " + path);
+  }
+  return reg;
+}
+
+}  // namespace adr::trace

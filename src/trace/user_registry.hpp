@@ -1,0 +1,41 @@
+#pragma once
+// Registry of (anonymized) system users: dense UserId <-> name mapping.
+// Mirrors the paper's list of 13,813 anonymized Titan users.
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "trace/types.hpp"
+
+namespace adr::trace {
+
+class UserRegistry {
+ public:
+  /// Register a user; returns its dense id. Re-registering a name returns
+  /// the existing id.
+  UserId add(const std::string& name);
+
+  /// Create `n` users named "<prefix>NNNNN".
+  static UserRegistry with_synthetic_users(std::size_t n,
+                                           const std::string& prefix = "user_");
+
+  std::size_t size() const { return names_.size(); }
+  bool contains(UserId id) const { return id < names_.size(); }
+
+  const std::string& name(UserId id) const;
+  UserId find(const std::string& name) const;  ///< kInvalidUser if absent
+
+  /// Scratch-space home directory of a user ("/scratch/<name>").
+  std::string home_dir(UserId id) const;
+
+  /// CSV persistence (header: user,name).
+  void save_csv(const std::string& path) const;
+  static UserRegistry load_csv(const std::string& path);
+
+ private:
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, UserId> by_name_;
+};
+
+}  // namespace adr::trace

@@ -1,0 +1,123 @@
+#include "util/config.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <stdexcept>
+
+namespace adr::util {
+
+namespace {
+
+std::string trim(const std::string& s) {
+  std::size_t b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+}  // namespace
+
+Config Config::from_args(int argc, const char* const* argv) {
+  Config cfg;
+  for (int i = 1; i < argc; ++i) {
+    std::string tok = argv[i];
+    if (tok.rfind("--", 0) != 0) {
+      cfg.positional_.push_back(std::move(tok));
+      continue;
+    }
+    tok = tok.substr(2);
+    const std::size_t eq = tok.find('=');
+    if (eq != std::string::npos) {
+      cfg.set(tok.substr(0, eq), tok.substr(eq + 1));
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      cfg.set(tok, argv[++i]);
+    } else {
+      cfg.set(tok, "true");
+    }
+  }
+  return cfg;
+}
+
+Config Config::from_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("Config: cannot open " + path);
+  Config cfg;
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    line = trim(line);
+    if (line.empty()) continue;
+    const std::size_t eq = line.find('=');
+    if (eq == std::string::npos) {
+      throw std::runtime_error("Config: malformed line " +
+                               std::to_string(lineno) + " in " + path);
+    }
+    cfg.set(trim(line.substr(0, eq)), trim(line.substr(eq + 1)));
+  }
+  return cfg;
+}
+
+void Config::set(const std::string& key, std::string value) {
+  entries_[key] = std::move(value);
+}
+
+bool Config::contains(const std::string& key) const {
+  return entries_.count(key) != 0;
+}
+
+void Config::merge(const Config& other) {
+  for (const auto& [k, v] : other.entries_) entries_[k] = v;
+  positional_.insert(positional_.end(), other.positional_.begin(),
+                     other.positional_.end());
+}
+
+std::optional<std::string> Config::get(const std::string& key) const {
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string Config::get_string(const std::string& key,
+                               const std::string& dflt) const {
+  const auto v = get(key);
+  return v ? *v : dflt;
+}
+
+std::int64_t Config::get_int(const std::string& key, std::int64_t dflt) const {
+  const auto v = get(key);
+  if (!v) return dflt;
+  try {
+    return std::stoll(*v);
+  } catch (...) {
+    throw std::runtime_error("Config: key '" + key + "' is not an integer: " + *v);
+  }
+}
+
+double Config::get_double(const std::string& key, double dflt) const {
+  const auto v = get(key);
+  if (!v) return dflt;
+  try {
+    return std::stod(*v);
+  } catch (...) {
+    throw std::runtime_error("Config: key '" + key + "' is not a number: " + *v);
+  }
+}
+
+bool Config::get_bool(const std::string& key, bool dflt) const {
+  const auto v = get(key);
+  if (!v) return dflt;
+  std::string lower = *v;
+  std::transform(lower.begin(), lower.end(), lower.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  if (lower == "1" || lower == "true" || lower == "yes" || lower == "on")
+    return true;
+  if (lower == "0" || lower == "false" || lower == "no" || lower == "off")
+    return false;
+  throw std::runtime_error("Config: key '" + key + "' is not a boolean: " + *v);
+}
+
+}  // namespace adr::util

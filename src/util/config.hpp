@@ -1,0 +1,47 @@
+#pragma once
+// Key/value configuration with typed getters.
+//
+// ActiveDR is meant to be administrator-configured (the paper stresses a
+// one-time setup). A Config can be populated from a `key = value` file,
+// from CLI arguments (--key value / --key=value / bare flags), or
+// programmatically; later sources override earlier ones.
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace adr::util {
+
+class Config {
+ public:
+  /// Parse "--key value", "--key=value" and bare "--flag" (=> "true").
+  /// Non-option tokens are collected as positional arguments.
+  static Config from_args(int argc, const char* const* argv);
+
+  /// Parse a `key = value` file ('#' comments). Throws std::runtime_error
+  /// if the file cannot be opened or a line is malformed.
+  static Config from_file(const std::string& path);
+
+  void set(const std::string& key, std::string value);
+  bool contains(const std::string& key) const;
+
+  /// Merge: entries of `other` override ours.
+  void merge(const Config& other);
+
+  std::optional<std::string> get(const std::string& key) const;
+  std::string get_string(const std::string& key, const std::string& dflt) const;
+  std::int64_t get_int(const std::string& key, std::int64_t dflt) const;
+  double get_double(const std::string& key, double dflt) const;
+  bool get_bool(const std::string& key, bool dflt) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+  const std::map<std::string, std::string>& entries() const { return entries_; }
+
+ private:
+  std::map<std::string, std::string> entries_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace adr::util

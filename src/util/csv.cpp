@@ -1,0 +1,93 @@
+#include "util/csv.hpp"
+
+#include <algorithm>
+#include <istream>
+#include <ostream>
+
+namespace adr::util {
+
+std::vector<std::string> csv_split(const std::string& line, char sep) {
+  std::vector<std::string> fields;
+  std::string cur;
+  bool quoted = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (quoted) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          cur.push_back('"');
+          ++i;
+        } else {
+          quoted = false;
+        }
+      } else {
+        cur.push_back(c);
+      }
+    } else if (c == '"' && cur.empty()) {
+      quoted = true;
+    } else if (c == sep) {
+      fields.push_back(std::move(cur));
+      cur.clear();
+    } else if (c == '\r' && i + 1 == line.size()) {
+      // tolerate CRLF input
+    } else {
+      cur.push_back(c);
+    }
+  }
+  fields.push_back(std::move(cur));
+  return fields;
+}
+
+std::string csv_join(const std::vector<std::string>& fields, char sep) {
+  std::string out;
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i) out.push_back(sep);
+    const std::string& f = fields[i];
+    const bool needs_quote =
+        f.find(sep) != std::string::npos || f.find('"') != std::string::npos ||
+        f.find('\n') != std::string::npos;
+    if (!needs_quote) {
+      out += f;
+    } else {
+      out.push_back('"');
+      for (char c : f) {
+        if (c == '"') out += "\"\"";
+        else out.push_back(c);
+      }
+      out.push_back('"');
+    }
+  }
+  return out;
+}
+
+CsvReader::CsvReader(std::istream& in, char sep) : in_(in), sep_(sep) {}
+
+bool CsvReader::read_header() {
+  auto row = next();
+  if (!row) return false;
+  header_ = std::move(*row);
+  return true;
+}
+
+std::optional<std::vector<std::string>> CsvReader::next() {
+  std::string line;
+  while (std::getline(in_, line)) {
+    if (line.empty() || line == "\r") continue;
+    return csv_split(line, sep_);
+  }
+  return std::nullopt;
+}
+
+std::size_t CsvReader::column(const std::string& name) const {
+  const auto it = std::find(header_.begin(), header_.end(), name);
+  return it == header_.end() ? npos
+                             : static_cast<std::size_t>(it - header_.begin());
+}
+
+CsvWriter::CsvWriter(std::ostream& out, char sep) : out_(out), sep_(sep) {}
+
+void CsvWriter::write_row(const std::vector<std::string>& fields) {
+  out_ << csv_join(fields, sep_) << '\n';
+}
+
+}  // namespace adr::util

@@ -1,0 +1,59 @@
+#pragma once
+// RFC-4180-style CSV reading/writing.
+//
+// All trace artifacts (job logs, publication lists, app logs, user registry)
+// persist as CSV so a reproduction run can be driven either from synthesized
+// traces or from site-local logs exported in the same shape.
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace adr::util {
+
+/// Split one CSV line into fields, honouring double-quote quoting and
+/// "" escapes. Embedded newlines are not supported (trace files are
+/// line-oriented).
+std::vector<std::string> csv_split(const std::string& line, char sep = ',');
+
+/// Join fields into one CSV line, quoting any field that needs it.
+std::string csv_join(const std::vector<std::string>& fields, char sep = ',');
+
+/// Streaming reader over an istream. Skips blank lines; `header()` is the
+/// first row when read_header() was requested.
+class CsvReader {
+ public:
+  explicit CsvReader(std::istream& in, char sep = ',');
+
+  /// Read the first row as a header; returns false on empty input.
+  bool read_header();
+
+  /// Next data row; std::nullopt at EOF.
+  std::optional<std::vector<std::string>> next();
+
+  const std::vector<std::string>& header() const { return header_; }
+
+  /// Column index for a header name, or npos.
+  std::size_t column(const std::string& name) const;
+
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+ private:
+  std::istream& in_;
+  char sep_;
+  std::vector<std::string> header_;
+};
+
+/// Streaming writer.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& out, char sep = ',');
+  void write_row(const std::vector<std::string>& fields);
+
+ private:
+  std::ostream& out_;
+  char sep_;
+};
+
+}  // namespace adr::util

@@ -1,0 +1,73 @@
+#include "util/gzfile.hpp"
+
+#include <zlib.h>
+
+#include <stdexcept>
+
+namespace adr::util {
+
+bool has_gz_suffix(const std::string& path) {
+  return path.size() >= 3 && path.compare(path.size() - 3, 3, ".gz") == 0;
+}
+
+GzWriter::GzWriter(const std::string& path) : path_(path) {
+  file_ = gzopen(path.c_str(), "wb");
+  if (!file_) throw std::runtime_error("GzWriter: cannot open " + path);
+}
+
+GzWriter::~GzWriter() {
+  try {
+    close();
+  } catch (...) {
+    // Destructor must not throw; the explicit close() reports errors.
+  }
+}
+
+void GzWriter::write_line(const std::string& line) {
+  if (!file_) throw std::runtime_error("GzWriter: closed: " + path_);
+  gzFile gz = static_cast<gzFile>(file_);
+  if (gzwrite(gz, line.data(), static_cast<unsigned>(line.size())) !=
+          static_cast<int>(line.size()) ||
+      gzputc(gz, '\n') != '\n') {
+    throw std::runtime_error("GzWriter: write failed: " + path_);
+  }
+}
+
+void GzWriter::close() {
+  if (!file_) return;
+  gzFile gz = static_cast<gzFile>(file_);
+  file_ = nullptr;
+  if (gzclose(gz) != Z_OK) {
+    throw std::runtime_error("GzWriter: close failed: " + path_);
+  }
+}
+
+GzReader::GzReader(const std::string& path) : path_(path) {
+  file_ = gzopen(path.c_str(), "rb");
+  if (!file_) throw std::runtime_error("GzReader: cannot open " + path);
+}
+
+GzReader::~GzReader() {
+  if (file_) gzclose(static_cast<gzFile>(file_));
+}
+
+std::optional<std::string> GzReader::next_line() {
+  gzFile gz = static_cast<gzFile>(file_);
+  std::string line;
+  char buf[4096];
+  for (;;) {
+    if (gzgets(gz, buf, sizeof(buf)) == nullptr) {
+      if (line.empty()) return std::nullopt;
+      return line;  // final line without newline
+    }
+    line += buf;
+    if (!line.empty() && line.back() == '\n') {
+      line.pop_back();
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      return line;
+    }
+    // Buffer filled mid-line; keep reading.
+  }
+}
+
+}  // namespace adr::util

@@ -1,0 +1,52 @@
+#pragma once
+// Line-oriented gzip file IO (zlib).
+//
+// Spider II metadata snapshots are "a series of gzipped text files" (§4.5);
+// the snapshot reader/writer uses these wrappers whenever a path ends in
+// ".gz" so trace bundles can be stored the way the paper's dataset was.
+
+#include <optional>
+#include <string>
+
+namespace adr::util {
+
+/// True if the path names a gzip file by extension.
+bool has_gz_suffix(const std::string& path);
+
+/// Writes lines to a gzip-compressed file. Throws std::runtime_error on
+/// open/write failure. Flushes and closes on destruction.
+class GzWriter {
+ public:
+  explicit GzWriter(const std::string& path);
+  ~GzWriter();
+  GzWriter(const GzWriter&) = delete;
+  GzWriter& operator=(const GzWriter&) = delete;
+
+  /// Write one line (a '\n' is appended).
+  void write_line(const std::string& line);
+
+  void close();
+
+ private:
+  void* file_ = nullptr;  // gzFile, kept opaque to avoid leaking <zlib.h>
+  std::string path_;
+};
+
+/// Reads lines from a gzip-compressed file. Also accepts uncompressed input
+/// (zlib transparently passes it through).
+class GzReader {
+ public:
+  explicit GzReader(const std::string& path);
+  ~GzReader();
+  GzReader(const GzReader&) = delete;
+  GzReader& operator=(const GzReader&) = delete;
+
+  /// Next line without its trailing newline; nullopt at EOF.
+  std::optional<std::string> next_line();
+
+ private:
+  void* file_ = nullptr;
+  std::string path_;
+};
+
+}  // namespace adr::util

@@ -1,0 +1,58 @@
+#include "util/logging.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+
+#include "util/time.hpp"
+
+namespace adr::util {
+
+namespace {
+
+std::atomic<LogLevel> g_level{[] {
+  const char* env = std::getenv("ACTIVEDR_LOG");
+  return env ? parse_log_level(env) : LogLevel::kWarn;
+}()};
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+std::mutex g_sink_mutex;
+
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level.store(level); }
+
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
+
+LogLevel parse_log_level(const std::string& s) {
+  std::string lower;
+  lower.reserve(s.size());
+  for (char c : s) lower.push_back(static_cast<char>(std::tolower(c)));
+  if (lower == "trace") return LogLevel::kTrace;
+  if (lower == "debug") return LogLevel::kDebug;
+  if (lower == "info") return LogLevel::kInfo;
+  if (lower == "warn" || lower == "warning") return LogLevel::kWarn;
+  if (lower == "error") return LogLevel::kError;
+  if (lower == "off" || lower == "none") return LogLevel::kOff;
+  return LogLevel::kInfo;
+}
+
+void log_message(LogLevel level, const std::string& msg) {
+  if (level < log_level()) return;
+  std::lock_guard<std::mutex> lock(g_sink_mutex);
+  std::fprintf(stderr, "[%s] %s\n", level_name(level), msg.c_str());
+}
+
+}  // namespace adr::util

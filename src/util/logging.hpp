@@ -1,0 +1,58 @@
+#pragma once
+// Minimal leveled logger.
+//
+// The retention pipeline reports progress (scan phases, retrospective passes,
+// purge-target status) through this logger; benches and tests keep it at
+// `warn` so their stdout stays machine-comparable. Level comes from
+// set_level() or the ACTIVEDR_LOG environment variable
+// (trace|debug|info|warn|error|off).
+
+#include <sstream>
+#include <string>
+
+namespace adr::util {
+
+enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+/// Global threshold; messages below it are dropped.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Parse "debug", "INFO", ... ; returns kInfo for unknown strings.
+LogLevel parse_log_level(const std::string& s);
+
+/// Sink a formatted message (thread-safe, writes to stderr).
+void log_message(LogLevel level, const std::string& msg);
+
+namespace detail {
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { log_message(level_, stream_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+}  // namespace adr::util
+
+#define ADR_LOG_AT(lvl)                       \
+  if (::adr::util::log_level() > (lvl)) {     \
+  } else                                      \
+    ::adr::util::detail::LogLine(lvl)
+
+#define ADR_TRACE ADR_LOG_AT(::adr::util::LogLevel::kTrace)
+#define ADR_DEBUG ADR_LOG_AT(::adr::util::LogLevel::kDebug)
+#define ADR_INFO ADR_LOG_AT(::adr::util::LogLevel::kInfo)
+#define ADR_WARN ADR_LOG_AT(::adr::util::LogLevel::kWarn)
+#define ADR_ERROR ADR_LOG_AT(::adr::util::LogLevel::kError)

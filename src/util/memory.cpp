@@ -1,0 +1,31 @@
+#include "util/memory.hpp"
+
+#include <cstdio>
+#include <cstring>
+
+namespace adr::util {
+
+namespace {
+
+std::uint64_t read_status_kb(const char* key) {
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (!f) return 0;
+  char line[256];
+  std::uint64_t kb = 0;
+  const std::size_t key_len = std::strlen(key);
+  while (std::fgets(line, sizeof(line), f)) {
+    if (std::strncmp(line, key, key_len) == 0) {
+      std::sscanf(line + key_len, ": %lu", &kb);
+      break;
+    }
+  }
+  std::fclose(f);
+  return kb * 1024;
+}
+
+}  // namespace
+
+std::uint64_t current_rss_bytes() { return read_status_kb("VmRSS"); }
+std::uint64_t peak_rss_bytes() { return read_status_kb("VmHWM"); }
+
+}  // namespace adr::util

@@ -1,0 +1,30 @@
+#pragma once
+// Process memory probes for the Fig. 12a reproduction (trace-loading memory
+// footprint). Linux-specific: reads /proc/self/status. Returns 0 where the
+// proc filesystem is unavailable so callers degrade gracefully.
+
+#include <cstdint>
+
+namespace adr::util {
+
+/// Current resident set size in bytes (VmRSS).
+std::uint64_t current_rss_bytes();
+
+/// Peak resident set size in bytes (VmHWM).
+std::uint64_t peak_rss_bytes();
+
+/// RAII delta probe: bytes of RSS growth across a scope.
+class RssDelta {
+ public:
+  RssDelta() : start_(current_rss_bytes()) {}
+  /// May be "negative" growth; clamped at 0.
+  std::uint64_t bytes() const {
+    const std::uint64_t now = current_rss_bytes();
+    return now > start_ ? now - start_ : 0;
+  }
+
+ private:
+  std::uint64_t start_;
+};
+
+}  // namespace adr::util

@@ -1,0 +1,27 @@
+#include "util/rng.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace adr::util {
+
+ZipfDistribution::ZipfDistribution(std::size_t n, double s) : n_(n), s_(s) {
+  if (n == 0) throw std::invalid_argument("ZipfDistribution: n must be >= 1");
+  cdf_.resize(n);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    acc += 1.0 / std::pow(static_cast<double>(i + 1), s);
+    cdf_[i] = acc;
+  }
+  const double norm = 1.0 / acc;
+  for (double& c : cdf_) c *= norm;
+  cdf_.back() = 1.0;  // guard against rounding
+}
+
+std::size_t ZipfDistribution::operator()(Rng& rng) const {
+  const double u = rng.uniform();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<std::size_t>(it - cdf_.begin()) + 1;
+}
+
+}  // namespace adr::util

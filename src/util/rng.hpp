@@ -1,0 +1,186 @@
+#pragma once
+// Deterministic random number generation for trace synthesis.
+//
+// Everything in the synthetic-workload pipeline must be reproducible from a
+// single seed, so we ship our own engine (xoshiro256**) instead of relying on
+// std::default_random_engine, whose sequence is implementation-defined, and
+// implement the distributions the Titan model needs (Zipf for core counts and
+// file popularity, lognormal for durations and file sizes, Pareto for
+// citation counts, Poisson/exponential for arrivals).
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace adr::util {
+
+/// SplitMix64 — used to expand a user seed into xoshiro state.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** 1.0 (Blackman & Vigna) — fast, high-quality, seedable.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x5EEDF00DCAFEBABEULL) { reseed(seed); }
+
+  void reseed(std::uint64_t seed) {
+    std::uint64_t sm = seed;
+    for (auto& s : state_) s = splitmix64(sm);
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Derive an independent child stream (used to give each synthetic user
+  /// its own generator so per-user output is stable under reordering).
+  Rng fork(std::uint64_t salt) {
+    std::uint64_t s = (*this)() ^ (salt * 0x9E3779B97F4A7C15ULL);
+    return Rng(splitmix64(s));
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(bounded(span));
+  }
+
+  /// Uniform integer in [0, n) with Lemire's bounded rejection method.
+  std::uint64_t bounded(std::uint64_t n) {
+    if (n == 0) return (*this)();
+    std::uint64_t x = (*this)();
+    __uint128_t m = static_cast<__uint128_t>(x) * n;
+    std::uint64_t l = static_cast<std::uint64_t>(m);
+    if (l < n) {
+      const std::uint64_t t = -n % n;
+      while (l < t) {
+        x = (*this)();
+        m = static_cast<__uint128_t>(x) * n;
+        l = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  bool bernoulli(double p) { return uniform() < p; }
+
+  /// Standard normal via Marsaglia polar method.
+  double normal() {
+    if (have_spare_) {
+      have_spare_ = false;
+      return spare_;
+    }
+    double u, v, s;
+    do {
+      u = uniform(-1.0, 1.0);
+      v = uniform(-1.0, 1.0);
+      s = u * u + v * v;
+    } while (s >= 1.0 || s == 0.0);
+    const double mul = std::sqrt(-2.0 * std::log(s) / s);
+    spare_ = v * mul;
+    have_spare_ = true;
+    return u * mul;
+  }
+
+  double normal(double mean, double stddev) { return mean + stddev * normal(); }
+
+  /// Lognormal with parameters of the underlying normal.
+  double lognormal(double mu, double sigma) {
+    return std::exp(normal(mu, sigma));
+  }
+
+  /// Exponential with the given rate (mean 1/rate).
+  double exponential(double rate) {
+    double u;
+    do {
+      u = uniform();
+    } while (u <= 0.0);
+    return -std::log(u) / rate;
+  }
+
+  /// Pareto (type I): support [xm, inf), shape alpha.
+  double pareto(double xm, double alpha) {
+    double u;
+    do {
+      u = uniform();
+    } while (u <= 0.0);
+    return xm / std::pow(u, 1.0 / alpha);
+  }
+
+  /// Poisson; inversion for small means, normal approximation for large.
+  std::int64_t poisson(double mean) {
+    if (mean <= 0.0) return 0;
+    if (mean < 30.0) {
+      const double l = std::exp(-mean);
+      std::int64_t k = 0;
+      double p = 1.0;
+      do {
+        ++k;
+        p *= uniform();
+      } while (p > l);
+      return k - 1;
+    }
+    const double v = normal(mean, std::sqrt(mean));
+    return v < 0.0 ? 0 : static_cast<std::int64_t>(v + 0.5);
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+  bool have_spare_ = false;
+  double spare_ = 0.0;
+};
+
+/// Zipf-distributed integers in [1, n] with exponent s, sampled in O(1) after
+/// O(n) table construction (inverse-CDF with binary search). Suitable for the
+/// popularity skews the Titan model uses (n up to a few million).
+class ZipfDistribution {
+ public:
+  ZipfDistribution(std::size_t n, double s);
+
+  /// Sample a rank in [1, n]; rank 1 is the most popular.
+  std::size_t operator()(Rng& rng) const;
+
+  std::size_t n() const { return n_; }
+  double s() const { return s_; }
+
+ private:
+  std::size_t n_;
+  double s_;
+  std::vector<double> cdf_;  // cdf_[i] = P(X <= i+1)
+};
+
+}  // namespace adr::util

@@ -1,0 +1,140 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <utility>
+
+namespace adr::util {
+
+void OnlineStats::add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+void OnlineStats::merge(const OnlineStats& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double n1 = static_cast<double>(count_);
+  const double n2 = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double n = n1 + n2;
+  mean_ += delta * n2 / n;
+  m2_ += other.m2_ + delta * delta * n1 * n2 / n;
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double OnlineStats::variance() const {
+  return count_ ? m2_ / static_cast<double>(count_) : 0.0;
+}
+
+double OnlineStats::stddev() const { return std::sqrt(variance()); }
+
+double OnlineStats::min() const { return count_ ? min_ : 0.0; }
+double OnlineStats::max() const { return count_ ? max_ : 0.0; }
+
+double quantile(std::vector<double> sample, double q) {
+  if (sample.empty()) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  std::sort(sample.begin(), sample.end());
+  const double pos = q * static_cast<double>(sample.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const double frac = pos - static_cast<double>(lo);
+  if (lo + 1 >= sample.size()) return sample.back();
+  return sample[lo] + frac * (sample[lo + 1] - sample[lo]);
+}
+
+FiveNumberSummary five_number_summary(const std::vector<double>& sample) {
+  FiveNumberSummary s;
+  s.count = sample.size();
+  if (sample.empty()) return s;
+  std::vector<double> sorted = sample;
+  std::sort(sorted.begin(), sorted.end());
+  auto at = [&](double q) {
+    const double pos = q * static_cast<double>(sorted.size() - 1);
+    const std::size_t lo = static_cast<std::size_t>(pos);
+    const double frac = pos - static_cast<double>(lo);
+    if (lo + 1 >= sorted.size()) return sorted.back();
+    return sorted[lo] + frac * (sorted[lo + 1] - sorted[lo]);
+  };
+  s.min = sorted.front();
+  s.q1 = at(0.25);
+  s.median = at(0.5);
+  s.q3 = at(0.75);
+  s.max = sorted.back();
+  OnlineStats os;
+  for (double x : sorted) os.add(x);
+  s.mean = os.mean();
+  return s;
+}
+
+void RangeHistogram::add_bin(std::string label, double lo, double hi) {
+  bins_.push_back(Bin{std::move(label), lo, hi, 0});
+}
+
+void RangeHistogram::add(double value) {
+  ++total_;
+  if (!bins_.empty() && value <= bins_.front().lo) {
+    ++underflow_;
+    return;
+  }
+  for (auto& bin : bins_) {
+    if (value > bin.lo && value <= bin.hi) {
+      ++bin.count;
+      return;
+    }
+  }
+  ++overflow_;
+}
+
+RangeHistogram RangeHistogram::paper_miss_ratio_bins() {
+  RangeHistogram h;
+  h.add_bin("1%-5%", 0.01, 0.05);
+  h.add_bin("5%-10%", 0.05, 0.10);
+  h.add_bin("10%-20%", 0.10, 0.20);
+  h.add_bin("20%-30%", 0.20, 0.30);
+  h.add_bin("30%-40%", 0.30, 0.40);
+  h.add_bin("40%-50%", 0.40, 0.50);
+  h.add_bin("50%-60%", 0.50, 0.60);
+  h.add_bin("60%-70%", 0.60, 0.70);
+  h.add_bin("70%-80%", 0.70, 0.80);
+  h.add_bin("80%-90%", 0.80, 0.90);
+  h.add_bin("90%-100%", 0.90, 1.00);
+  return h;
+}
+
+std::string format_bytes(double bytes) {
+  static const char* units[] = {"B", "KiB", "MiB", "GiB", "TiB", "PiB"};
+  int u = 0;
+  double v = bytes;
+  while (std::fabs(v) >= 1024.0 && u < 5) {
+    v /= 1024.0;
+    ++u;
+  }
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.2f %s", v, units[u]);
+  return buf;
+}
+
+std::string format_percent(double fraction, int decimals) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.*f%%", decimals, fraction * 100.0);
+  return buf;
+}
+
+}  // namespace adr::util

@@ -1,0 +1,91 @@
+#pragma once
+// Descriptive statistics used by the experiment harnesses: online moments,
+// quantiles / five-number summaries (Fig. 8's box plots), and labelled
+// histograms (the paper's miss-ratio-range bars in Figs. 1 and 6).
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace adr::util {
+
+/// Welford online accumulator: count / mean / variance / min / max / sum.
+class OnlineStats {
+ public:
+  void add(double x);
+  void merge(const OnlineStats& other);
+
+  std::size_t count() const { return count_; }
+  double mean() const { return count_ ? mean_ : 0.0; }
+  double sum() const { return sum_; }
+  double variance() const;  ///< population variance
+  double stddev() const;
+  double min() const;  ///< 0 when empty
+  double max() const;  ///< 0 when empty
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Linear-interpolated quantile of an unsorted sample (q in [0,1]).
+/// Returns 0 for an empty sample.
+double quantile(std::vector<double> sample, double q);
+
+/// The box-plot statistics reported per user group in Fig. 8.
+struct FiveNumberSummary {
+  double min = 0.0;
+  double q1 = 0.0;
+  double median = 0.0;
+  double q3 = 0.0;
+  double max = 0.0;
+  double mean = 0.0;  ///< the paper's "green triangle"
+  std::size_t count = 0;
+};
+
+FiveNumberSummary five_number_summary(const std::vector<double>& sample);
+
+/// Histogram over explicit right-closed bins (lo, hi]; values outside all
+/// bins are counted separately. Bin labels are caller-provided so the bench
+/// output can match the paper's axis labels exactly ("1%-5%", "5%-10%", ...).
+class RangeHistogram {
+ public:
+  struct Bin {
+    std::string label;
+    double lo;  ///< exclusive
+    double hi;  ///< inclusive
+    std::size_t count = 0;
+  };
+
+  void add_bin(std::string label, double lo, double hi);
+  void add(double value);
+
+  const std::vector<Bin>& bins() const { return bins_; }
+  std::size_t underflow() const { return underflow_; }
+  std::size_t overflow() const { return overflow_; }
+  std::size_t total() const { return total_; }
+
+  /// The paper's Fig. 1/6 bucketing of daily miss ratios:
+  /// 1%-5%, 5%-10%, 10%-20%, ..., 90%-100%.
+  static RangeHistogram paper_miss_ratio_bins();
+
+ private:
+  std::vector<Bin> bins_;
+  std::size_t underflow_ = 0;
+  std::size_t overflow_ = 0;
+  std::size_t total_ = 0;
+};
+
+/// Pretty-print byte counts the way the paper's figures do (PB for Fig. 9/10,
+/// MiB for Fig. 12a).
+std::string format_bytes(double bytes);
+
+/// Fraction -> "12.34%".
+std::string format_percent(double fraction, int decimals = 2);
+
+}  // namespace adr::util

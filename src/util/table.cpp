@@ -1,0 +1,99 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdint>
+#include <cstdio>
+#include <ostream>
+
+namespace adr::util {
+
+Table::Table(std::string title) : title_(std::move(title)) {}
+
+Table& Table::set_headers(std::vector<std::string> headers) {
+  headers_ = std::move(headers);
+  return *this;
+}
+
+Table& Table::add_row(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+  return *this;
+}
+
+namespace {
+
+bool looks_numeric(const std::string& s) {
+  if (s.empty()) return false;
+  bool digit = false;
+  for (char c : s) {
+    if (std::isdigit(static_cast<unsigned char>(c))) digit = true;
+    else if (c != '.' && c != '-' && c != '+' && c != '%' && c != ',' &&
+             c != 'e' && c != 'E')
+      return false;
+  }
+  return digit;
+}
+
+}  // namespace
+
+void Table::print(std::ostream& out) const {
+  std::size_t cols = headers_.size();
+  for (const auto& r : rows_) cols = std::max(cols, r.size());
+  if (cols == 0) return;
+
+  std::vector<std::size_t> width(cols, 0);
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    width[c] = std::max(width[c], headers_[c].size());
+  for (const auto& r : rows_)
+    for (std::size_t c = 0; c < r.size(); ++c)
+      width[c] = std::max(width[c], r[c].size());
+
+  auto rule = [&] {
+    out << '+';
+    for (std::size_t c = 0; c < cols; ++c)
+      out << std::string(width[c] + 2, '-') << '+';
+    out << '\n';
+  };
+  auto emit = [&](const std::vector<std::string>& cells, bool align_numeric) {
+    out << '|';
+    for (std::size_t c = 0; c < cols; ++c) {
+      const std::string& cell = c < cells.size() ? cells[c] : std::string{};
+      const std::size_t pad = width[c] - cell.size();
+      const bool right = align_numeric && looks_numeric(cell);
+      out << ' ';
+      if (right) out << std::string(pad, ' ') << cell;
+      else out << cell << std::string(pad, ' ');
+      out << " |";
+    }
+    out << '\n';
+  };
+
+  if (!title_.empty()) out << "== " << title_ << " ==\n";
+  rule();
+  if (!headers_.empty()) {
+    emit(headers_, false);
+    rule();
+  }
+  for (const auto& r : rows_) emit(r, true);
+  rule();
+}
+
+std::string fmt_double(double v, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+  return buf;
+}
+
+std::string fmt_int(std::int64_t v) {
+  const bool neg = v < 0;
+  std::string digits = std::to_string(neg ? -v : v);
+  std::string out;
+  const std::size_t n = digits.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i > 0 && (n - i) % 3 == 0) out.push_back(',');
+    out.push_back(digits[i]);
+  }
+  return neg ? "-" + out : out;
+}
+
+}  // namespace adr::util

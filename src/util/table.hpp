@@ -1,0 +1,34 @@
+#pragma once
+// Console table rendering for the bench harnesses. Every bench prints the
+// same rows the paper's tables/figures report; this keeps the formatting in
+// one place so `bench_output.txt` is diffable across runs.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace adr::util {
+
+class Table {
+ public:
+  explicit Table(std::string title = "");
+
+  Table& set_headers(std::vector<std::string> headers);
+  Table& add_row(std::vector<std::string> cells);
+
+  /// Aligned, boxed, written to `out`. Numeric-looking cells right-align.
+  void print(std::ostream& out) const;
+
+  std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::string title_;
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// printf-style helpers used throughout the benches.
+std::string fmt_double(double v, int decimals = 3);
+std::string fmt_int(std::int64_t v);  ///< thousands separators: 1,234,567
+
+}  // namespace adr::util

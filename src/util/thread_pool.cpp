@@ -1,0 +1,101 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <exception>
+
+namespace adr::util {
+
+ThreadPool::ThreadPool(std::size_t n) {
+  if (n == 0) {
+    n = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  // The calling thread participates in parallel_for, so spawn n-1 workers.
+  workers_.reserve(n > 0 ? n - 1 : 0);
+  for (std::size_t i = 1; i < n; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (stop_ && queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop();
+    }
+    task();
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
+                              const std::function<void(std::size_t)>& fn,
+                              std::size_t grain) {
+  if (begin >= end) return;
+  const std::size_t n = end - begin;
+  const std::size_t parties = workers_.size() + 1;
+  if (grain == 0) {
+    grain = std::max<std::size_t>(1, n / (parties * 8));
+  }
+
+  auto cursor = std::make_shared<std::atomic<std::size_t>>(begin);
+  auto first_error = std::make_shared<std::atomic<bool>>(false);
+  auto error = std::make_shared<std::exception_ptr>();
+  auto error_mutex = std::make_shared<std::mutex>();
+
+  auto drain = [=] {
+    for (;;) {
+      const std::size_t lo = cursor->fetch_add(grain);
+      if (lo >= end) return;
+      const std::size_t hi = std::min(end, lo + grain);
+      try {
+        for (std::size_t i = lo; i < hi; ++i) fn(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(*error_mutex);
+        if (!first_error->exchange(true)) *error = std::current_exception();
+        cursor->store(end);  // abort remaining chunks
+        return;
+      }
+    }
+  };
+
+  std::vector<std::future<void>> futs;
+  futs.reserve(workers_.size());
+  for (std::size_t i = 0; i < workers_.size(); ++i) futs.push_back(submit(drain));
+  drain();  // caller participates
+  for (auto& f : futs) f.get();
+
+  if (first_error->load()) std::rethrow_exception(*error);
+}
+
+void ThreadPool::parallel_shards(
+    const std::function<void(std::size_t, std::size_t)>& fn) {
+  const std::size_t shards = workers_.size() + 1;
+  parallel_for(0, shards, [&](std::size_t i) { fn(i, shards); },
+               /*grain=*/1);
+}
+
+ThreadPool& global_pool() {
+  static ThreadPool pool([] {
+    if (const char* env = std::getenv("ACTIVEDR_THREADS")) {
+      const long v = std::strtol(env, nullptr, 10);
+      if (v > 0) return static_cast<std::size_t>(v);
+    }
+    return std::size_t{0};
+  }());
+  return pool;
+}
+
+}  // namespace adr::util

@@ -1,0 +1,71 @@
+#pragma once
+// Fixed-size worker pool with a blocking parallel_for.
+//
+// ActiveDR's scan phase is data-parallel over disjoint user directories (the
+// paper partitions by MPI rank; we partition the same way over threads).
+// Workers pull contiguous index chunks from a shared atomic cursor, so uneven
+// per-user costs (Fig. 12d) self-balance.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace adr::util {
+
+class ThreadPool {
+ public:
+  /// n = 0 means hardware_concurrency (at least 1).
+  explicit ThreadPool(std::size_t n = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Enqueue an arbitrary task.
+  template <typename F>
+  std::future<std::invoke_result_t<F>> submit(F&& fn) {
+    using R = std::invoke_result_t<F>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> fut = task->get_future();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      queue_.emplace([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return fut;
+  }
+
+  /// Run fn(i) for every i in [begin, end), blocking until done.
+  /// `grain` controls the chunk size workers claim at a time (0 = auto).
+  /// The calling thread participates, so the pool also works with size() == 1
+  /// on single-core machines. Exceptions from fn are rethrown (first one).
+  void parallel_for(std::size_t begin, std::size_t end,
+                    const std::function<void(std::size_t)>& fn,
+                    std::size_t grain = 0);
+
+  /// Run fn(shard_index, shard_count) on every worker plus the caller —
+  /// the MPI-rank-style decomposition used by the snapshot scanner.
+  void parallel_shards(const std::function<void(std::size_t, std::size_t)>& fn);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+/// Process-wide pool sized from ACTIVEDR_THREADS (default: hardware).
+ThreadPool& global_pool();
+
+}  // namespace adr::util

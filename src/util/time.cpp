@@ -1,0 +1,109 @@
+#include "util/time.hpp"
+
+#include <cstdio>
+
+namespace adr::util {
+
+std::int64_t days_from_civil(int y, int m, int d) {
+  // Howard Hinnant, "chrono-Compatible Low-Level Date Algorithms".
+  y -= m <= 2;
+  const std::int64_t era = (y >= 0 ? y : y - 399) / 400;
+  const unsigned yoe = static_cast<unsigned>(y - era * 400);              // [0, 399]
+  const unsigned doy =
+      static_cast<unsigned>((153 * (m + (m > 2 ? -3 : 9)) + 2) / 5 + d - 1);  // [0, 365]
+  const unsigned doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;             // [0, 146096]
+  return era * 146097 + static_cast<std::int64_t>(doe) - 719468;
+}
+
+CivilDate civil_from_days(std::int64_t z) {
+  z += 719468;
+  const std::int64_t era = (z >= 0 ? z : z - 146096) / 146097;
+  const unsigned doe = static_cast<unsigned>(z - era * 146097);            // [0, 146096]
+  const unsigned yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;  // [0, 399]
+  const std::int64_t y = static_cast<std::int64_t>(yoe) + era * 400;
+  const unsigned doy = doe - (365 * yoe + yoe / 4 - yoe / 100);            // [0, 365]
+  const unsigned mp = (5 * doy + 2) / 153;                                 // [0, 11]
+  const unsigned d = doy - (153 * mp + 2) / 5 + 1;                         // [1, 31]
+  const unsigned m = mp < 10 ? mp + 3 : mp - 9;                            // [1, 12]
+  return CivilDate{static_cast<int>(y + (m <= 2)), static_cast<int>(m),
+                   static_cast<int>(d)};
+}
+
+TimePoint from_civil(int year, int month, int day) {
+  return days_from_civil(year, month, day) * kSecondsPerDay;
+}
+
+CivilDate to_civil(TimePoint tp) {
+  return civil_from_days(floor_to_day(tp) / kSecondsPerDay);
+}
+
+bool is_leap_year(int year) {
+  return (year % 4 == 0 && year % 100 != 0) || year % 400 == 0;
+}
+
+int days_in_year(int year) { return is_leap_year(year) ? 366 : 365; }
+
+int day_of_year(TimePoint tp) {
+  const CivilDate c = to_civil(tp);
+  return static_cast<int>(floor_to_day(tp) / kSecondsPerDay -
+                          days_from_civil(c.year, 1, 1)) +
+         1;
+}
+
+std::string format_date(TimePoint tp) {
+  const CivilDate c = to_civil(tp);
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02d", c.year, c.month, c.day);
+  return buf;
+}
+
+std::string format_datetime(TimePoint tp) {
+  const CivilDate c = to_civil(tp);
+  const TimePoint sod = tp - floor_to_day(tp);
+  char buf[72];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02d %02ld:%02ld:%02ld", c.year,
+                c.month, c.day, static_cast<long>(sod / kSecondsPerHour),
+                static_cast<long>((sod / kSecondsPerMinute) % 60),
+                static_cast<long>(sod % 60));
+  return buf;
+}
+
+std::string format_month(TimePoint tp) {
+  const CivilDate c = to_civil(tp);
+  char buf[12];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d", c.year, c.month);
+  return buf;
+}
+
+bool parse_date(const std::string& s, TimePoint& out) {
+  int y = 0, m = 0, d = 0;
+  char trailing = 0;
+  if (std::sscanf(s.c_str(), "%d-%d-%d%c", &y, &m, &d, &trailing) != 3) return false;
+  if (m < 1 || m > 12 || d < 1 || d > 31) return false;
+  // Round-trip check rejects out-of-range days such as Feb 30.
+  const TimePoint tp = from_civil(y, m, d);
+  const CivilDate back = to_civil(tp);
+  if (back.year != y || back.month != m || back.day != d) return false;
+  out = tp;
+  return true;
+}
+
+std::string format_duration_seconds(double seconds) {
+  char buf[64];
+  if (seconds < 0) seconds = 0;
+  if (seconds < 1.0) {
+    std::snprintf(buf, sizeof(buf), "%.0fms", seconds * 1000.0);
+  } else if (seconds < 60.0) {
+    std::snprintf(buf, sizeof(buf), "%.1fs", seconds);
+  } else if (seconds < 3600.0) {
+    std::snprintf(buf, sizeof(buf), "%dm %02ds", static_cast<int>(seconds) / 60,
+                  static_cast<int>(seconds) % 60);
+  } else {
+    const int s = static_cast<int>(seconds);
+    std::snprintf(buf, sizeof(buf), "%dh %02dm %02ds", s / 3600, (s / 60) % 60,
+                  s % 60);
+  }
+  return buf;
+}
+
+}  // namespace adr::util

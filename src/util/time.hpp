@@ -1,0 +1,90 @@
+#pragma once
+// Calendar and timestamp utilities.
+//
+// All trace timestamps in ActiveDR are plain UTC epoch seconds (int64).
+// The retention algorithms only ever need differences and day-granularity
+// bucketing, so we avoid <chrono> time zones entirely and provide the small
+// set of civil-date conversions the simulator and report printers need.
+
+#include <cstdint>
+#include <string>
+
+namespace adr::util {
+
+/// Seconds since the UNIX epoch, UTC.
+using TimePoint = std::int64_t;
+/// Difference of two TimePoints, in seconds.
+using Duration = std::int64_t;
+
+inline constexpr Duration kSecondsPerMinute = 60;
+inline constexpr Duration kSecondsPerHour = 3600;
+inline constexpr Duration kSecondsPerDay = 86400;
+inline constexpr Duration kSecondsPerWeek = 7 * kSecondsPerDay;
+
+/// Whole days -> seconds.
+constexpr Duration days(std::int64_t d) { return d * kSecondsPerDay; }
+/// Whole hours -> seconds.
+constexpr Duration hours(std::int64_t h) { return h * kSecondsPerHour; }
+
+/// A Gregorian calendar date.
+struct CivilDate {
+  int year = 1970;
+  int month = 1;  ///< 1..12
+  int day = 1;    ///< 1..31
+
+  friend bool operator==(const CivilDate&, const CivilDate&) = default;
+};
+
+/// Days since the epoch for a civil date (Howard Hinnant's algorithm).
+std::int64_t days_from_civil(int year, int month, int day);
+
+/// Inverse of days_from_civil.
+CivilDate civil_from_days(std::int64_t days_since_epoch);
+
+/// Midnight UTC of the given civil date.
+TimePoint from_civil(int year, int month, int day);
+
+/// Civil date containing the given time point.
+CivilDate to_civil(TimePoint tp);
+
+/// True for Gregorian leap years.
+bool is_leap_year(int year);
+
+/// Number of days in the given civil year (365 or 366).
+int days_in_year(int year);
+
+/// 1-based ordinal day within its year (Jan 1 -> 1).
+int day_of_year(TimePoint tp);
+
+/// "YYYY-MM-DD".
+std::string format_date(TimePoint tp);
+
+/// "YYYY-MM-DD hh:mm:ss" (UTC).
+std::string format_datetime(TimePoint tp);
+
+/// "YYYY-MM" — the month-bucket label used by the paper's Fig. 7 x-axis.
+std::string format_month(TimePoint tp);
+
+/// Parse "YYYY-MM-DD" (strict); returns false on malformed input.
+bool parse_date(const std::string& s, TimePoint& out);
+
+/// Floor tp to midnight UTC.
+constexpr TimePoint floor_to_day(TimePoint tp) {
+  // Handles negative tp correctly (floor, not trunc).
+  const TimePoint q = tp / kSecondsPerDay;
+  const TimePoint r = tp % kSecondsPerDay;
+  return (r < 0 ? q - 1 : q) * kSecondsPerDay;
+}
+
+/// Number of whole-or-partial days between two time points, ceil((b-a)/day).
+/// Used by the activeness evaluator's period math (Eq. 1/4).
+constexpr std::int64_t ceil_days_between(TimePoint a, TimePoint b) {
+  const Duration diff = b - a;
+  if (diff <= 0) return 0;
+  return (diff + kSecondsPerDay - 1) / kSecondsPerDay;
+}
+
+/// Human-readable duration, e.g. "1h 02m 03s", "45s", "730ms".
+std::string format_duration_seconds(double seconds);
+
+}  // namespace adr::util

@@ -1,0 +1,122 @@
+#include "activeness/activity.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+namespace adr::activeness {
+namespace {
+
+TEST(ActivityCatalog, RegistersAndQueries) {
+  ActivityCatalog cat;
+  const auto job = cat.add({"job", ActivityCategory::kOperation, 1.0});
+  const auto xfer = cat.add({"transfer", ActivityCategory::kOperation, 0.5});
+  const auto pub = cat.add({"pub", ActivityCategory::kOutcome, 2.0});
+  EXPECT_EQ(cat.size(), 3u);
+  EXPECT_EQ(cat.spec(job).name, "job");
+  EXPECT_EQ(cat.spec(pub).weight, 2.0);
+  EXPECT_EQ(cat.types_in(ActivityCategory::kOperation),
+            (std::vector<ActivityTypeId>{job, xfer}));
+  EXPECT_EQ(cat.types_in(ActivityCategory::kOutcome),
+            (std::vector<ActivityTypeId>{pub}));
+  EXPECT_THROW(cat.spec(99), std::out_of_range);
+}
+
+TEST(ActivityCatalog, PaperDefault) {
+  const auto cat = ActivityCatalog::paper_default();
+  ASSERT_EQ(cat.size(), 2u);
+  EXPECT_EQ(cat.spec(0).category, ActivityCategory::kOperation);
+  EXPECT_EQ(cat.spec(1).category, ActivityCategory::kOutcome);
+}
+
+TEST(ActivityStore, AddAndStream) {
+  ActivityStore store(3, 2);
+  store.add(1, 0, {100, 5.0});
+  store.add(1, 0, {50, 3.0});
+  store.add(2, 1, {70, 1.0});
+  EXPECT_EQ(store.total_activities(), 3u);
+  EXPECT_EQ(store.stream(1, 0).size(), 2u);
+  EXPECT_EQ(store.stream(0, 0).size(), 0u);
+  store.sort_all();
+  EXPECT_EQ(store.stream(1, 0)[0].timestamp, 50);
+  EXPECT_EQ(store.stream(1, 0)[1].timestamp, 100);
+}
+
+TEST(ActivityStore, BoundsChecked) {
+  ActivityStore store(2, 1);
+  EXPECT_THROW(store.add(2, 0, {0, 0}), std::out_of_range);
+  EXPECT_THROW(store.add(0, 1, {0, 0}), std::out_of_range);
+  EXPECT_THROW(store.stream(5, 0), std::out_of_range);
+}
+
+TEST(Ingest, JobsBecomeCoreHourActivities) {
+  trace::JobLog jobs;
+  trace::JobRecord j;
+  j.user = 1;
+  j.submit_time = 42;
+  j.duration_seconds = 7200;
+  j.cores = 10;  // 20 core-hours
+  jobs.add(j);
+  j.user = 99;  // out of range: skipped
+  jobs.add(j);
+
+  ActivityStore store(2, 1);
+  ingest_jobs(store, 0, 2.0, jobs);
+  ASSERT_EQ(store.stream(1, 0).size(), 1u);
+  EXPECT_EQ(store.stream(1, 0)[0].timestamp, 42);
+  EXPECT_DOUBLE_EQ(store.stream(1, 0)[0].impact, 40.0);  // weighted x2
+  EXPECT_EQ(store.total_activities(), 1u);
+}
+
+TEST(Ingest, PublicationsFanOutPerAuthor) {
+  trace::PublicationLog pubs;
+  trace::PublicationRecord p;
+  p.published = 7;
+  p.citations = 4;     // phi = 5
+  p.authors = {0, 1};  // theta: 2 for lead, 1 for second
+  pubs.add(p);
+
+  ActivityStore store(2, 1);
+  ingest_publications(store, 0, 1.0, pubs);
+  ASSERT_EQ(store.stream(0, 0).size(), 1u);
+  ASSERT_EQ(store.stream(1, 0).size(), 1u);
+  EXPECT_DOUBLE_EQ(store.stream(0, 0)[0].impact, 10.0);
+  EXPECT_DOUBLE_EQ(store.stream(1, 0)[0].impact, 5.0);
+}
+
+TEST(IngestCsv, RoundTripAndSkipUnknownUsers) {
+  const std::string path = ::testing::TempDir() + "/activities.csv";
+  save_activities_csv(path, {{0, {100, 2.5}},
+                             {1, {200, 1.0}},
+                             {99, {300, 9.0}}});  // user 99 out of range
+  ActivityStore store(2, 1);
+  const std::size_t n = ingest_activities_csv(store, 0, 2.0, path);
+  EXPECT_EQ(n, 2u);
+  ASSERT_EQ(store.stream(0, 0).size(), 1u);
+  EXPECT_EQ(store.stream(0, 0)[0].timestamp, 100);
+  EXPECT_DOUBLE_EQ(store.stream(0, 0)[0].impact, 5.0);  // weighted x2
+  EXPECT_EQ(store.stream(1, 0).size(), 1u);
+  std::remove(path.c_str());
+}
+
+TEST(IngestCsv, MalformedRowThrows) {
+  const std::string path = ::testing::TempDir() + "/bad_activities.csv";
+  {
+    std::ofstream out(path);
+    out << "user,timestamp,impact\n1,2\n";
+  }
+  ActivityStore store(2, 1);
+  EXPECT_THROW(ingest_activities_csv(store, 0, 1.0, path),
+               std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(IngestCsv, MissingFileThrows) {
+  ActivityStore store(1, 1);
+  EXPECT_THROW(ingest_activities_csv(store, 0, 1.0, "/nonexistent.csv"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace adr::activeness

@@ -1,0 +1,218 @@
+// Property-based tests of the activeness evaluation (Eqs. 1-6): invariances
+// and orderings that must hold for every period length and scheme.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "activeness/evaluator.hpp"
+#include "util/rng.hpp"
+
+namespace adr::activeness {
+namespace {
+
+constexpr util::TimePoint kT0 = 1'700'000'000;
+
+struct Case {
+  int period_days;
+  ExponentScheme scheme;
+};
+
+std::string case_name(const ::testing::TestParamInfo<Case>& info) {
+  const char* scheme = "";
+  switch (info.param.scheme) {
+    case ExponentScheme::kPaperExponent: scheme = "paper"; break;
+    case ExponentScheme::kUniform: scheme = "uniform"; break;
+    case ExponentScheme::kCappedLinear: scheme = "capped"; break;
+  }
+  return std::to_string(info.param.period_days) + "d_" + scheme;
+}
+
+class EvaluatorProperty : public ::testing::TestWithParam<Case> {
+ protected:
+  EvaluationParams params() const {
+    EvaluationParams p;
+    p.period_length_days = GetParam().period_days;
+    p.scheme = GetParam().scheme;
+    p.now = kT0;
+    return p;
+  }
+
+  /// A reproducible random activity stream spanning up to two years.
+  std::vector<Activity> random_stream(std::uint64_t seed, std::size_t n) {
+    util::Rng rng(seed);
+    std::vector<Activity> acts;
+    for (std::size_t i = 0; i < n; ++i) {
+      acts.push_back(Activity{
+          kT0 - static_cast<util::Duration>(rng.uniform(0, 730) * 86400),
+          rng.uniform(0.1, 100.0)});
+    }
+    std::sort(acts.begin(), acts.end(),
+              [](const Activity& a, const Activity& b) {
+                return a.timestamp < b.timestamp;
+              });
+    return acts;
+  }
+};
+
+TEST_P(EvaluatorProperty, ImpactScaleInvariance) {
+  // Eq. 3 normalizes per-period impact by the per-period average, so
+  // multiplying every impact by a constant must not change the rank. This
+  // also means per-type weights cancel out of Φλ entirely — documented in
+  // DESIGN.md.
+  for (std::uint64_t seed : {1u, 2u, 3u, 4u}) {
+    auto acts = random_stream(seed, 40);
+    const Rank base = evaluate_stream(acts, params());
+    for (auto& a : acts) a.impact *= 1000.0;
+    const Rank scaled = evaluate_stream(acts, params());
+    EXPECT_EQ(base.zero, scaled.zero);
+    if (!base.zero) {
+      EXPECT_NEAR(static_cast<double>(base.log_phi),
+                  static_cast<double>(scaled.log_phi), 1e-9);
+    }
+  }
+}
+
+TEST_P(EvaluatorProperty, TimeShiftInvariance) {
+  // Shifting all timestamps and t_c by the same delta preserves the rank.
+  for (std::uint64_t seed : {5u, 6u, 7u}) {
+    const auto acts = random_stream(seed, 30);
+    const Rank base = evaluate_stream(acts, params());
+
+    const util::Duration delta = util::days(123) + 4567;
+    std::vector<Activity> shifted = acts;
+    for (auto& a : shifted) a.timestamp += delta;
+    EvaluationParams p = params();
+    p.now += delta;
+    const Rank moved = evaluate_stream(shifted, p);
+
+    EXPECT_EQ(base.zero, moved.zero);
+    if (!base.zero) {
+      EXPECT_NEAR(static_cast<double>(base.log_phi),
+                  static_cast<double>(moved.log_phi), 1e-9);
+    }
+  }
+}
+
+TEST_P(EvaluatorProperty, WithinPeriodTimingIrrelevant) {
+  // Only the period an activity falls in matters, not where inside it.
+  const int d = GetParam().period_days;
+  std::vector<Activity> early, late;
+  for (int e = 0; e < 4; ++e) {
+    const double base_age = (3 - e) * d;
+    early.push_back(Activity{
+        kT0 - static_cast<util::Duration>((base_age + 0.9 * d) * 86400),
+        5.0 + e});
+    late.push_back(Activity{
+        kT0 - static_cast<util::Duration>((base_age + 0.1 * d) * 86400),
+        5.0 + e});
+  }
+  std::sort(early.begin(), early.end(),
+            [](const Activity& a, const Activity& b) {
+              return a.timestamp < b.timestamp;
+            });
+  std::sort(late.begin(), late.end(),
+            [](const Activity& a, const Activity& b) {
+              return a.timestamp < b.timestamp;
+            });
+  const Rank a = evaluate_stream(early, params());
+  const Rank b = evaluate_stream(late, params());
+  // Both span the same number of periods with the same per-period impact.
+  EXPECT_EQ(a.zero, b.zero);
+  if (!a.zero) {
+    EXPECT_NEAR(static_cast<double>(a.log_phi),
+                static_cast<double>(b.log_phi), 1e-9);
+  }
+}
+
+TEST_P(EvaluatorProperty, AscendingArrangementMaximizesPaperRank) {
+  // Rearrangement inequality: with the paper exponent, assigning the larger
+  // per-period impacts to the more recent periods maximizes log Φ over all
+  // permutations of the same impact multiset.
+  if (GetParam().scheme != ExponentScheme::kPaperExponent) {
+    GTEST_SKIP() << "arrangement only matters for recency-weighted schemes";
+  }
+  const int d = GetParam().period_days;
+  const std::vector<double> impacts{1.0, 3.0, 7.0, 20.0, 55.0};
+
+  auto rank_for = [&](const std::vector<double>& per_period) {
+    std::vector<Activity> acts;
+    const int m = static_cast<int>(per_period.size());
+    for (int e = 0; e < m; ++e) {
+      // One activity per period; the oldest sits deeper into its period so
+      // the span rounds up to exactly m periods (no bucket collisions).
+      const double age_days =
+          (m - 1 - e) * d + (e == 0 ? 0.7 : 0.5) * d;
+      acts.push_back(Activity{
+          kT0 - static_cast<util::Duration>(age_days * 86400),
+          per_period[static_cast<std::size_t>(e)]});
+    }
+    std::sort(acts.begin(), acts.end(),
+              [](const Activity& a, const Activity& b) {
+                return a.timestamp < b.timestamp;
+              });
+    return evaluate_stream(acts, params());
+  };
+
+  const Rank best = rank_for(impacts);  // ascending = recent-heavy
+  std::vector<double> perm = impacts;
+  std::sort(perm.begin(), perm.end());
+  int checked = 0;
+  do {
+    const Rank r = rank_for(perm);
+    ASSERT_FALSE(r.zero);
+    EXPECT_LE(r.log_phi, best.log_phi + 1e-9L);
+    ++checked;
+  } while (std::next_permutation(perm.begin(), perm.end()) && checked < 120);
+}
+
+TEST_P(EvaluatorProperty, EvaluateAllMatchesPerUser) {
+  const auto catalog = ActivityCatalog::paper_default();
+  ActivityStore store(40, catalog.size());
+  util::Rng rng(99);
+  for (trace::UserId u = 0; u < 40; ++u) {
+    const std::int64_t n = rng.uniform_int(0, 20);
+    for (std::int64_t i = 0; i < n; ++i) {
+      store.add(u, rng.bounded(2),
+                Activity{kT0 - static_cast<util::Duration>(
+                                   rng.uniform(0, 500) * 86400),
+                         rng.uniform(1.0, 50.0)});
+    }
+  }
+  store.sort_all();
+  const Evaluator ev(catalog, params());
+  const auto all = ev.evaluate_all(store);
+  for (trace::UserId u = 0; u < 40; ++u) {
+    const auto single = ev.evaluate_user(store, u);
+    EXPECT_EQ(all[u].op.zero, single.op.zero);
+    EXPECT_EQ(all[u].op.has_data, single.op.has_data);
+    EXPECT_EQ(static_cast<double>(all[u].op.log_phi),
+              static_cast<double>(single.op.log_phi));
+    EXPECT_EQ(all[u].last_activity, single.last_activity);
+  }
+}
+
+TEST_P(EvaluatorProperty, ActivityAtNowCountsAsNewest) {
+  // Boundary: an activity exactly at t_c lands in period m, not beyond it.
+  std::vector<Activity> acts{
+      Activity{kT0 - util::days(GetParam().period_days) - 10, 3.0},
+      Activity{kT0, 3.0},
+  };
+  const Rank r = evaluate_stream(acts, params());
+  EXPECT_TRUE(r.has_data);
+  EXPECT_FALSE(r.zero);  // both periods populated
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, EvaluatorProperty,
+    ::testing::Values(Case{7, ExponentScheme::kPaperExponent},
+                      Case{30, ExponentScheme::kPaperExponent},
+                      Case{90, ExponentScheme::kPaperExponent},
+                      Case{30, ExponentScheme::kUniform},
+                      Case{30, ExponentScheme::kCappedLinear},
+                      Case{90, ExponentScheme::kUniform}),
+    case_name);
+
+}  // namespace
+}  // namespace adr::activeness

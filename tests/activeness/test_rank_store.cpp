@@ -1,0 +1,82 @@
+#include "activeness/rank_store.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+namespace adr::activeness {
+namespace {
+
+UserActiveness ua(trace::UserId user, double op, double oc) {
+  UserActiveness u;
+  u.user = user;
+  u.op = Rank::from_value(op);
+  u.oc = Rank::from_value(oc);
+  return u;
+}
+
+TEST(RankStore, SetAndGet) {
+  RankStore store;
+  store.set(ua(3, 2.0, 0.5));
+  EXPECT_TRUE(store.contains(3));
+  EXPECT_FALSE(store.contains(1));
+  const auto got = store.get(3);
+  EXPECT_TRUE(got.op.active());
+  EXPECT_FALSE(got.oc.active());
+}
+
+TEST(RankStore, UnknownUserIsFresh) {
+  const RankStore store;
+  const auto got = store.get(42);
+  EXPECT_EQ(got.user, 42u);
+  EXPECT_TRUE(got.fresh());
+}
+
+TEST(RankStore, SetOverwrites) {
+  RankStore store;
+  store.set(ua(1, 0.5, 0.5));
+  store.set(ua(1, 2.0, 2.0));
+  EXPECT_EQ(store.size(), 1u);
+  EXPECT_TRUE(store.get(1).op.active());
+}
+
+TEST(RankStore, InvalidUserRejected) {
+  RankStore store;
+  UserActiveness bad;
+  EXPECT_THROW(store.set(bad), std::invalid_argument);
+}
+
+TEST(RankStore, GroupCounts) {
+  RankStore store({ua(0, 2, 2), ua(1, 2, 0.1), ua(2, 0.1, 2), ua(3, 0, 0),
+                   ua(4, 0, 0)});
+  const auto counts = store.group_counts();
+  EXPECT_EQ(counts[0], 1u);  // G1 both active
+  EXPECT_EQ(counts[1], 1u);  // G2 op only
+  EXPECT_EQ(counts[2], 1u);  // G3 oc only
+  EXPECT_EQ(counts[3], 2u);  // G4 both inactive
+}
+
+TEST(RankStore, CsvRoundTripPreservesRankStructure) {
+  RankStore store;
+  store.set(ua(0, 123.456, 0.0));
+  UserActiveness nodata;
+  nodata.user = 1;
+  store.set(nodata);
+
+  const std::string path = ::testing::TempDir() + "/ranks.csv";
+  store.save_csv(path);
+  const RankStore loaded = RankStore::load_csv(path);
+  std::remove(path.c_str());
+
+  ASSERT_EQ(loaded.size(), 2u);
+  const auto u0 = loaded.get(0);
+  EXPECT_TRUE(u0.op.active());
+  EXPECT_NEAR(u0.op.value(), 123.456, 1e-3);
+  EXPECT_TRUE(u0.oc.has_data);
+  EXPECT_TRUE(u0.oc.zero);
+  const auto u1 = loaded.get(1);
+  EXPECT_TRUE(u1.fresh());
+}
+
+}  // namespace
+}  // namespace adr::activeness

@@ -1,0 +1,175 @@
+#include "core/engine.hpp"
+
+#include <gtest/gtest.h>
+
+namespace adr::core {
+namespace {
+
+constexpr util::TimePoint kNow = 1'600'000'000;
+
+fs::FileMeta meta(trace::UserId owner, std::uint64_t size, double age_days) {
+  fs::FileMeta m;
+  m.owner = owner;
+  m.size_bytes = size;
+  m.atime = kNow - static_cast<util::Duration>(age_days * 86400);
+  m.ctime = m.atime;
+  return m;
+}
+
+class EngineTest : public ::testing::Test {
+ protected:
+  EngineTest()
+      : engine_(trace::UserRegistry::with_synthetic_users(4),
+                Engine::Options{}) {
+    op_ = engine_.register_operation_type("job_submission");
+    oc_ = engine_.register_outcome_type("publication");
+  }
+
+  Engine engine_;
+  activeness::ActivityTypeId op_ = 0;
+  activeness::ActivityTypeId oc_ = 0;
+};
+
+TEST_F(EngineTest, RecordAndEvaluate) {
+  // user0: dense recent ops -> active; user1: nothing -> fresh/inactive.
+  for (int p = 0; p < 4; ++p) {
+    for (int k = 0; k < 3; ++k) {
+      engine_.record(0, op_,
+                     kNow - util::days(90 * p + 10 + k * 20), 100.0);
+    }
+  }
+  const auto& ranks = engine_.evaluate(kNow);
+  EXPECT_TRUE(ranks.get(0).op.has_data);
+  EXPECT_TRUE(ranks.get(1).fresh());
+  const auto counts = engine_.group_counts();
+  EXPECT_EQ(counts[0] + counts[1] + counts[2] + counts[3], 4u);
+}
+
+TEST_F(EngineTest, RecordUnregisteredTypeThrows) {
+  EXPECT_THROW(engine_.record(0, 99, kNow, 1.0), std::out_of_range);
+}
+
+TEST_F(EngineTest, WeightsScaleImpacts) {
+  const auto heavy = engine_.register_operation_type("transfer", 10.0);
+  engine_.record(0, heavy, kNow - util::days(1), 2.0);
+  const auto& ranks = engine_.evaluate(kNow);
+  // Single activity: rank 1.0 regardless of weight, but data present.
+  EXPECT_TRUE(ranks.get(0).op.active());
+}
+
+TEST_F(EngineTest, PurgeUsesActiveness) {
+  // user0 active (dense rising ops), user1 silent.
+  for (int p = 0; p < 3; ++p) {
+    for (int k = 0; k < 3; ++k) {
+      // Periods (old->new) carry impacts 300/300/600: ratios
+      // (0.75, 0.75, 1.5) -> Phi = 0.75 * 0.75^2 * 1.5^3 = 1.42 (active).
+      engine_.record(0, op_, kNow - util::days(90 * p + 10 + k * 20),
+                     p == 0 ? 200.0 : 100.0);
+    }
+  }
+  engine_.vfs().create("/scratch/user_00000/stale", meta(0, 100, 120));
+  engine_.vfs().create("/scratch/user_00001/stale", meta(1, 100, 120));
+  engine_.vfs().set_capacity_bytes(200);
+
+  const auto report = engine_.purge(kNow);
+  EXPECT_EQ(report.policy, "ActiveDR-90d");
+  // Target: reach 50% of 200 = 100 bytes -> purge 100 bytes, starting from
+  // the inactive user.
+  EXPECT_TRUE(report.target_reached);
+  EXPECT_FALSE(engine_.vfs().exists("/scratch/user_00001/stale"));
+  EXPECT_TRUE(engine_.vfs().exists("/scratch/user_00000/stale"));
+}
+
+TEST_F(EngineTest, ReserveProtectsFiles) {
+  // The reserved file is the only purge candidate: it must survive even
+  // though that leaves the 50% target unmet.
+  engine_.vfs().create("/scratch/user_00001/keep.dat", meta(1, 100, 500));
+  engine_.reserve("/scratch/user_00001/keep.dat");
+  engine_.vfs().set_capacity_bytes(100);
+  const auto report = engine_.purge(kNow);
+  EXPECT_TRUE(engine_.vfs().exists("/scratch/user_00001/keep.dat"));
+  EXPECT_FALSE(report.target_reached);
+  EXPECT_GT(report.exempted_files, 0u);
+}
+
+TEST_F(EngineTest, IngestLogsMatchesRecord) {
+  trace::JobLog jobs;
+  trace::JobRecord j;
+  j.user = 2;
+  j.submit_time = kNow - util::days(5);
+  j.duration_seconds = 3600;
+  j.cores = 10;
+  jobs.add(j);
+  engine_.ingest_jobs(jobs, op_);
+
+  trace::PublicationLog pubs;
+  trace::PublicationRecord p;
+  p.published = kNow - util::days(10);
+  p.citations = 3;
+  p.authors = {3};
+  pubs.add(p);
+  engine_.ingest_publications(pubs, oc_);
+
+  const auto& ranks = engine_.evaluate(kNow);
+  EXPECT_TRUE(ranks.get(2).op.active());   // single activity -> rank 1
+  EXPECT_TRUE(ranks.get(3).oc.active());
+  EXPECT_EQ(engine_.group_counts()[1], 1u);  // op-active-only
+  EXPECT_EQ(engine_.group_counts()[2], 1u);  // oc-active-only
+}
+
+TEST_F(EngineTest, PurgeFltBaseline) {
+  engine_.vfs().create("/scratch/user_00000/old", meta(0, 100, 120));
+  engine_.vfs().create("/scratch/user_00000/new", meta(0, 100, 5));
+  engine_.vfs().set_capacity_bytes(200);
+  const auto report = engine_.purge_flt(kNow);
+  EXPECT_EQ(report.policy, "FLT-90d");
+  EXPECT_FALSE(engine_.vfs().exists("/scratch/user_00000/old"));
+  EXPECT_TRUE(engine_.vfs().exists("/scratch/user_00000/new"));
+}
+
+TEST_F(EngineTest, SnapshotLoading) {
+  trace::Snapshot snap;
+  trace::SnapshotEntry e;
+  e.path = "/scratch/user_00002/data.h5";
+  e.owner = 2;
+  e.size_bytes = 42;
+  e.atime = kNow - util::days(1);
+  snap.add(e);
+  engine_.load_snapshot(snap);
+  EXPECT_EQ(engine_.vfs().total_bytes(), 42u);
+  EXPECT_TRUE(engine_.vfs().exists("/scratch/user_00002/data.h5"));
+}
+
+TEST_F(EngineTest, EffectiveLifetimeQueries) {
+  // user0 active (the calibrated rising pattern: Phi = 1.42), user1 silent.
+  for (int p = 0; p < 3; ++p) {
+    for (int k = 0; k < 3; ++k) {
+      engine_.record(0, op_, kNow - util::days(90 * p + 10 + k * 20),
+                     p == 0 ? 200.0 : 100.0);
+    }
+  }
+  engine_.evaluate(kNow);
+
+  const auto active = engine_.activeness_of(0);
+  EXPECT_TRUE(active.op.active());
+  EXPECT_GT(engine_.effective_lifetime_of(0), util::days(90));
+  EXPECT_NEAR(static_cast<double>(engine_.effective_lifetime_of(0)),
+              static_cast<double>(util::days(90)) * active.op.value(), 1e6);
+
+  // Silent users enjoy exactly the initial lifetime.
+  EXPECT_TRUE(engine_.activeness_of(1).fresh());
+  EXPECT_EQ(engine_.effective_lifetime_of(1), util::days(90));
+}
+
+TEST_F(EngineTest, EvaluationCachedUntilNewActivity) {
+  engine_.record(0, op_, kNow - util::days(1), 1.0);
+  const auto& r1 = engine_.evaluate(kNow);
+  const auto& r2 = engine_.evaluate(kNow);
+  EXPECT_EQ(&r1, &r2);
+  engine_.record(0, op_, kNow - util::days(2), 1.0);
+  const auto& r3 = engine_.evaluate(kNow);
+  EXPECT_TRUE(r3.get(0).op.has_data);
+}
+
+}  // namespace
+}  // namespace adr::core

@@ -1,0 +1,101 @@
+#include "fs/archive.hpp"
+
+#include "fs/vfs.hpp"
+
+#include <gtest/gtest.h>
+
+namespace adr::fs {
+namespace {
+
+FileMeta meta(std::uint64_t size) {
+  FileMeta m;
+  m.size_bytes = size;
+  m.owner = 1;
+  return m;
+}
+
+TEST(Archive, ArchiveAndRestore) {
+  ArchiveTier tier;
+  tier.archive("/s/u1/a.dat", meta(1000));
+  EXPECT_EQ(tier.size(), 1u);
+  EXPECT_EQ(tier.stats().archived_bytes, 1000u);
+
+  const FileMeta* restored = tier.restore("/s/u1/a.dat");
+  ASSERT_NE(restored, nullptr);
+  EXPECT_EQ(restored->size_bytes, 1000u);
+  EXPECT_EQ(tier.stats().restore_count, 1u);
+  EXPECT_EQ(tier.stats().restored_bytes, 1000u);
+  EXPECT_GT(tier.stats().restore_hours, 0.0);
+  // Restores are copies: the archive still holds the file.
+  EXPECT_EQ(tier.size(), 1u);
+}
+
+TEST(Archive, RestoreMissCounted) {
+  ArchiveTier tier;
+  EXPECT_EQ(tier.restore("/never/archived"), nullptr);
+  EXPECT_EQ(tier.stats().restore_misses, 1u);
+  EXPECT_EQ(tier.stats().restore_count, 0u);
+}
+
+TEST(Archive, ReArchiveReplacesAccounting) {
+  ArchiveTier tier;
+  tier.archive("/s/a", meta(1000));
+  tier.archive("/s/a", meta(4000));  // newer version
+  EXPECT_EQ(tier.size(), 1u);
+  EXPECT_EQ(tier.stats().archived_bytes, 4000u);
+  EXPECT_EQ(tier.stats().archived_files, 1u);
+  EXPECT_EQ(tier.restore("/s/a")->size_bytes, 4000u);
+}
+
+TEST(Archive, RestoreCostModel) {
+  ArchiveConfig config;
+  config.restore_bandwidth_bytes_per_s = 100.0;  // 100 B/s
+  config.restore_latency_s = 50.0;
+  ArchiveTier tier(config);
+  tier.archive("/s/a", meta(1000));
+  tier.restore("/s/a");
+  // 50 s latency + 1000/100 = 10 s transfer = 60 s = 1/60 h.
+  EXPECT_NEAR(tier.stats().restore_hours, 60.0 / 3600.0, 1e-9);
+}
+
+TEST(Archive, PeekHasNoCost) {
+  ArchiveTier tier;
+  tier.archive("/s/a", meta(10));
+  EXPECT_NE(tier.peek("/s/a"), nullptr);
+  EXPECT_EQ(tier.peek("/s/b"), nullptr);
+  EXPECT_EQ(tier.stats().restore_count, 0u);
+  EXPECT_EQ(tier.stats().restore_misses, 0u);
+}
+
+TEST(Archive, ClearResets) {
+  ArchiveTier tier;
+  tier.archive("/s/a", meta(10));
+  tier.restore("/s/a");
+  tier.clear();
+  EXPECT_EQ(tier.size(), 0u);
+  EXPECT_EQ(tier.stats().archived_bytes, 0u);
+  EXPECT_EQ(tier.stats().restore_count, 0u);
+}
+
+TEST(Archive, VfsRemovalSinkFlow) {
+  // The emulator wiring: every Vfs::remove lands in the archive.
+  Vfs vfs;
+  ArchiveTier tier;
+  vfs.set_removal_sink([&tier](const std::string& path, const FileMeta& m) {
+    tier.archive(path, m);
+  });
+  FileMeta m = meta(500);
+  vfs.create("/s/u1/x", m);
+  vfs.remove("/s/u1/x");
+  EXPECT_EQ(tier.size(), 1u);
+  ASSERT_NE(tier.peek("/s/u1/x"), nullptr);
+  EXPECT_EQ(tier.peek("/s/u1/x")->size_bytes, 500u);
+
+  // Overwrites are not purges: no sink call.
+  vfs.create("/s/u1/y", meta(1));
+  vfs.create("/s/u1/y", meta(2));
+  EXPECT_EQ(tier.size(), 1u);
+}
+
+}  // namespace
+}  // namespace adr::fs

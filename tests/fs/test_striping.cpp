@@ -1,0 +1,68 @@
+#include "fs/striping.hpp"
+
+#include <gtest/gtest.h>
+
+namespace adr::fs {
+namespace {
+
+TEST(Striping, BandsAreContiguousAndOrdered) {
+  std::size_t n = 0;
+  const StripeBand* bands = stripe_bands(&n);
+  ASSERT_GE(n, 3u);
+  for (std::size_t i = 1; i < n; ++i) {
+    EXPECT_EQ(bands[i].min_bytes, bands[i - 1].max_bytes);
+    EXPECT_GT(bands[i].max_stripes, bands[i - 1].max_stripes);
+  }
+}
+
+TEST(Striping, BandForStripes) {
+  EXPECT_EQ(band_for_stripes(1).max_stripes, 1);
+  EXPECT_EQ(band_for_stripes(3).max_stripes, 4);
+  EXPECT_EQ(band_for_stripes(16).max_stripes, 16);
+  EXPECT_EQ(band_for_stripes(17).max_stripes, 64);
+  // Beyond the table clamps to the widest band.
+  EXPECT_EQ(band_for_stripes(100000).max_stripes, 1024);
+}
+
+TEST(Striping, SynthesizedSizeWithinBand) {
+  util::Rng rng(1);
+  for (std::int32_t stripes : {1, 2, 4, 8, 16, 32, 64, 128}) {
+    const StripeBand band = band_for_stripes(stripes);
+    for (int i = 0; i < 200; ++i) {
+      const std::uint64_t size = synthesize_size(stripes, rng);
+      EXPECT_GE(size, band.min_bytes) << "stripes=" << stripes;
+      EXPECT_LE(size, band.max_bytes) << "stripes=" << stripes;
+    }
+  }
+}
+
+TEST(Striping, SampleStripeCountSkewsToOne) {
+  util::Rng rng(2);
+  int singles = 0;
+  const int n = 20000;
+  std::int32_t widest = 0;
+  for (int i = 0; i < n; ++i) {
+    const std::int32_t s = sample_stripe_count(rng);
+    EXPECT_GE(s, 1);
+    if (s == 1) ++singles;
+    widest = std::max(widest, s);
+  }
+  // ~85% single stripe, with a wide tail present.
+  EXPECT_NEAR(singles, static_cast<int>(n * 0.85), n / 20);
+  EXPECT_GT(widest, 16);
+}
+
+TEST(Striping, RecommendationInvertsBands) {
+  // A size synthesized for stripe count s should be assigned a
+  // recommendation whose band contains it.
+  util::Rng rng(3);
+  for (std::int32_t stripes : {1, 4, 16, 64}) {
+    for (int i = 0; i < 100; ++i) {
+      const std::uint64_t size = synthesize_size(stripes, rng);
+      EXPECT_EQ(recommended_stripes(size), band_for_stripes(stripes).max_stripes);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace adr::fs

@@ -1,0 +1,125 @@
+#include "fs/vfs.hpp"
+
+#include <gtest/gtest.h>
+
+namespace adr::fs {
+namespace {
+
+FileMeta meta(trace::UserId owner, std::uint64_t size,
+              util::TimePoint atime = 0) {
+  FileMeta m;
+  m.owner = owner;
+  m.size_bytes = size;
+  m.atime = atime;
+  m.ctime = atime;
+  return m;
+}
+
+TEST(Vfs, CreateAccountsTotals) {
+  Vfs vfs;
+  EXPECT_TRUE(vfs.create("/s/u0/a", meta(0, 100)));
+  EXPECT_TRUE(vfs.create("/s/u0/b", meta(0, 50)));
+  EXPECT_TRUE(vfs.create("/s/u1/c", meta(1, 25)));
+  EXPECT_EQ(vfs.total_bytes(), 175u);
+  EXPECT_EQ(vfs.file_count(), 3u);
+  EXPECT_EQ(vfs.usage(0).bytes, 150u);
+  EXPECT_EQ(vfs.usage(0).files, 2u);
+  EXPECT_EQ(vfs.usage(1).bytes, 25u);
+  EXPECT_EQ(vfs.usage(9).files, 0u);
+}
+
+TEST(Vfs, OverwriteAdjustsAccounting) {
+  Vfs vfs;
+  vfs.create("/s/u0/a", meta(0, 100));
+  EXPECT_FALSE(vfs.create("/s/u0/a", meta(0, 40)));
+  EXPECT_EQ(vfs.total_bytes(), 40u);
+  EXPECT_EQ(vfs.file_count(), 1u);
+  EXPECT_EQ(vfs.usage(0).files, 1u);
+}
+
+TEST(Vfs, OverwriteCanChangeOwner) {
+  Vfs vfs;
+  vfs.create("/s/shared/a", meta(0, 100));
+  vfs.create("/s/shared/a", meta(1, 100));
+  EXPECT_EQ(vfs.usage(0).files, 0u);
+  EXPECT_EQ(vfs.usage(1).files, 1u);
+}
+
+TEST(Vfs, AccessBumpsAtimeMonotonically) {
+  Vfs vfs;
+  vfs.create("/s/u0/a", meta(0, 1, 100));
+  EXPECT_TRUE(vfs.access("/s/u0/a", 500));
+  EXPECT_EQ(vfs.stat("/s/u0/a")->atime, 500);
+  // Late-arriving earlier access must not rewind atime.
+  EXPECT_TRUE(vfs.access("/s/u0/a", 300));
+  EXPECT_EQ(vfs.stat("/s/u0/a")->atime, 500);
+}
+
+TEST(Vfs, AccessMissingIsMiss) {
+  Vfs vfs;
+  EXPECT_FALSE(vfs.access("/s/u0/gone", 100));
+}
+
+TEST(Vfs, RemoveUpdatesAccounting) {
+  Vfs vfs;
+  vfs.create("/s/u0/a", meta(0, 100));
+  vfs.create("/s/u0/b", meta(0, 60));
+  EXPECT_TRUE(vfs.remove("/s/u0/a"));
+  EXPECT_FALSE(vfs.remove("/s/u0/a"));
+  EXPECT_EQ(vfs.total_bytes(), 60u);
+  EXPECT_EQ(vfs.usage(0).bytes, 60u);
+  EXPECT_EQ(vfs.usage(0).files, 1u);
+}
+
+TEST(Vfs, CapacityDefaultsToTotal) {
+  Vfs vfs;
+  vfs.create("/a/b", meta(0, 500));
+  EXPECT_EQ(vfs.capacity_bytes(), 500u);
+  vfs.set_capacity_bytes(1000);
+  EXPECT_EQ(vfs.capacity_bytes(), 1000u);
+}
+
+TEST(Vfs, SnapshotRoundTrip) {
+  Vfs vfs;
+  vfs.create("/s/u0/p/a.h5", meta(0, 100, 11));
+  vfs.create("/s/u1/p/b.h5", meta(1, 200, 22));
+
+  const trace::Snapshot snap = vfs.export_snapshot();
+  EXPECT_EQ(snap.size(), 2u);
+  EXPECT_EQ(snap.total_bytes(), 300u);
+
+  Vfs restored;
+  restored.import_snapshot(snap);
+  EXPECT_EQ(restored.total_bytes(), 300u);
+  EXPECT_EQ(restored.file_count(), 2u);
+  ASSERT_NE(restored.stat("/s/u1/p/b.h5"), nullptr);
+  EXPECT_EQ(restored.stat("/s/u1/p/b.h5")->atime, 22);
+  EXPECT_EQ(restored.stat("/s/u1/p/b.h5")->owner, 1u);
+}
+
+TEST(Vfs, ForEachUnderScopesToUser) {
+  Vfs vfs;
+  vfs.create("/s/u0/a", meta(0, 1));
+  vfs.create("/s/u0/b", meta(0, 1));
+  vfs.create("/s/u1/c", meta(1, 1));
+  int count = 0;
+  vfs.for_each_under("/s/u0", [&](const std::string&, const FileMeta& m) {
+    EXPECT_EQ(m.owner, 0u);
+    ++count;
+  });
+  EXPECT_EQ(count, 2);
+}
+
+TEST(Vfs, ClearResetsEverything) {
+  Vfs vfs;
+  vfs.create("/s/u0/a", meta(0, 10));
+  vfs.set_capacity_bytes(999);
+  vfs.clear();
+  EXPECT_EQ(vfs.total_bytes(), 0u);
+  EXPECT_EQ(vfs.file_count(), 0u);
+  EXPECT_EQ(vfs.capacity_bytes(), 0u);
+  EXPECT_EQ(vfs.usage(0).files, 0u);
+}
+
+}  // namespace
+}  // namespace adr::fs

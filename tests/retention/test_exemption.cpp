@@ -1,0 +1,80 @@
+#include "retention/exemption.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+namespace adr::retention {
+namespace {
+
+TEST(ExemptionList, ExactMatch) {
+  ExemptionList list;
+  list.reserve("/scratch/u1/keep.dat");
+  EXPECT_TRUE(list.is_exempt("/scratch/u1/keep.dat"));
+  EXPECT_FALSE(list.is_exempt("/scratch/u1/other.dat"));
+  EXPECT_FALSE(list.is_exempt("/scratch/u1"));
+  EXPECT_EQ(list.size(), 1u);
+}
+
+TEST(ExemptionList, DirectoryReservationCoversSubtree) {
+  ExemptionList list;
+  list.reserve("/scratch/u1/project");
+  EXPECT_TRUE(list.is_exempt("/scratch/u1/project"));
+  EXPECT_TRUE(list.is_exempt("/scratch/u1/project/deep/file.h5"));
+  EXPECT_FALSE(list.is_exempt("/scratch/u1/projectx/file.h5"));
+  EXPECT_FALSE(list.is_exempt("/scratch/u1"));
+}
+
+TEST(ExemptionList, RenamedPathLapses) {
+  // The paper's contract: moving a reserved file cancels the reservation.
+  ExemptionList list;
+  list.reserve("/scratch/u1/old_name.dat");
+  EXPECT_FALSE(list.is_exempt("/scratch/u1/new_name.dat"));
+}
+
+TEST(ExemptionList, EmptyListExemptsNothing) {
+  const ExemptionList list;
+  EXPECT_TRUE(list.empty());
+  EXPECT_FALSE(list.is_exempt("/anything"));
+}
+
+TEST(ExemptionList, ReservedPathsCanonicalSorted) {
+  ExemptionList list;
+  list.reserve("/b//x");
+  list.reserve("/a/y/");
+  const auto paths = list.reserved_paths();
+  ASSERT_EQ(paths.size(), 2u);
+  EXPECT_EQ(paths[0], "/a/y");
+  EXPECT_EQ(paths[1], "/b/x");
+}
+
+TEST(ExemptionList, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/reserved.txt";
+  {
+    std::ofstream out(path);
+    out << "# reservation list\n";
+    out << "/scratch/u1/keep.dat\n";
+    out << "   /scratch/u2/dir   # inline comment\n";
+    out << "\n";
+  }
+  const ExemptionList list = ExemptionList::load(path);
+  EXPECT_EQ(list.size(), 2u);
+  EXPECT_TRUE(list.is_exempt("/scratch/u1/keep.dat"));
+  EXPECT_TRUE(list.is_exempt("/scratch/u2/dir/file"));
+
+  const std::string out_path = ::testing::TempDir() + "/reserved_out.txt";
+  list.save(out_path);
+  const ExemptionList reloaded = ExemptionList::load(out_path);
+  EXPECT_EQ(reloaded.size(), 2u);
+  std::remove(path.c_str());
+  std::remove(out_path.c_str());
+}
+
+TEST(ExemptionList, LoadMissingThrows) {
+  EXPECT_THROW(ExemptionList::load("/nonexistent/list.txt"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace adr::retention

@@ -1,0 +1,101 @@
+#include "retention/ledger.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+namespace adr::retention {
+namespace {
+
+PurgeReport sample_report(util::TimePoint when, std::uint64_t purged) {
+  PurgeReport r;
+  r.policy = "ActiveDR-90d";
+  r.when = when;
+  r.target_purge_bytes = purged;
+  r.purged_bytes = purged;
+  r.purged_files = 3;
+  r.target_reached = true;
+  r.retrospective_passes_used = 2;
+  r.exempted_files = 1;
+  r.group(activeness::UserGroup::kBothInactive).purged_bytes = purged;
+  r.group(activeness::UserGroup::kBothInactive).purged_files = 3;
+  r.group(activeness::UserGroup::kBothInactive).users_affected = 2;
+  return r;
+}
+
+class LedgerTest : public ::testing::Test {
+ protected:
+  std::string path_ = ::testing::TempDir() + "/adr_ledger.csv";
+  void SetUp() override { std::remove(path_.c_str()); }
+  void TearDown() override { std::remove(path_.c_str()); }
+};
+
+TEST_F(LedgerTest, LoadMissingFileIsEmpty) {
+  const PurgeLedger ledger(path_);
+  EXPECT_TRUE(ledger.load().empty());
+}
+
+TEST_F(LedgerTest, AppendAndReload) {
+  PurgeLedger ledger(path_);
+  ledger.append(sample_report(1000, 512));
+  ledger.append(sample_report(2000, 1024));
+
+  const auto rows = ledger.load();
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0].when, 1000);
+  EXPECT_EQ(rows[0].purged_bytes, 512u);
+  EXPECT_EQ(rows[0].policy, "ActiveDR-90d");
+  EXPECT_TRUE(rows[0].target_reached);
+  EXPECT_EQ(rows[0].retrospective_passes_used, 2);
+  EXPECT_EQ(rows[0].exempted_files, 1u);
+  EXPECT_EQ(rows[1].when, 2000);
+  EXPECT_EQ(
+      rows[1].group_purged_bytes[static_cast<std::size_t>(
+          activeness::UserGroup::kBothInactive)],
+      1024u);
+  EXPECT_EQ(
+      rows[1].group_users_affected[static_cast<std::size_t>(
+          activeness::UserGroup::kBothInactive)],
+      2u);
+}
+
+TEST_F(LedgerTest, AppendAcrossInstances) {
+  {
+    PurgeLedger ledger(path_);
+    ledger.append(sample_report(1, 1));
+  }
+  {
+    PurgeLedger ledger(path_);
+    ledger.append(sample_report(2, 2));
+    EXPECT_EQ(ledger.load().size(), 2u);  // no duplicate header rows
+  }
+}
+
+TEST_F(LedgerTest, MalformedRowThrows) {
+  {
+    PurgeLedger ledger(path_);
+    ledger.append(sample_report(1, 1));
+  }
+  {
+    std::ofstream out(path_, std::ios::app);
+    out << "short,row\n";
+  }
+  const PurgeLedger ledger(path_);
+  EXPECT_THROW(ledger.load(), std::runtime_error);
+}
+
+TEST(LedgerRowTest, FromReportCopiesEverything) {
+  const PurgeReport report = sample_report(42, 99);
+  const LedgerRow row = LedgerRow::from_report(report);
+  EXPECT_EQ(row.when, 42);
+  EXPECT_EQ(row.purged_bytes, 99u);
+  EXPECT_EQ(row.purged_files, 3u);
+  EXPECT_EQ(
+      row.group_purged_files[static_cast<std::size_t>(
+          activeness::UserGroup::kBothInactive)],
+      3u);
+}
+
+}  // namespace
+}  // namespace adr::retention

@@ -1,0 +1,228 @@
+#include "sched/batch_scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "synth/job_synth.hpp"
+#include "util/rng.hpp"
+
+namespace adr::sched {
+namespace {
+
+trace::JobRecord job(std::uint64_t id, util::TimePoint submit,
+                     std::int64_t duration, std::int32_t cores,
+                     trace::UserId user = 0) {
+  trace::JobRecord j;
+  j.job_id = id;
+  j.user = user;
+  j.submit_time = submit;
+  j.duration_seconds = duration;
+  j.cores = cores;
+  return j;
+}
+
+SchedulerConfig tiny(std::int64_t nodes) {
+  SchedulerConfig c;
+  c.nodes = nodes;
+  c.cores_per_node = 16;
+  c.failure_rate = 0.0;
+  return c;
+}
+
+TEST(Scheduler, EmptyInput) {
+  const auto result = schedule(std::vector<trace::JobRecord>{}, tiny(4));
+  EXPECT_TRUE(result.empty());
+  const auto stats = summarize(result, tiny(4));
+  EXPECT_EQ(stats.jobs, 0u);
+}
+
+TEST(Scheduler, SingleJobStartsImmediately) {
+  const auto result = schedule({job(1, 1000, 600, 16)}, tiny(4));
+  ASSERT_EQ(result.size(), 1u);
+  EXPECT_EQ(result[0].start_time, 1000);
+  EXPECT_EQ(result[0].end_time, 1600);
+  EXPECT_EQ(result[0].nodes, 1);
+  EXPECT_EQ(result[0].wait(), 0);
+  EXPECT_TRUE(result[0].completed);
+}
+
+TEST(Scheduler, CoreToNodeConversionCeils) {
+  const auto result = schedule({job(1, 0, 60, 17)}, tiny(4));
+  EXPECT_EQ(result[0].nodes, 2);  // 17 cores / 16 per node -> 2 nodes
+}
+
+TEST(Scheduler, OversizedRequestClampedToMachine) {
+  const auto result = schedule({job(1, 0, 60, 16 * 100)}, tiny(4));
+  EXPECT_EQ(result[0].nodes, 4);
+  EXPECT_EQ(result[0].start_time, 0);
+}
+
+TEST(Scheduler, FcfsQueuesWhenFull) {
+  // Machine of 2 nodes; two 2-node jobs -> strictly sequential.
+  const auto result = schedule(
+      {job(1, 0, 100, 32), job(2, 10, 100, 32)}, tiny(2));
+  EXPECT_EQ(result[0].start_time, 0);
+  EXPECT_EQ(result[1].start_time, 100);  // waits for job 1
+  EXPECT_EQ(result[1].wait(), 90);
+}
+
+TEST(Scheduler, BackfillFillsHoleWithoutDelayingHead) {
+  // 4 nodes. j1 takes 3 for 1000s, leaving a 1-node hole. j2 (the blocked
+  // head) wants all 4, reserved for t=1000. j3 wants 1 node for 100s: it
+  // fits the hole now and its padded walltime (150s) ends before the
+  // reservation -> backfill.
+  SchedulerConfig c = tiny(4);
+  const auto result = schedule(
+      {job(1, 0, 1000, 48), job(2, 10, 500, 64), job(3, 20, 100, 16)}, c);
+  EXPECT_EQ(result[0].start_time, 0);
+  EXPECT_EQ(result[2].start_time, 20) << "backfill should start j3 at once";
+  EXPECT_TRUE(result[2].backfilled);
+  EXPECT_EQ(result[1].start_time, 1000) << "head must not be delayed";
+  EXPECT_FALSE(result[1].backfilled);
+}
+
+TEST(Scheduler, BackfillNeverDelaysReservedHead) {
+  // j3's padded walltime would overrun the head's shadow start and it
+  // needs more nodes than the shadow spare -> must NOT backfill.
+  SchedulerConfig c = tiny(4);
+  const auto result = schedule(
+      {job(1, 0, 1000, 64), job(2, 10, 500, 64), job(3, 20, 900, 16)}, c);
+  // shadow = 1000, spare = 0; j3 padded ends at 20+1350 > 1000.
+  EXPECT_EQ(result[2].start_time, 1500)
+      << "j3 must wait for the head to start and finish its slice";
+  EXPECT_FALSE(result[2].backfilled);
+}
+
+TEST(Scheduler, SpareNodeBackfillAllowed) {
+  // Head needs 3 of 4 nodes; a long 1-node job may still backfill because
+  // even at the head's shadow start there is a spare node for it.
+  SchedulerConfig c = tiny(4);
+  const auto result = schedule(
+      {job(1, 0, 1000, 64),          // all 4 nodes
+       job(2, 10, 500, 48),          // 3 nodes: head, shadow t=1000
+       job(3, 20, 5000, 16)},        // 1 node, very long
+      c);
+  EXPECT_EQ(result[2].start_time, 1000)
+      << "no free nodes until t=1000; then j3 fits the spare node";
+  // At t=1000: 4 free; head j2 takes 3; j3 fits the spare immediately.
+  EXPECT_EQ(result[1].start_time, 1000);
+}
+
+TEST(Scheduler, RejectsUnsortedInput) {
+  EXPECT_THROW(
+      schedule({job(1, 100, 10, 1), job(2, 50, 10, 1)}, tiny(2)),
+      std::invalid_argument);
+}
+
+TEST(Scheduler, RejectsBadConfig) {
+  SchedulerConfig c = tiny(0);
+  EXPECT_THROW(schedule({job(1, 0, 10, 1)}, c), std::invalid_argument);
+}
+
+TEST(Scheduler, FailureModelDeterministicAndBounded) {
+  std::vector<trace::JobRecord> jobs;
+  for (int i = 0; i < 2000; ++i) {
+    jobs.push_back(job(static_cast<std::uint64_t>(i), i * 10, 3600, 16));
+  }
+  SchedulerConfig c = tiny(1024);
+  c.failure_rate = 0.2;
+  const auto a = schedule(jobs, c);
+  const auto b = schedule(jobs, c);
+  std::size_t failed = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].completed, b[i].completed);
+    EXPECT_EQ(a[i].end_time, b[i].end_time);
+    if (!a[i].completed) {
+      ++failed;
+      EXPECT_LT(a[i].runtime(), 3600);
+      EXPECT_GE(a[i].runtime(), 1);
+    } else {
+      EXPECT_EQ(a[i].runtime(), 3600);
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(failed), 400.0, 120.0);
+}
+
+TEST(Scheduler, ConservationOfNodes) {
+  // Sweep a random stream and verify that at no event do concurrent jobs
+  // exceed the machine size.
+  util::Rng rng(3);
+  std::vector<trace::JobRecord> jobs;
+  util::TimePoint t = 0;
+  for (int i = 0; i < 500; ++i) {
+    t += static_cast<util::TimePoint>(rng.uniform_int(0, 600));
+    jobs.push_back(job(static_cast<std::uint64_t>(i), t,
+                       rng.uniform_int(60, 7200),
+                       static_cast<std::int32_t>(rng.uniform_int(1, 256))));
+  }
+  SchedulerConfig c = tiny(8);
+  const auto result = schedule(jobs, c);
+
+  std::map<util::TimePoint, std::int64_t> delta;
+  for (const auto& s : result) {
+    delta[s.start_time] += s.nodes;
+    delta[s.end_time] -= s.nodes;
+  }
+  std::int64_t in_use = 0;
+  for (const auto& [when, d] : delta) {
+    in_use += d;
+    EXPECT_LE(in_use, c.nodes) << "over-subscribed at t=" << when;
+    EXPECT_GE(in_use, 0);
+  }
+}
+
+TEST(Scheduler, NoJobStartsBeforeSubmission) {
+  util::Rng rng(4);
+  std::vector<trace::JobRecord> jobs;
+  util::TimePoint t = 0;
+  for (int i = 0; i < 300; ++i) {
+    t += static_cast<util::TimePoint>(rng.uniform_int(1, 300));
+    jobs.push_back(job(static_cast<std::uint64_t>(i), t,
+                       rng.uniform_int(60, 3600), 16));
+  }
+  const auto result = schedule(jobs, tiny(4));
+  for (const auto& s : result) {
+    EXPECT_GE(s.start_time, s.submit_time);
+    EXPECT_GT(s.end_time, s.start_time);
+  }
+}
+
+TEST(Scheduler, SummarizeStats) {
+  SchedulerConfig c = tiny(2);
+  const auto result = schedule(
+      {job(1, 0, 100, 32), job(2, 0, 100, 32)}, c);
+  const auto stats = summarize(result, c);
+  EXPECT_EQ(stats.jobs, 2u);
+  EXPECT_EQ(stats.completed, 2u);
+  EXPECT_EQ(stats.failed, 0u);
+  EXPECT_DOUBLE_EQ(stats.max_wait_seconds, 100.0);
+  EXPECT_DOUBLE_EQ(stats.mean_wait_seconds, 50.0);
+  // 2 jobs x 2 nodes x 100 s over a 200 s span on 2 nodes = 100%.
+  EXPECT_NEAR(stats.utilization, 1.0, 1e-9);
+}
+
+TEST(Scheduler, SyntheticStreamUtilizationSane) {
+  // A realistic synthetic user stream through a small machine.
+  util::Rng rng(5);
+  synth::UserProfile prof;
+  prof.user = 0;
+  prof.job_rate_per_day = 2.0;
+  prof.episode_days_mean = 200;
+  prof.gap_days_mean = 2;
+  prof.gap_days_sigma = 0.2;
+  auto jobs = synth::synthesize_user_jobs(prof, 0, util::days(120), rng);
+  trace::JobLog log;
+  for (auto& j : jobs) log.add(std::move(j));
+  log.sort_by_time();
+  SchedulerConfig c = tiny(64);
+  const auto result = schedule(log, c);
+  const auto stats = summarize(result, c);
+  EXPECT_EQ(stats.jobs, result.size());
+  EXPECT_GT(stats.utilization, 0.0);
+  EXPECT_LE(stats.utilization, 1.0 + 1e-9);
+}
+
+}  // namespace
+}  // namespace adr::sched

@@ -1,0 +1,124 @@
+#include "sim/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+namespace adr::sim {
+namespace {
+
+using activeness::UserGroup;
+
+constexpr util::TimePoint kBegin = 1'451'606'400;  // 2016-01-01
+constexpr util::TimePoint kEnd = 1'483'228'800;    // 2017-01-01
+
+TEST(MetricsCollector, SizesWindowByDays) {
+  const MetricsCollector m(kBegin, kEnd);
+  EXPECT_EQ(m.daily().size(), 366u);  // leap year
+  EXPECT_EQ(m.daily().front().day, kBegin);
+}
+
+TEST(MetricsCollector, RecordsIntoCorrectDay) {
+  MetricsCollector m(kBegin, kEnd);
+  m.record_access(kBegin + 3600, UserGroup::kBothActive, false);
+  m.record_access(kBegin + util::days(1) + 10, UserGroup::kBothActive, true);
+  m.record_access(kBegin + util::days(1) + 20, UserGroup::kBothInactive, true);
+  const auto& d0 = m.daily()[0];
+  const auto& d1 = m.daily()[1];
+  EXPECT_EQ(d0.accesses, 1u);
+  EXPECT_EQ(d0.misses, 0u);
+  EXPECT_EQ(d1.accesses, 2u);
+  EXPECT_EQ(d1.misses, 2u);
+  EXPECT_EQ(d1.misses_by_group[static_cast<std::size_t>(
+                UserGroup::kBothActive)],
+            1u);
+  EXPECT_DOUBLE_EQ(d1.miss_ratio(), 1.0);
+  EXPECT_DOUBLE_EQ(d0.miss_ratio(), 0.0);
+  EXPECT_EQ(m.total_accesses(), 3u);
+  EXPECT_EQ(m.total_misses(), 2u);
+  EXPECT_EQ(m.misses_in_group(UserGroup::kBothActive), 1u);
+}
+
+TEST(MetricsCollector, OutOfWindowIgnored) {
+  MetricsCollector m(kBegin, kEnd);
+  m.record_access(kBegin - 10, UserGroup::kBothActive, true);
+  m.record_access(kEnd + 10, UserGroup::kBothActive, true);
+  EXPECT_EQ(m.total_accesses(), 0u);
+}
+
+TEST(MetricsCollector, EmptyWindowThrows) {
+  EXPECT_THROW(MetricsCollector(kBegin, kBegin), std::invalid_argument);
+}
+
+TEST(Metrics, DayHistogramMatchesPaperBins) {
+  MetricsCollector m(kBegin, kBegin + util::days(3));
+  // Day 0: 50% misses. Day 1: 3% misses. Day 2: idle.
+  for (int i = 0; i < 10; ++i) {
+    m.record_access(kBegin + i, UserGroup::kBothActive, i < 5);
+  }
+  for (int i = 0; i < 100; ++i) {
+    m.record_access(kBegin + util::days(1) + i, UserGroup::kBothActive, i < 3);
+  }
+  const auto h = miss_ratio_day_histogram(m.daily());
+  EXPECT_EQ(h.total(), 3u);
+  // 50% lands in the 40%-50% bin (right-closed).
+  std::size_t in_40_50 = 0, in_1_5 = 0;
+  for (const auto& bin : h.bins()) {
+    if (bin.label == "40%-50%") in_40_50 = bin.count;
+    if (bin.label == "1%-5%") in_1_5 = bin.count;
+  }
+  EXPECT_EQ(in_40_50, 1u);
+  EXPECT_EQ(in_1_5, 1u);
+  EXPECT_EQ(h.underflow(), 1u);  // the idle day
+}
+
+TEST(Metrics, DaysAbove) {
+  MetricsCollector m(kBegin, kBegin + util::days(2));
+  for (int i = 0; i < 10; ++i) {
+    m.record_access(kBegin + i, UserGroup::kBothActive, i == 0);  // 10%
+  }
+  EXPECT_EQ(days_above(m.daily(), 0.05), 1u);
+  EXPECT_EQ(days_above(m.daily(), 0.10), 0u);  // strictly greater
+}
+
+TEST(Metrics, MonthlyAggregation) {
+  MetricsCollector m(kBegin, kEnd);
+  m.record_access(util::from_civil(2016, 1, 15), UserGroup::kBothActive, true);
+  m.record_access(util::from_civil(2016, 1, 20), UserGroup::kBothActive, true);
+  m.record_access(util::from_civil(2016, 3, 2), UserGroup::kBothInactive,
+                  true);
+  const auto monthly = monthly_group_misses(m.daily());
+  ASSERT_EQ(monthly.size(), 12u);
+  EXPECT_EQ(monthly[0].month, "2016-01");
+  EXPECT_EQ(monthly[0].misses[static_cast<std::size_t>(
+                UserGroup::kBothActive)],
+            2u);
+  EXPECT_EQ(monthly[2].misses[static_cast<std::size_t>(
+                UserGroup::kBothInactive)],
+            1u);
+  EXPECT_EQ(monthly[1].misses[0] + monthly[1].misses[1] +
+                monthly[1].misses[2] + monthly[1].misses[3],
+            0u);
+}
+
+TEST(Metrics, ReductionRatios) {
+  MetricsCollector base(kBegin, kBegin + util::days(3));
+  MetricsCollector treat(kBegin, kBegin + util::days(3));
+  // Day 0: 4 -> 1 misses (75% reduction). Day 1: baseline 0 (skipped).
+  // Day 2: 2 -> 3 (negative reduction).
+  for (int i = 0; i < 4; ++i)
+    base.record_access(kBegin + i, UserGroup::kBothActive, true);
+  treat.record_access(kBegin, UserGroup::kBothActive, true);
+  for (int i = 0; i < 2; ++i)
+    base.record_access(kBegin + util::days(2) + i, UserGroup::kBothActive,
+                       true);
+  for (int i = 0; i < 3; ++i)
+    treat.record_access(kBegin + util::days(2) + i, UserGroup::kBothActive,
+                        true);
+  const auto ratios = daily_miss_reduction_ratios(base.daily(), treat.daily(),
+                                                  UserGroup::kBothActive);
+  ASSERT_EQ(ratios.size(), 2u);
+  EXPECT_DOUBLE_EQ(ratios[0], 0.75);
+  EXPECT_DOUBLE_EQ(ratios[1], -0.5);
+}
+
+}  // namespace
+}  // namespace adr::sim

@@ -1,0 +1,85 @@
+#include "synth/fs_synth.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "fs/striping.hpp"
+
+namespace adr::synth {
+namespace {
+
+UserProfile profile_with_files(std::size_t n) {
+  UserProfile p;
+  p.user = 1;
+  p.file_count = n;
+  return p;
+}
+
+TEST(FsSynth, GeneratesRequestedFileCount) {
+  util::Rng rng(1);
+  const UserTree tree =
+      synthesize_user_tree(profile_with_files(120), "/scratch/u1", rng);
+  EXPECT_EQ(tree.files.size(), 120u);
+  EXPECT_GE(tree.project_count, 1u);
+  EXPECT_LE(tree.project_count, 5u);
+}
+
+TEST(FsSynth, PathsLiveUnderHomeAndAreUnique) {
+  util::Rng rng(2);
+  const UserTree tree =
+      synthesize_user_tree(profile_with_files(200), "/scratch/u1", rng);
+  std::set<std::string> paths;
+  for (const auto& f : tree.files) {
+    EXPECT_EQ(f.path.rfind("/scratch/u1/", 0), 0u) << f.path;
+    paths.insert(f.path);
+  }
+  EXPECT_EQ(paths.size(), tree.files.size());  // no duplicates
+}
+
+TEST(FsSynth, SizesConsistentWithStripeBands) {
+  util::Rng rng(3);
+  const UserTree tree =
+      synthesize_user_tree(profile_with_files(300), "/scratch/u1", rng);
+  for (const auto& f : tree.files) {
+    const fs::StripeBand band = fs::band_for_stripes(f.stripe_count);
+    EXPECT_GE(f.size_bytes, band.min_bytes);
+    EXPECT_LE(f.size_bytes, band.max_bytes);
+  }
+}
+
+TEST(FsSynth, ProjectIndicesWithinRange) {
+  util::Rng rng(4);
+  const UserTree tree =
+      synthesize_user_tree(profile_with_files(150), "/scratch/u1", rng);
+  for (const auto& f : tree.files) {
+    EXPECT_LT(f.project, tree.project_count);
+    // Path embeds the project directory.
+    char expected[16];
+    std::snprintf(expected, sizeof(expected), "/proj%02zu/", f.project);
+    EXPECT_NE(f.path.find(expected), std::string::npos) << f.path;
+  }
+}
+
+TEST(FsSynth, Deterministic) {
+  util::Rng a(9), b(9);
+  const auto t1 = synthesize_user_tree(profile_with_files(50), "/s/u", a);
+  const auto t2 = synthesize_user_tree(profile_with_files(50), "/s/u", b);
+  ASSERT_EQ(t1.files.size(), t2.files.size());
+  for (std::size_t i = 0; i < t1.files.size(); ++i) {
+    EXPECT_EQ(t1.files[i].path, t2.files[i].path);
+    EXPECT_EQ(t1.files[i].size_bytes, t2.files[i].size_bytes);
+  }
+}
+
+TEST(FsSynth, ExtraFileUnique) {
+  util::Rng rng(5);
+  const FileSpec a = synthesize_extra_file("/s/u", 0, 1, rng);
+  const FileSpec b = synthesize_extra_file("/s/u", 0, 2, rng);
+  EXPECT_NE(a.path, b.path);
+  EXPECT_EQ(a.path.rfind("/s/u/proj00/", 0), 0u);
+  EXPECT_GT(a.size_bytes, 0u);
+}
+
+}  // namespace
+}  // namespace adr::synth

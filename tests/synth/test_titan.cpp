@@ -1,0 +1,132 @@
+#include "synth/titan_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace adr::synth {
+namespace {
+
+TitanParams small_params() {
+  TitanParams p;
+  p.users = 150;
+  p.seed = 11;
+  return p;
+}
+
+class TitanScenarioTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    scenario_ = new TitanScenario(build_titan_scenario(small_params()));
+  }
+  static void TearDownTestSuite() {
+    delete scenario_;
+    scenario_ = nullptr;
+  }
+  static const TitanScenario* scenario_;
+};
+
+const TitanScenario* TitanScenarioTest::scenario_ = nullptr;
+
+TEST_F(TitanScenarioTest, WindowsAreCalendarAligned) {
+  EXPECT_EQ(scenario_->trace_begin, util::from_civil(2013, 1, 1));
+  EXPECT_EQ(scenario_->sim_begin, util::from_civil(2016, 1, 1));
+  EXPECT_EQ(scenario_->sim_end, util::from_civil(2017, 1, 1));
+}
+
+TEST_F(TitanScenarioTest, PopulationMatchesRegistry) {
+  EXPECT_EQ(scenario_->registry.size(), 150u);
+  EXPECT_EQ(scenario_->population.size(), 150u);
+}
+
+TEST_F(TitanScenarioTest, JobsSortedWithIdsAssigned) {
+  ASSERT_FALSE(scenario_->jobs.empty());
+  EXPECT_TRUE(scenario_->jobs.is_sorted_by_time());
+  EXPECT_EQ(scenario_->jobs.records().front().job_id, 1u);
+  EXPECT_EQ(scenario_->jobs.records().back().job_id, scenario_->jobs.size());
+}
+
+TEST_F(TitanScenarioTest, SnapshotIsFltPrepurged) {
+  ASSERT_FALSE(scenario_->snapshot.empty());
+  const util::Duration lifetime = util::days(90);
+  for (const auto& e : scenario_->snapshot.entries()) {
+    EXPECT_LE(e.atime, scenario_->sim_begin);
+    EXPECT_LE(scenario_->sim_begin - e.atime, lifetime)
+        << "snapshot contains a file the facility FLT would have purged";
+    EXPECT_LT(e.owner, 150u);
+    EXPECT_GT(e.size_bytes, 0u);
+  }
+}
+
+TEST_F(TitanScenarioTest, CapacityHasHeadroomOverSnapshot) {
+  EXPECT_GT(scenario_->capacity_bytes, 0u);
+  // capacity = snapshot bytes x headroom (default 2.0).
+  const double ratio = static_cast<double>(scenario_->capacity_bytes) /
+                       static_cast<double>(scenario_->snapshot.total_bytes());
+  EXPECT_NEAR(ratio, small_params().capacity_headroom, 0.01);
+}
+
+TEST_F(TitanScenarioTest, ReplayConfinedToSimYearAndSorted) {
+  ASSERT_FALSE(scenario_->replay.empty());
+  EXPECT_TRUE(scenario_->replay.is_sorted_by_time());
+  for (const auto& e : scenario_->replay.entries()) {
+    EXPECT_GT(e.timestamp, scenario_->sim_begin);
+    EXPECT_LT(e.timestamp, scenario_->sim_end);
+  }
+}
+
+TEST_F(TitanScenarioTest, SnapshotPathsBelongToOwnersHome) {
+  for (const auto& e : scenario_->snapshot.entries()) {
+    const std::string home = scenario_->registry.home_dir(e.owner) + "/";
+    EXPECT_EQ(e.path.rfind(home, 0), 0u) << e.path;
+  }
+}
+
+TEST_F(TitanScenarioTest, PublicationsExist) {
+  EXPECT_GT(scenario_->pubs.size(), 0u);
+}
+
+TEST_F(TitanScenarioTest, ScheduleAlignsWithJobs) {
+  ASSERT_EQ(scenario_->schedule.size(), scenario_->jobs.size());
+  for (std::size_t i = 0; i < scenario_->schedule.size(); ++i) {
+    const auto& s = scenario_->schedule[i];
+    const auto& j = scenario_->jobs.records()[i];
+    EXPECT_EQ(s.job_id, j.job_id);
+    EXPECT_EQ(s.user, j.user);
+    EXPECT_GE(s.start_time, s.submit_time);
+    EXPECT_GT(s.end_time, s.start_time);
+    if (s.completed) {
+      EXPECT_EQ(s.runtime(), j.duration_seconds);
+    } else {
+      EXPECT_LT(s.runtime(), j.duration_seconds);
+    }
+  }
+}
+
+TEST(TitanScenario, SchedulingIsOptional) {
+  synth::TitanParams p = small_params();
+  p.schedule_jobs = false;
+  const auto scenario = build_titan_scenario(p);
+  EXPECT_TRUE(scenario.schedule.empty());
+  EXPECT_FALSE(scenario.jobs.empty());
+}
+
+TEST(TitanScenario, DeterministicAcrossBuilds) {
+  const auto a = build_titan_scenario(small_params());
+  const auto b = build_titan_scenario(small_params());
+  EXPECT_EQ(a.jobs.size(), b.jobs.size());
+  EXPECT_EQ(a.snapshot.size(), b.snapshot.size());
+  EXPECT_EQ(a.replay.size(), b.replay.size());
+  EXPECT_EQ(a.capacity_bytes, b.capacity_bytes);
+  ASSERT_FALSE(a.snapshot.empty());
+  EXPECT_EQ(a.snapshot.entries()[0].path, b.snapshot.entries()[0].path);
+}
+
+TEST(TitanScenario, SeedChangesContent) {
+  TitanParams p = small_params();
+  const auto a = build_titan_scenario(p);
+  p.seed = 999;
+  const auto b = build_titan_scenario(p);
+  EXPECT_NE(a.capacity_bytes, b.capacity_bytes);
+}
+
+}  // namespace
+}  // namespace adr::synth

@@ -1,0 +1,337 @@
+// Job-stream, publication and app-log synthesis behaviour.
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <map>
+#include <set>
+
+#include "synth/app_log_synth.hpp"
+#include "synth/job_synth.hpp"
+#include "synth/pub_synth.hpp"
+#include "synth/titan_model.hpp"
+
+namespace adr::synth {
+namespace {
+
+constexpr util::TimePoint kBegin = 1'356'998'400;  // 2013-01-01
+constexpr util::TimePoint kEnd = 1'483'228'800;    // 2017-01-01
+
+UserProfile heavy_profile() {
+  UserProfile p;
+  p.user = 0;
+  p.archetype = Archetype::kHeavyBoth;
+  p.job_rate_per_day = 0.5;
+  p.episode_days_mean = 60;
+  p.gap_days_mean = 5;
+  p.gap_days_sigma = 0.3;
+  p.file_count = 40;
+  p.working_set_fraction = 0.2;
+  p.pubs_total_mean = 2.0;
+  return p;
+}
+
+UserProfile dormant_profile() {
+  UserProfile p;
+  p.user = 0;
+  p.archetype = Archetype::kDormant;
+  p.job_rate_per_day = 0.05;
+  p.episode_days_mean = 5;
+  p.gap_days_mean = 400;
+  p.gap_days_sigma = 0.5;
+  p.file_count = 10;
+  p.working_set_fraction = 0.4;
+  return p;
+}
+
+TEST(JobSynth, JobsSortedWithinWindow) {
+  util::Rng rng(1);
+  const auto jobs = synthesize_user_jobs(heavy_profile(), kBegin, kEnd, rng);
+  ASSERT_GT(jobs.size(), 50u);
+  util::TimePoint prev = kBegin;
+  for (const auto& j : jobs) {
+    EXPECT_GE(j.submit_time, prev);
+    EXPECT_LT(j.submit_time, kEnd);
+    EXPECT_GE(j.duration_seconds, 60);
+    EXPECT_LE(j.duration_seconds, 86400);
+    EXPECT_GE(j.cores, 1);
+    prev = j.submit_time;
+  }
+}
+
+TEST(JobSynth, HeavyUsersSubmitFarMoreThanDormant) {
+  util::Rng r1(2), r2(2);
+  const auto heavy = synthesize_user_jobs(heavy_profile(), kBegin, kEnd, r1);
+  const auto dormant =
+      synthesize_user_jobs(dormant_profile(), kBegin, kEnd, r2);
+  EXPECT_GT(heavy.size(), dormant.size() * 10);
+}
+
+TEST(JobSynth, DormantUsersHaveLongGaps) {
+  util::Rng rng(3);
+  const auto jobs = synthesize_user_jobs(dormant_profile(), kBegin, kEnd, rng);
+  util::Duration max_gap = 0;
+  for (std::size_t i = 1; i < jobs.size(); ++i) {
+    max_gap = std::max(max_gap, jobs[i].submit_time - jobs[i - 1].submit_time);
+  }
+  if (jobs.size() >= 2) {
+    EXPECT_GT(max_gap, util::days(90));  // the FLT-miss-inducing gap
+  }
+}
+
+TEST(PubSynth, OnlyPublishingProfilesLeadPublications) {
+  util::Rng rng(4);
+  PopulationMix mix{};
+  mix.fraction[static_cast<std::size_t>(Archetype::kHeavyBoth)] = 0.5;
+  mix.fraction[static_cast<std::size_t>(Archetype::kToucher)] = 0.5;
+  const auto pop = UserPopulation::generate(200, mix, rng);
+  PubSynthParams params;
+  params.begin = kBegin;
+  params.end = kEnd;
+  const auto pubs = synthesize_publications(pop, params, rng);
+  ASSERT_GT(pubs.size(), 10u);
+  for (const auto& p : pubs.records()) {
+    ASSERT_FALSE(p.authors.empty());
+    EXPECT_NE(pop.profile(p.authors[0]).archetype, Archetype::kToucher);
+    EXPECT_GE(p.published, kBegin);
+    EXPECT_LT(p.published, kEnd);
+    EXPECT_GE(p.citations, 0);
+    EXPECT_LE(p.citations, 500);
+    EXPECT_LE(p.authors.size(), 7u);
+    // No duplicate authors.
+    std::set<trace::UserId> uniq(p.authors.begin(), p.authors.end());
+    EXPECT_EQ(uniq.size(), p.authors.size());
+  }
+}
+
+TEST(AppSynth, EntriesSortedAndCreateBeforeAccess) {
+  util::Rng rng(5);
+  const UserProfile prof = heavy_profile();
+  UserTree tree = synthesize_user_tree(prof, "/scratch/u0", rng);
+  const auto jobs = synthesize_user_jobs(prof, kBegin, kEnd, rng);
+  AppSynthParams params;
+  params.begin = kBegin;
+  params.end = kEnd;
+  params.snapshot_time = (kBegin + kEnd) / 2;
+  const auto trace = synthesize_user_activity(prof, "/scratch/u0",
+                                              std::move(tree), jobs, params,
+                                              rng);
+
+  ASSERT_FALSE(trace.entries.empty());
+  std::map<std::string, bool> created;
+  util::TimePoint prev = 0;
+  for (const auto& e : trace.entries) {
+    EXPECT_GE(e.timestamp, prev);
+    prev = e.timestamp;
+    EXPECT_EQ(e.user, prof.user);
+    if (e.op == trace::FileOp::kCreate) {
+      EXPECT_FALSE(created[e.path]) << "double create: " << e.path;
+      created[e.path] = true;
+      EXPECT_GT(e.size_bytes, 0u);
+    } else {
+      EXPECT_TRUE(created[e.path]) << "access before create: " << e.path;
+    }
+  }
+}
+
+TEST(AppSynth, SnapshotAtimesConsistent) {
+  util::Rng rng(6);
+  const UserProfile prof = heavy_profile();
+  UserTree tree = synthesize_user_tree(prof, "/scratch/u0", rng);
+  const auto jobs = synthesize_user_jobs(prof, kBegin, kEnd, rng);
+  AppSynthParams params;
+  params.begin = kBegin;
+  params.end = kEnd;
+  params.snapshot_time = (kBegin + kEnd) / 2;
+  const auto trace = synthesize_user_activity(prof, "/scratch/u0",
+                                              std::move(tree), jobs, params,
+                                              rng);
+  ASSERT_EQ(trace.created_at.size(), trace.all_files.size());
+  ASSERT_EQ(trace.atime_at_snapshot.size(), trace.all_files.size());
+  for (std::size_t i = 0; i < trace.all_files.size(); ++i) {
+    const auto created = trace.created_at[i];
+    const auto atime = trace.atime_at_snapshot[i];
+    if (atime >= 0) {
+      EXPECT_LE(atime, params.snapshot_time);
+      ASSERT_GE(created, 0);
+      EXPECT_GE(atime, created);
+    }
+    if (created >= 0 && created <= params.snapshot_time) {
+      EXPECT_GE(atime, 0) << "file created before snapshot must have atime";
+    }
+  }
+}
+
+TEST(AppSynth, MostInitialFilesIntroducedForActiveUsers) {
+  util::Rng rng(7);
+  const UserProfile prof = heavy_profile();
+  UserTree tree = synthesize_user_tree(prof, "/scratch/u0", rng);
+  const std::size_t initial = tree.files.size();
+  const auto jobs = synthesize_user_jobs(prof, kBegin, kEnd, rng);
+  AppSynthParams params;
+  params.begin = kBegin;
+  params.end = kEnd;
+  params.snapshot_time = kEnd;
+  const auto trace = synthesize_user_activity(prof, "/scratch/u0",
+                                              std::move(tree), jobs, params,
+                                              rng);
+  std::size_t introduced = 0;
+  for (std::size_t i = 0; i < initial; ++i) {
+    if (trace.created_at[i] >= 0) ++introduced;
+  }
+  EXPECT_GT(introduced, initial * 8 / 10);
+}
+
+TEST(AppSynth, ToucherEmitsPeriodicTouches) {
+  util::Rng rng(8);
+  UserProfile prof = dormant_profile();
+  prof.archetype = Archetype::kToucher;
+  prof.touch_interval_days = 60;
+  prof.file_count = 20;
+  UserTree tree = synthesize_user_tree(prof, "/scratch/u0", rng);
+  const auto jobs = synthesize_user_jobs(prof, kBegin, kEnd, rng);
+  AppSynthParams params;
+  params.begin = kBegin;
+  params.end = kEnd;
+  params.snapshot_time = kEnd;
+  const auto trace = synthesize_user_activity(prof, "/scratch/u0",
+                                              std::move(tree), jobs, params,
+                                              rng);
+  // Touch-all events dominate the entry count for touchers: expect far more
+  // accesses than a dormant user's job stream alone would produce.
+  std::size_t accesses = 0;
+  for (const auto& e : trace.entries) {
+    if (e.op == trace::FileOp::kAccess) ++accesses;
+  }
+  // ~4 years / 60 days = ~24 sweeps over the introduced subset of 20 files.
+  EXPECT_GT(accesses, 100u);
+}
+
+TEST(AppSynth, DeadFilesNeverReAccessed) {
+  util::Rng rng(9);
+  UserProfile prof = heavy_profile();
+  prof.dead_file_fraction = 1.0;  // everything is a write-once dump
+  prof.touch_interval_days = 0;
+  UserTree tree = synthesize_user_tree(prof, "/scratch/u0", rng);
+  const auto jobs = synthesize_user_jobs(prof, kBegin, kEnd, rng);
+  AppSynthParams params;
+  params.begin = kBegin;
+  params.end = kEnd;
+  params.snapshot_time = kEnd;
+  params.extra_files_per_job = 0.0;
+  const auto trace = synthesize_user_activity(prof, "/scratch/u0",
+                                              std::move(tree), jobs, params,
+                                              rng);
+  for (const auto& e : trace.entries) {
+    EXPECT_EQ(e.op, trace::FileOp::kCreate)
+        << "write-once file re-accessed: " << e.path;
+  }
+}
+
+TEST(AppSynth, DumpRotationBoundsFileUniverse) {
+  util::Rng rng(10);
+  UserProfile prof = heavy_profile();
+  prof.file_count = 10;
+  prof.dump_rotation_depth = 5;
+  UserTree tree = synthesize_user_tree(prof, "/scratch/u0", rng);
+  const std::size_t projects = tree.project_count;
+  const auto jobs = synthesize_user_jobs(prof, kBegin, kEnd, rng);
+  ASSERT_GT(jobs.size(), 100u);  // plenty of dump opportunities
+  AppSynthParams params;
+  params.begin = kBegin;
+  params.end = kEnd;
+  params.snapshot_time = kEnd;
+  params.extra_files_per_job = 1.0;  // a dump per job
+  const auto trace = synthesize_user_activity(prof, "/scratch/u0",
+                                              std::move(tree), jobs, params,
+                                              rng);
+  // Universe = 10 initial files + at most depth x projects dump slots,
+  // despite hundreds of dump events.
+  EXPECT_LE(trace.all_files.size(), 10u + 5u * projects);
+}
+
+TEST(TitanModel, TenureDelaysFirstJob) {
+  TitanParams p;
+  p.users = 300;
+  p.seed = 33;
+  const auto scenario = build_titan_scenario(p);
+  std::vector<util::TimePoint> first_job(p.users,
+                                         std::numeric_limits<
+                                             util::TimePoint>::max());
+  for (const auto& j : scenario.jobs.records()) {
+    first_job[j.user] = std::min(first_job[j.user], j.submit_time);
+  }
+  std::size_t late_joiners = 0;
+  for (trace::UserId u = 0; u < p.users; ++u) {
+    const auto& prof = scenario.population.profile(u);
+    if (prof.tenure_fraction > 0.0 &&
+        first_job[u] != std::numeric_limits<util::TimePoint>::max()) {
+      const util::TimePoint latest_join =
+          scenario.sim_begin - util::days(120);
+      const util::TimePoint expected_start =
+          scenario.trace_begin +
+          static_cast<util::Duration>(
+              prof.tenure_fraction *
+              static_cast<double>(latest_join - scenario.trace_begin));
+      EXPECT_GE(first_job[u], expected_start) << u;
+      ++late_joiners;
+    }
+  }
+  // Roughly half the population joined late.
+  EXPECT_GT(late_joiners, p.users / 5);
+}
+
+TEST(PubSynth, CoauthorshipConcentratesInPublishingPool) {
+  util::Rng rng(12);
+  const auto pop =
+      UserPopulation::generate(2000, PopulationMix::titan_default(), rng);
+  PubSynthParams params;
+  params.begin = kBegin;
+  params.end = kEnd;
+  const auto pubs = synthesize_publications(pop, params, rng);
+  std::set<trace::UserId> authors;
+  for (const auto& p : pubs.records()) {
+    authors.insert(p.authors.begin(), p.authors.end());
+  }
+  // Unique authors stay a small share of the population — this is what
+  // keeps Fig. 5's outcome-active share in the low percent range.
+  EXPECT_LT(authors.size(), 2000u * 12 / 100);
+  EXPECT_GT(authors.size(), 10u);
+}
+
+TEST(AppSynth, HotTrafficScalesWithProfile) {
+  auto count_accesses = [](double hot, std::uint64_t seed) {
+    util::Rng rng(seed);
+    UserProfile prof;
+    prof.user = 0;
+    prof.archetype = Archetype::kHeavyBoth;
+    prof.job_rate_per_day = 0.3;
+    prof.episode_days_mean = 60;
+    prof.gap_days_mean = 5;
+    prof.gap_days_sigma = 0.3;
+    prof.file_count = 40;
+    prof.working_set_fraction = 0.1;
+    prof.dead_file_fraction = 0.3;
+    prof.hot_accesses_per_job = hot;
+    util::Rng tree_rng(1);  // identical trees
+    UserTree tree = synthesize_user_tree(prof, "/scratch/u0", tree_rng);
+    util::Rng jobs_rng(2);  // identical job streams
+    const auto jobs = synthesize_user_jobs(prof, kBegin, kEnd, jobs_rng);
+    AppSynthParams params;
+    params.begin = kBegin;
+    params.end = kEnd;
+    params.snapshot_time = kEnd;
+    const auto trace = synthesize_user_activity(prof, "/scratch/u0",
+                                                std::move(tree), jobs, params,
+                                                rng);
+    std::size_t accesses = 0;
+    for (const auto& e : trace.entries) {
+      if (e.op == trace::FileOp::kAccess) ++accesses;
+    }
+    return accesses;
+  };
+  EXPECT_GT(count_accesses(12.0, 7), count_accesses(0.5, 7) * 2);
+}
+
+}  // namespace
+}  // namespace adr::synth

@@ -1,0 +1,107 @@
+#include "synth/user_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace adr::synth {
+namespace {
+
+TEST(PopulationMix, TitanDefaultSumsToOne) {
+  const auto mix = PopulationMix::titan_default();
+  double total = 0;
+  for (double f : mix.fraction) total += f;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  // The dominant archetype must be dormant (>92% of users are inactive in
+  // Fig. 5).
+  EXPECT_GT(mix.fraction[static_cast<std::size_t>(Archetype::kDormant)], 0.6);
+}
+
+TEST(UserPopulation, GeneratesRequestedCount) {
+  util::Rng rng(1);
+  const auto pop =
+      UserPopulation::generate(500, PopulationMix::titan_default(), rng);
+  EXPECT_EQ(pop.size(), 500u);
+  for (trace::UserId u = 0; u < 500; ++u) {
+    EXPECT_EQ(pop.profile(u).user, u);
+  }
+  EXPECT_THROW(pop.profile(500), std::out_of_range);
+}
+
+TEST(UserPopulation, Deterministic) {
+  util::Rng a(7), b(7);
+  const auto mix = PopulationMix::titan_default();
+  const auto p1 = UserPopulation::generate(100, mix, a);
+  const auto p2 = UserPopulation::generate(100, mix, b);
+  for (trace::UserId u = 0; u < 100; ++u) {
+    EXPECT_EQ(p1.profile(u).archetype, p2.profile(u).archetype);
+    EXPECT_DOUBLE_EQ(p1.profile(u).job_rate_per_day,
+                     p2.profile(u).job_rate_per_day);
+  }
+}
+
+TEST(UserPopulation, MixFractionsRoughlyRespected) {
+  util::Rng rng(3);
+  const auto mix = PopulationMix::titan_default();
+  const auto pop = UserPopulation::generate(5000, mix, rng);
+  const auto counts = pop.archetype_counts();
+  for (std::size_t a = 0; a < kArchetypeCount; ++a) {
+    const double expected = mix.fraction[a] * 5000;
+    EXPECT_NEAR(counts[a], expected, expected * 0.35 + 25) << archetype_name(
+        static_cast<Archetype>(a));
+  }
+}
+
+TEST(UserPopulation, OnlyTouchersTouch) {
+  util::Rng rng(4);
+  const auto pop =
+      UserPopulation::generate(2000, PopulationMix::titan_default(), rng);
+  for (const auto& p : pop.profiles()) {
+    if (p.archetype == Archetype::kToucher) {
+      EXPECT_GT(p.touch_interval_days, 0);
+      EXPECT_LT(p.touch_interval_days, 90);  // under the facility lifetime
+    } else {
+      EXPECT_EQ(p.touch_interval_days, 0);
+    }
+  }
+}
+
+TEST(UserPopulation, ArchetypeRatesOrdered) {
+  util::Rng rng(5);
+  const auto pop =
+      UserPopulation::generate(3000, PopulationMix::titan_default(), rng);
+  // Heavy/operation users must have much shorter revisit gaps than dormant
+  // ones — that separation is what drives the Fig. 5 split.
+  double heavy_gap = 0, dormant_gap = 0;
+  std::size_t heavy_n = 0, dormant_n = 0;
+  for (const auto& p : pop.profiles()) {
+    if (p.archetype == Archetype::kHeavyBoth ||
+        p.archetype == Archetype::kOperationHeavy) {
+      heavy_gap += p.gap_days_mean;
+      ++heavy_n;
+    } else if (p.archetype == Archetype::kDormant) {
+      dormant_gap += p.gap_days_mean;
+      ++dormant_n;
+    }
+  }
+  ASSERT_GT(heavy_n, 0u);
+  ASSERT_GT(dormant_n, 0u);
+  EXPECT_LT(heavy_gap / static_cast<double>(heavy_n),
+            0.2 * dormant_gap / static_cast<double>(dormant_n));
+}
+
+TEST(UserPopulation, EmptyMixThrows) {
+  util::Rng rng(6);
+  PopulationMix empty{};
+  EXPECT_THROW(UserPopulation::generate(10, empty, rng),
+               std::invalid_argument);
+}
+
+TEST(ArchetypeName, AllDistinct) {
+  std::set<std::string> names;
+  for (std::size_t a = 0; a < kArchetypeCount; ++a) {
+    names.insert(archetype_name(static_cast<Archetype>(a)));
+  }
+  EXPECT_EQ(names.size(), kArchetypeCount);
+}
+
+}  // namespace
+}  // namespace adr::synth

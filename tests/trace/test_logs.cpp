@@ -1,0 +1,178 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "trace/app_log.hpp"
+#include "trace/job_log.hpp"
+#include "trace/publication_log.hpp"
+
+namespace adr::trace {
+namespace {
+
+class TempFile {
+ public:
+  explicit TempFile(const char* stem)
+      : path_(::testing::TempDir() + "/" + stem) {}
+  ~TempFile() { std::remove(path_.c_str()); }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+JobRecord make_job(UserId user, util::TimePoint t, std::int64_t dur,
+                   std::int32_t cores) {
+  JobRecord j;
+  j.user = user;
+  j.submit_time = t;
+  j.duration_seconds = dur;
+  j.cores = cores;
+  return j;
+}
+
+TEST(JobRecord, CoreHours) {
+  const JobRecord j = make_job(0, 0, 7200, 16);
+  EXPECT_DOUBLE_EQ(j.core_hours(), 32.0);
+}
+
+TEST(JobLog, SortAndIds) {
+  JobLog log;
+  log.add(make_job(1, 300, 60, 1));
+  log.add(make_job(2, 100, 60, 1));
+  log.add(make_job(3, 200, 60, 1));
+  EXPECT_FALSE(log.is_sorted_by_time());
+  log.sort_by_time();
+  EXPECT_TRUE(log.is_sorted_by_time());
+  log.assign_ids();
+  EXPECT_EQ(log.records()[0].job_id, 1u);
+  EXPECT_EQ(log.records()[0].user, 2u);
+  EXPECT_EQ(log.records()[2].job_id, 3u);
+}
+
+TEST(JobLog, Slice) {
+  JobLog log;
+  for (int i = 0; i < 10; ++i) log.add(make_job(0, i * 100, 60, 1));
+  const auto slice = log.slice(200, 500);
+  ASSERT_EQ(slice.size(), 3u);
+  EXPECT_EQ(slice.front().submit_time, 200);
+  EXPECT_EQ(slice.back().submit_time, 400);
+}
+
+TEST(JobLog, CsvRoundTrip) {
+  JobLog log;
+  log.add(make_job(5, 1451606400, 3600, 128));
+  log.add(make_job(7, 1451692800, 60, 1));
+  log.assign_ids();
+  TempFile f("jobs.csv");
+  log.save_csv(f.path());
+  const JobLog loaded = JobLog::load_csv(f.path());
+  ASSERT_EQ(loaded.size(), 2u);
+  EXPECT_EQ(loaded.records()[0].user, 5u);
+  EXPECT_EQ(loaded.records()[0].cores, 128);
+  EXPECT_EQ(loaded.records()[1].submit_time, 1451692800);
+}
+
+TEST(JobLog, LoadMissingFileThrows) {
+  EXPECT_THROW(JobLog::load_csv("/nonexistent/jobs.csv"), std::runtime_error);
+}
+
+TEST(Publication, Eq8Impact) {
+  PublicationRecord p;
+  p.citations = 9;
+  p.authors = {1, 2, 3, 4};
+  // D = (c+1) * (n-i+1); lead author of 4 with 9 citations: 10 * 4 = 40.
+  EXPECT_DOUBLE_EQ(p.impact_for_author(1), 40.0);
+  EXPECT_DOUBLE_EQ(p.impact_for_author(4), 10.0);
+}
+
+TEST(Publication, ZeroCitationsStillCount) {
+  PublicationRecord p;
+  p.citations = 0;
+  p.authors = {1};
+  EXPECT_DOUBLE_EQ(p.impact_for_author(1), 1.0);
+}
+
+TEST(PublicationLog, CsvRoundTripPreservesAuthorOrder) {
+  PublicationLog log;
+  PublicationRecord p;
+  p.pub_id = 3;
+  p.published = 1400000000;
+  p.citations = 12;
+  p.authors = {9, 2, 5};
+  log.add(p);
+  TempFile f("pubs.csv");
+  log.save_csv(f.path());
+  const PublicationLog loaded = PublicationLog::load_csv(f.path());
+  ASSERT_EQ(loaded.size(), 1u);
+  EXPECT_EQ(loaded.records()[0].authors, (std::vector<UserId>{9, 2, 5}));
+  EXPECT_EQ(loaded.records()[0].citations, 12);
+}
+
+TEST(PublicationLog, SortByTime) {
+  PublicationLog log;
+  PublicationRecord a, b;
+  a.published = 200;
+  b.published = 100;
+  log.add(a);
+  log.add(b);
+  log.sort_by_time();
+  EXPECT_EQ(log.records()[0].published, 100);
+}
+
+TEST(AppLog, RangeBinarySearch) {
+  AppLog log;
+  for (int i = 0; i < 10; ++i) {
+    AppLogEntry e;
+    e.user = 0;
+    e.timestamp = i * 10;
+    e.path = "/f";
+    log.add(e);
+  }
+  const auto [lo, hi] = log.range(25, 65);
+  EXPECT_EQ(lo, 3u);
+  EXPECT_EQ(hi, 7u);
+}
+
+TEST(AppLog, CsvRoundTripWithOps) {
+  AppLog log;
+  AppLogEntry a;
+  a.user = 1;
+  a.timestamp = 100;
+  a.op = FileOp::kAccess;
+  a.path = "/scratch/u/file,with,commas.dat";
+  AppLogEntry c;
+  c.user = 2;
+  c.timestamp = 200;
+  c.op = FileOp::kCreate;
+  c.path = "/scratch/u/new.h5";
+  c.size_bytes = 123456789;
+  c.stripe_count = 4;
+  log.add(a);
+  log.add(c);
+  TempFile f("applog.csv");
+  log.save_csv(f.path());
+  const AppLog loaded = AppLog::load_csv(f.path());
+  ASSERT_EQ(loaded.size(), 2u);
+  EXPECT_EQ(loaded.entries()[0].path, a.path);
+  EXPECT_EQ(loaded.entries()[0].op, FileOp::kAccess);
+  EXPECT_EQ(loaded.entries()[1].op, FileOp::kCreate);
+  EXPECT_EQ(loaded.entries()[1].size_bytes, 123456789u);
+  EXPECT_EQ(loaded.entries()[1].stripe_count, 4);
+}
+
+TEST(AppLog, SortStable) {
+  AppLog log;
+  AppLogEntry e1{1, 100, FileOp::kAccess, "/a", 0, 1};
+  AppLogEntry e2{2, 100, FileOp::kAccess, "/b", 0, 1};
+  AppLogEntry e0{3, 50, FileOp::kAccess, "/c", 0, 1};
+  log.add(e1);
+  log.add(e2);
+  log.add(e0);
+  log.sort_by_time();
+  EXPECT_EQ(log.entries()[0].path, "/c");
+  EXPECT_EQ(log.entries()[1].path, "/a");  // stable: e1 before e2
+  EXPECT_EQ(log.entries()[2].path, "/b");
+}
+
+}  // namespace
+}  // namespace adr::trace

@@ -1,0 +1,96 @@
+// Failure injection: every trace loader must reject malformed input with a
+// clear error instead of silently mis-parsing an operator's export.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "activeness/rank_store.hpp"
+#include "trace/app_log.hpp"
+#include "trace/job_log.hpp"
+#include "trace/publication_log.hpp"
+#include "trace/snapshot.hpp"
+#include "trace/user_registry.hpp"
+
+namespace adr {
+namespace {
+
+class MalformedInput : public ::testing::Test {
+ protected:
+  std::string path_ = ::testing::TempDir() + "/adr_malformed.csv";
+  void write(const std::string& content) {
+    std::ofstream out(path_);
+    out << content;
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+};
+
+TEST_F(MalformedInput, JobLogWrongColumnCount) {
+  write("job_id,user,submit_time,duration_s,cores\n1,2,3\n");
+  EXPECT_THROW(trace::JobLog::load_csv(path_), std::runtime_error);
+}
+
+TEST_F(MalformedInput, JobLogNonNumeric) {
+  write("job_id,user,submit_time,duration_s,cores\n1,2,not-a-time,4,5\n");
+  EXPECT_THROW(trace::JobLog::load_csv(path_), std::exception);
+}
+
+TEST_F(MalformedInput, JobLogEmptyFile) {
+  write("");
+  EXPECT_THROW(trace::JobLog::load_csv(path_), std::runtime_error);
+}
+
+TEST_F(MalformedInput, PublicationLogWrongColumnCount) {
+  write("pub_id,published,citations,authors\n1,2\n");
+  EXPECT_THROW(trace::PublicationLog::load_csv(path_), std::runtime_error);
+}
+
+TEST_F(MalformedInput, PublicationLogBadAuthorList) {
+  write("pub_id,published,citations,authors\n1,2,3,abc;def\n");
+  EXPECT_THROW(trace::PublicationLog::load_csv(path_), std::exception);
+}
+
+TEST_F(MalformedInput, AppLogWrongColumnCount) {
+  write("user,timestamp,op,path,size,stripes\n1,2,access\n");
+  EXPECT_THROW(trace::AppLog::load_csv(path_), std::runtime_error);
+}
+
+TEST_F(MalformedInput, SnapshotWrongColumnCount) {
+  write("path,owner,stripes,size,atime\n/a,1\n");
+  EXPECT_THROW(trace::Snapshot::load_csv(path_), std::runtime_error);
+}
+
+TEST_F(MalformedInput, SnapshotNonNumericSize) {
+  write("path,owner,stripes,size,atime\n/a,1,1,huge,5\n");
+  EXPECT_THROW(trace::Snapshot::load_csv(path_), std::exception);
+}
+
+TEST_F(MalformedInput, UserRegistryNonDenseIds) {
+  write("user,name\n0,alice\n5,bob\n");
+  EXPECT_THROW(trace::UserRegistry::load_csv(path_), std::runtime_error);
+}
+
+TEST_F(MalformedInput, UserRegistryWrongColumnCount) {
+  write("user,name\n0\n");
+  EXPECT_THROW(trace::UserRegistry::load_csv(path_), std::runtime_error);
+}
+
+TEST_F(MalformedInput, RankStoreWrongColumnCount) {
+  write("user,op_has_data,op_zero,op_log_phi,oc_has_data,oc_zero,oc_log_phi,"
+        "last_activity\n0,1,0\n");
+  EXPECT_THROW(activeness::RankStore::load_csv(path_), std::runtime_error);
+}
+
+TEST_F(MalformedInput, EveryLoaderRejectsMissingFile) {
+  const std::string missing = "/nonexistent/never/there.csv";
+  EXPECT_THROW(trace::JobLog::load_csv(missing), std::runtime_error);
+  EXPECT_THROW(trace::PublicationLog::load_csv(missing), std::runtime_error);
+  EXPECT_THROW(trace::AppLog::load_csv(missing), std::runtime_error);
+  EXPECT_THROW(trace::Snapshot::load_csv(missing), std::runtime_error);
+  EXPECT_THROW(trace::UserRegistry::load_csv(missing), std::runtime_error);
+  EXPECT_THROW(activeness::RankStore::load_csv(missing), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace adr

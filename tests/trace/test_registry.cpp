@@ -1,0 +1,52 @@
+#include "trace/user_registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+namespace adr::trace {
+namespace {
+
+TEST(UserRegistry, DenseIds) {
+  UserRegistry reg;
+  EXPECT_EQ(reg.add("alice"), 0u);
+  EXPECT_EQ(reg.add("bob"), 1u);
+  EXPECT_EQ(reg.add("alice"), 0u);  // idempotent
+  EXPECT_EQ(reg.size(), 2u);
+}
+
+TEST(UserRegistry, Lookup) {
+  UserRegistry reg;
+  reg.add("alice");
+  EXPECT_EQ(reg.name(0), "alice");
+  EXPECT_EQ(reg.find("alice"), 0u);
+  EXPECT_EQ(reg.find("nobody"), kInvalidUser);
+  EXPECT_FALSE(reg.contains(5));
+  EXPECT_THROW(reg.name(5), std::out_of_range);
+}
+
+TEST(UserRegistry, HomeDir) {
+  UserRegistry reg;
+  reg.add("u123");
+  EXPECT_EQ(reg.home_dir(0), "/scratch/u123");
+}
+
+TEST(UserRegistry, SyntheticUsers) {
+  const auto reg = UserRegistry::with_synthetic_users(3, "t_");
+  EXPECT_EQ(reg.size(), 3u);
+  EXPECT_EQ(reg.name(0), "t_00000");
+  EXPECT_EQ(reg.name(2), "t_00002");
+}
+
+TEST(UserRegistry, CsvRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/users.csv";
+  auto reg = UserRegistry::with_synthetic_users(5);
+  reg.save_csv(path);
+  const auto loaded = UserRegistry::load_csv(path);
+  EXPECT_EQ(loaded.size(), 5u);
+  EXPECT_EQ(loaded.name(3), reg.name(3));
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace adr::trace

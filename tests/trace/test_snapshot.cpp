@@ -1,0 +1,101 @@
+#include "trace/snapshot.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+namespace adr::trace {
+namespace {
+
+SnapshotEntry entry(const std::string& path, UserId owner, std::uint64_t size,
+                    util::TimePoint atime) {
+  SnapshotEntry e;
+  e.path = path;
+  e.owner = owner;
+  e.size_bytes = size;
+  e.atime = atime;
+  e.stripe_count = 2;
+  return e;
+}
+
+TEST(Snapshot, TotalBytes) {
+  Snapshot s;
+  s.add(entry("/a", 0, 100, 1));
+  s.add(entry("/b", 1, 250, 2));
+  EXPECT_EQ(s.total_bytes(), 350u);
+  EXPECT_EQ(s.size(), 2u);
+}
+
+TEST(Snapshot, EmptyTotalIsZero) {
+  Snapshot s;
+  EXPECT_EQ(s.total_bytes(), 0u);
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(Snapshot, CsvRoundTrip) {
+  Snapshot s;
+  s.add(entry("/scratch/u0/proj00/run_001/out_0001.h5", 7, 1ull << 40,
+              1451606400));
+  const std::string path = ::testing::TempDir() + "/snap.csv";
+  s.save_csv(path);
+  const Snapshot loaded = Snapshot::load_csv(path);
+  ASSERT_EQ(loaded.size(), 1u);
+  EXPECT_EQ(loaded.entries()[0].path, s.entries()[0].path);
+  EXPECT_EQ(loaded.entries()[0].owner, 7u);
+  EXPECT_EQ(loaded.entries()[0].size_bytes, 1ull << 40);
+  EXPECT_EQ(loaded.entries()[0].atime, 1451606400);
+  EXPECT_EQ(loaded.entries()[0].stripe_count, 2);
+  std::remove(path.c_str());
+}
+
+TEST(Snapshot, LoadMissingThrows) {
+  EXPECT_THROW(Snapshot::load_csv("/nonexistent/snap.csv"),
+               std::runtime_error);
+}
+
+TEST(Snapshot, GzipRoundTrip) {
+  Snapshot s;
+  for (int i = 0; i < 50; ++i) {
+    s.add(entry("/scratch/u/proj/file_" + std::to_string(i) + ".h5",
+                static_cast<UserId>(i % 5), 1000u + static_cast<unsigned>(i),
+                1451606400 + i));
+  }
+  const std::string path = ::testing::TempDir() + "/snap_roundtrip.csv.gz";
+  s.save_csv(path);
+  const Snapshot loaded = Snapshot::load_csv(path);
+  ASSERT_EQ(loaded.size(), s.size());
+  EXPECT_EQ(loaded.total_bytes(), s.total_bytes());
+  EXPECT_EQ(loaded.entries()[49].path, s.entries()[49].path);
+  EXPECT_EQ(loaded.entries()[49].atime, s.entries()[49].atime);
+  std::remove(path.c_str());
+}
+
+TEST(Snapshot, ShardedSaveAndLoad) {
+  Snapshot s;
+  for (int i = 0; i < 103; ++i) {
+    s.add(entry("/scratch/u/f" + std::to_string(i), 0, 10, i));
+  }
+  const std::string dir = ::testing::TempDir() + "/adr_shards";
+  const auto files = save_sharded_snapshot(s, dir, 7, /*gzip=*/true);
+  ASSERT_EQ(files.size(), 7u);
+  EXPECT_EQ(sharded_snapshot_files(dir), files);
+
+  const Snapshot merged = load_sharded_snapshot(dir);
+  EXPECT_EQ(merged.size(), s.size());
+  EXPECT_EQ(merged.total_bytes(), s.total_bytes());
+
+  for (const auto& f : files) std::remove(f.c_str());
+}
+
+TEST(Snapshot, ShardedRejectsZeroShards) {
+  Snapshot s;
+  EXPECT_THROW(save_sharded_snapshot(s, ::testing::TempDir(), 0),
+               std::invalid_argument);
+}
+
+TEST(Snapshot, ShardedFilesOfMissingDirIsEmpty) {
+  EXPECT_TRUE(sharded_snapshot_files("/nonexistent/dir").empty());
+}
+
+}  // namespace
+}  // namespace adr::trace

@@ -1,0 +1,97 @@
+#include "util/config.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+namespace adr::util {
+namespace {
+
+Config parse(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv{"prog"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  return Config::from_args(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Config, ArgsKeyValuePairs) {
+  const Config c = parse({"--users", "500", "--seed=7"});
+  EXPECT_EQ(c.get_int("users", 0), 500);
+  EXPECT_EQ(c.get_int("seed", 0), 7);
+}
+
+TEST(Config, BareFlagIsTrue) {
+  const Config c = parse({"--verbose", "--count", "3"});
+  EXPECT_TRUE(c.get_bool("verbose", false));
+  EXPECT_EQ(c.get_int("count", 0), 3);
+}
+
+TEST(Config, Positional) {
+  const Config c = parse({"input.csv", "--x", "1", "more"});
+  ASSERT_EQ(c.positional().size(), 2u);
+  EXPECT_EQ(c.positional()[0], "input.csv");
+  EXPECT_EQ(c.positional()[1], "more");
+}
+
+TEST(Config, Defaults) {
+  const Config c = parse({});
+  EXPECT_EQ(c.get_string("missing", "dflt"), "dflt");
+  EXPECT_EQ(c.get_int("missing", 42), 42);
+  EXPECT_DOUBLE_EQ(c.get_double("missing", 2.5), 2.5);
+  EXPECT_TRUE(c.get_bool("missing", true));
+  EXPECT_FALSE(c.contains("missing"));
+}
+
+TEST(Config, BoolParsing) {
+  const Config c = parse({"--a=yes", "--b=0", "--c=TRUE", "--d=off"});
+  EXPECT_TRUE(c.get_bool("a", false));
+  EXPECT_FALSE(c.get_bool("b", true));
+  EXPECT_TRUE(c.get_bool("c", false));
+  EXPECT_FALSE(c.get_bool("d", true));
+}
+
+TEST(Config, TypeErrorsThrow) {
+  const Config c = parse({"--n=abc", "--f=xyz", "--b=maybe"});
+  EXPECT_THROW(c.get_int("n", 0), std::runtime_error);
+  EXPECT_THROW(c.get_double("f", 0), std::runtime_error);
+  EXPECT_THROW(c.get_bool("b", false), std::runtime_error);
+}
+
+TEST(Config, MergeOverrides) {
+  Config base = parse({"--a=1", "--b=2"});
+  const Config over = parse({"--b=3", "--c=4"});
+  base.merge(over);
+  EXPECT_EQ(base.get_int("a", 0), 1);
+  EXPECT_EQ(base.get_int("b", 0), 3);
+  EXPECT_EQ(base.get_int("c", 0), 4);
+}
+
+class ConfigFileTest : public ::testing::Test {
+ protected:
+  std::string path_ = ::testing::TempDir() + "/adr_config_test.conf";
+  void write(const std::string& content) {
+    std::ofstream out(path_);
+    out << content;
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+};
+
+TEST_F(ConfigFileTest, ParsesKeyValues) {
+  write("# comment\nlifetime_days = 90\ntarget=0.5  # trailing\n\n");
+  const Config c = Config::from_file(path_);
+  EXPECT_EQ(c.get_int("lifetime_days", 0), 90);
+  EXPECT_DOUBLE_EQ(c.get_double("target", 0), 0.5);
+}
+
+TEST_F(ConfigFileTest, MalformedLineThrows) {
+  write("this line has no equals\n");
+  EXPECT_THROW(Config::from_file(path_), std::runtime_error);
+}
+
+TEST_F(ConfigFileTest, MissingFileThrows) {
+  EXPECT_THROW(Config::from_file("/nonexistent/nowhere.conf"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace adr::util

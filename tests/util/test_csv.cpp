@@ -1,0 +1,99 @@
+#include "util/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace adr::util {
+namespace {
+
+TEST(CsvSplit, Plain) {
+  const auto f = csv_split("a,b,c");
+  ASSERT_EQ(f.size(), 3u);
+  EXPECT_EQ(f[0], "a");
+  EXPECT_EQ(f[2], "c");
+}
+
+TEST(CsvSplit, EmptyFields) {
+  const auto f = csv_split(",,");
+  ASSERT_EQ(f.size(), 3u);
+  for (const auto& s : f) EXPECT_TRUE(s.empty());
+}
+
+TEST(CsvSplit, QuotedWithSeparator) {
+  const auto f = csv_split("\"a,b\",c");
+  ASSERT_EQ(f.size(), 2u);
+  EXPECT_EQ(f[0], "a,b");
+  EXPECT_EQ(f[1], "c");
+}
+
+TEST(CsvSplit, EscapedQuotes) {
+  const auto f = csv_split("\"he said \"\"hi\"\"\",x");
+  ASSERT_EQ(f.size(), 2u);
+  EXPECT_EQ(f[0], "he said \"hi\"");
+}
+
+TEST(CsvSplit, ToleratesTrailingCarriageReturn) {
+  const auto f = csv_split("a,b\r");
+  ASSERT_EQ(f.size(), 2u);
+  EXPECT_EQ(f[1], "b");
+}
+
+TEST(CsvJoin, QuotesOnlyWhenNeeded) {
+  EXPECT_EQ(csv_join({"a", "b"}), "a,b");
+  EXPECT_EQ(csv_join({"a,b", "c"}), "\"a,b\",c");
+  EXPECT_EQ(csv_join({"say \"hi\""}), "\"say \"\"hi\"\"\"");
+}
+
+TEST(CsvRoundTrip, SplitInvertsJoin) {
+  const std::vector<std::string> fields{"plain", "with,comma", "with\"quote",
+                                        "", "path/with/slashes"};
+  EXPECT_EQ(csv_split(csv_join(fields)), fields);
+}
+
+TEST(CsvReader, HeaderAndRows) {
+  std::istringstream in("user,name\n0,alice\n1,bob\n");
+  CsvReader r(in);
+  ASSERT_TRUE(r.read_header());
+  EXPECT_EQ(r.column("user"), 0u);
+  EXPECT_EQ(r.column("name"), 1u);
+  EXPECT_EQ(r.column("missing"), CsvReader::npos);
+  auto row = r.next();
+  ASSERT_TRUE(row);
+  EXPECT_EQ((*row)[1], "alice");
+  row = r.next();
+  ASSERT_TRUE(row);
+  EXPECT_EQ((*row)[1], "bob");
+  EXPECT_FALSE(r.next());
+}
+
+TEST(CsvReader, SkipsBlankLines) {
+  std::istringstream in("a\n\n\nb\n");
+  CsvReader r(in);
+  EXPECT_EQ((*r.next())[0], "a");
+  EXPECT_EQ((*r.next())[0], "b");
+  EXPECT_FALSE(r.next());
+}
+
+TEST(CsvReader, EmptyInput) {
+  std::istringstream in("");
+  CsvReader r(in);
+  EXPECT_FALSE(r.read_header());
+}
+
+TEST(CsvWriter, WritesRows) {
+  std::ostringstream out;
+  CsvWriter w(out);
+  w.write_row({"x", "y"});
+  w.write_row({"1", "hello,world"});
+  EXPECT_EQ(out.str(), "x,y\n1,\"hello,world\"\n");
+}
+
+TEST(Csv, CustomSeparator) {
+  const auto f = csv_split("a|b|c", '|');
+  ASSERT_EQ(f.size(), 3u);
+  EXPECT_EQ(csv_join({"a", "b"}, '|'), "a|b");
+}
+
+}  // namespace
+}  // namespace adr::util

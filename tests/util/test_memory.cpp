@@ -1,0 +1,31 @@
+#include "util/memory.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace adr::util {
+namespace {
+
+TEST(Memory, RssIsPositiveOnLinux) {
+  // /proc/self/status exists on any Linux box this suite runs on.
+  EXPECT_GT(current_rss_bytes(), 0u);
+  EXPECT_GT(peak_rss_bytes(), 0u);
+}
+
+TEST(Memory, PeakIsAtLeastCurrent) {
+  EXPECT_GE(peak_rss_bytes(), current_rss_bytes() / 2);
+}
+
+TEST(Memory, DeltaSeesLargeAllocation) {
+  RssDelta delta;
+  // Touch 64 MiB so the pages are actually resident.
+  std::vector<char> block(64 * 1024 * 1024, 1);
+  // Some allocators may not grow RSS deterministically, so only check the
+  // delta is not absurd.
+  EXPECT_LT(delta.bytes(), 1024ull * 1024 * 1024);
+  EXPECT_GT(block.size(), 0u);
+}
+
+}  // namespace
+}  // namespace adr::util

@@ -1,0 +1,162 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace adr::util {
+namespace {
+
+TEST(Rng, DeterministicGivenSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a() == b()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, ForkIsIndependentAndStable) {
+  Rng root1(7), root2(7);
+  Rng childa = root1.fork(42);
+  Rng childb = root2.fork(42);
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(childa(), childb());
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanNearHalf) {
+  Rng rng(6);
+  double sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformIntCoversRangeInclusive) {
+  Rng rng(8);
+  bool lo = false, hi = false;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform_int(3, 7);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 7);
+    lo |= v == 3;
+    hi |= v == 7;
+  }
+  EXPECT_TRUE(lo);
+  EXPECT_TRUE(hi);
+}
+
+TEST(Rng, BoundedIsUnbiasedEnough) {
+  Rng rng(9);
+  std::vector<int> counts(10, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[rng.bounded(10)];
+  for (int c : counts) EXPECT_NEAR(c, n / 10, n / 10 * 0.15);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(10);
+  double sum = 0, sq = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sq / n, 1.0, 0.03);
+}
+
+TEST(Rng, LognormalMedian) {
+  Rng rng(11);
+  std::vector<double> xs(20001);
+  for (auto& x : xs) x = rng.lognormal(std::log(50.0), 0.8);
+  std::nth_element(xs.begin(), xs.begin() + 10000, xs.end());
+  EXPECT_NEAR(xs[10000], 50.0, 5.0);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(12);
+  double sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(0.25);
+  EXPECT_NEAR(sum / n, 4.0, 0.15);
+}
+
+TEST(Rng, ParetoSupport) {
+  Rng rng(13);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_GE(rng.pareto(2.0, 1.5), 2.0);
+  }
+}
+
+TEST(Rng, PoissonMeanSmallAndLarge) {
+  Rng rng(14);
+  for (double mean : {0.5, 4.0, 80.0}) {
+    double sum = 0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i) sum += static_cast<double>(rng.poisson(mean));
+    EXPECT_NEAR(sum / n, mean, mean * 0.08 + 0.05);
+  }
+}
+
+TEST(Rng, PoissonZeroMean) {
+  Rng rng(15);
+  EXPECT_EQ(rng.poisson(0.0), 0);
+  EXPECT_EQ(rng.poisson(-1.0), 0);
+}
+
+TEST(Rng, BernoulliProbability) {
+  Rng rng(16);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(hits / static_cast<double>(n), 0.3, 0.01);
+}
+
+TEST(Zipf, RejectsEmptyDomain) {
+  EXPECT_THROW(ZipfDistribution(0, 1.0), std::invalid_argument);
+}
+
+TEST(Zipf, RanksWithinDomain) {
+  Rng rng(17);
+  ZipfDistribution zipf(100, 1.2);
+  for (int i = 0; i < 1000; ++i) {
+    const auto r = zipf(rng);
+    EXPECT_GE(r, 1u);
+    EXPECT_LE(r, 100u);
+  }
+}
+
+TEST(Zipf, RankOneMostPopular) {
+  Rng rng(18);
+  ZipfDistribution zipf(50, 1.0);
+  std::vector<int> counts(51, 0);
+  for (int i = 0; i < 50000; ++i) ++counts[zipf(rng)];
+  EXPECT_GT(counts[1], counts[2]);
+  EXPECT_GT(counts[1], counts[10] * 5);
+}
+
+TEST(Zipf, DegenerateSingleton) {
+  Rng rng(19);
+  ZipfDistribution zipf(1, 2.0);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(zipf(rng), 1u);
+}
+
+}  // namespace
+}  // namespace adr::util

@@ -1,0 +1,141 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace adr::util {
+namespace {
+
+TEST(OnlineStats, EmptyIsZero) {
+  OnlineStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.min(), 0.0);
+  EXPECT_EQ(s.max(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(OnlineStats, BasicMoments) {
+  OnlineStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 4.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(OnlineStats, MergeMatchesSequential) {
+  OnlineStats all, a, b;
+  for (int i = 0; i < 100; ++i) {
+    const double x = std::sin(i) * 10 + i * 0.1;
+    all.add(x);
+    (i % 2 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-10);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(OnlineStats, MergeWithEmpty) {
+  OnlineStats a, empty;
+  a.add(3.0);
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 1u);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 1u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 3.0);
+}
+
+TEST(Quantile, EmptyAndSingle) {
+  EXPECT_EQ(quantile({}, 0.5), 0.0);
+  EXPECT_EQ(quantile({7.0}, 0.0), 7.0);
+  EXPECT_EQ(quantile({7.0}, 1.0), 7.0);
+}
+
+TEST(Quantile, Interpolates) {
+  const std::vector<double> v{1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(quantile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 0.5), 2.5);
+  EXPECT_DOUBLE_EQ(quantile(v, 0.25), 1.75);
+}
+
+TEST(Quantile, UnsortedInput) {
+  EXPECT_DOUBLE_EQ(quantile({9, 1, 5}, 0.5), 5.0);
+}
+
+TEST(FiveNumber, MatchesHandComputation) {
+  const std::vector<double> v{1, 2, 3, 4, 5, 6, 7, 8, 9};
+  const auto s = five_number_summary(v);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.q1, 3.0);
+  EXPECT_DOUBLE_EQ(s.median, 5.0);
+  EXPECT_DOUBLE_EQ(s.q3, 7.0);
+  EXPECT_DOUBLE_EQ(s.max, 9.0);
+  EXPECT_DOUBLE_EQ(s.mean, 5.0);
+  EXPECT_EQ(s.count, 9u);
+}
+
+TEST(FiveNumber, Empty) {
+  const auto s = five_number_summary({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.median, 0.0);
+}
+
+TEST(RangeHistogram, BinsAreLeftOpenRightClosed) {
+  RangeHistogram h;
+  h.add_bin("a", 0.0, 1.0);
+  h.add_bin("b", 1.0, 2.0);
+  h.add(0.0);  // at/below first lo -> underflow
+  h.add(1.0);  // boundary belongs to the lower bin
+  h.add(1.5);
+  h.add(2.0);
+  h.add(3.0);  // overflow
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.bins()[0].count, 1u);
+  EXPECT_EQ(h.bins()[1].count, 2u);
+  EXPECT_EQ(h.overflow(), 1u);
+  EXPECT_EQ(h.total(), 5u);
+}
+
+TEST(RangeHistogram, PaperBinsMatchAxisLabels) {
+  const auto h = RangeHistogram::paper_miss_ratio_bins();
+  ASSERT_EQ(h.bins().size(), 11u);
+  EXPECT_EQ(h.bins().front().label, "1%-5%");
+  EXPECT_EQ(h.bins().back().label, "90%-100%");
+}
+
+TEST(RangeHistogram, PaperBinsClassifyRatios) {
+  auto h = RangeHistogram::paper_miss_ratio_bins();
+  h.add(0.0);    // a zero-miss day is not in any range
+  h.add(0.004);  // <1% ditto
+  h.add(0.03);
+  h.add(0.07);
+  h.add(0.95);
+  EXPECT_EQ(h.underflow(), 2u);
+  EXPECT_EQ(h.bins()[0].count, 1u);
+  EXPECT_EQ(h.bins()[1].count, 1u);
+  EXPECT_EQ(h.bins()[10].count, 1u);
+}
+
+TEST(Format, Bytes) {
+  EXPECT_EQ(format_bytes(512), "512.00 B");
+  EXPECT_EQ(format_bytes(1024.0), "1.00 KiB");
+  EXPECT_EQ(format_bytes(1024.0 * 1024 * 1024 * 1024 * 1024 * 3), "3.00 PiB");
+}
+
+TEST(Format, Percent) {
+  EXPECT_EQ(format_percent(0.1234), "12.34%");
+  EXPECT_EQ(format_percent(0.5, 0), "50%");
+  EXPECT_EQ(format_percent(-0.405, 2), "-40.50%");
+}
+
+}  // namespace
+}  // namespace adr::util

@@ -1,0 +1,65 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace adr::util {
+namespace {
+
+TEST(Table, RendersHeadersAndRows) {
+  Table t("Demo");
+  t.set_headers({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"bb", "22"});
+  std::ostringstream out;
+  t.print(out);
+  const std::string s = out.str();
+  EXPECT_NE(s.find("== Demo =="), std::string::npos);
+  EXPECT_NE(s.find("| name"), std::string::npos);
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(Table, NumericCellsRightAligned) {
+  Table t;
+  t.set_headers({"k", "v"});
+  t.add_row({"x", "5"});
+  t.add_row({"y", "500"});
+  std::ostringstream out;
+  t.print(out);
+  // The short number must be padded on the left to align with "500".
+  EXPECT_NE(out.str().find("|   5 |"), std::string::npos);
+}
+
+TEST(Table, EmptyTablePrintsNothing) {
+  Table t;
+  std::ostringstream out;
+  t.print(out);
+  EXPECT_TRUE(out.str().empty());
+}
+
+TEST(Table, RaggedRowsPadded) {
+  Table t;
+  t.set_headers({"a", "b", "c"});
+  t.add_row({"only-one"});
+  std::ostringstream out;
+  t.print(out);
+  EXPECT_NE(out.str().find("only-one"), std::string::npos);
+}
+
+TEST(Fmt, Double) {
+  EXPECT_EQ(fmt_double(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt_double(1.0, 0), "1");
+}
+
+TEST(Fmt, IntThousands) {
+  EXPECT_EQ(fmt_int(0), "0");
+  EXPECT_EQ(fmt_int(999), "999");
+  EXPECT_EQ(fmt_int(1000), "1,000");
+  EXPECT_EQ(fmt_int(1234567), "1,234,567");
+  EXPECT_EQ(fmt_int(-45678), "-45,678");
+}
+
+}  // namespace
+}  // namespace adr::util

@@ -1,0 +1,93 @@
+#include "util/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace adr::util {
+namespace {
+
+TEST(ThreadPool, SubmitReturnsValue) {
+  ThreadPool pool(2);
+  auto fut = pool.submit([] { return 7 * 6; });
+  EXPECT_EQ(fut.get(), 42);
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndexOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(0, hits.size(), [&](std::size_t i) { hits[i]++; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForEmptyRange) {
+  ThreadPool pool(2);
+  bool ran = false;
+  pool.parallel_for(5, 5, [&](std::size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPool, ParallelForSingleThreadPool) {
+  // Single-core machines get a pool with zero workers; the caller must
+  // still drain everything.
+  ThreadPool pool(1);
+  std::atomic<int> sum{0};
+  pool.parallel_for(0, 100, [&](std::size_t i) {
+    sum += static_cast<int>(i);
+  });
+  EXPECT_EQ(sum.load(), 4950);
+}
+
+TEST(ThreadPool, ParallelForCustomGrain) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(64);
+  pool.parallel_for(0, hits.size(), [&](std::size_t i) { hits[i]++; },
+                    /*grain=*/7);
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForPropagatesException) {
+  ThreadPool pool(2);
+  EXPECT_THROW(
+      pool.parallel_for(0, 100,
+                        [&](std::size_t i) {
+                          if (i == 13) throw std::runtime_error("boom");
+                        }),
+      std::runtime_error);
+}
+
+TEST(ThreadPool, ParallelShardsPartitionIdsAreSane) {
+  ThreadPool pool(3);
+  std::mutex m;
+  std::vector<std::pair<std::size_t, std::size_t>> seen;
+  pool.parallel_shards([&](std::size_t shard, std::size_t count) {
+    std::lock_guard<std::mutex> lock(m);
+    seen.emplace_back(shard, count);
+  });
+  ASSERT_EQ(seen.size(), pool.size() + 1);
+  for (const auto& [shard, count] : seen) {
+    EXPECT_EQ(count, pool.size() + 1);
+    EXPECT_LT(shard, count);
+  }
+}
+
+TEST(ThreadPool, GlobalPoolIsSingleton) {
+  EXPECT_EQ(&global_pool(), &global_pool());
+}
+
+TEST(ThreadPool, ManySmallTasks) {
+  ThreadPool pool(2);
+  std::atomic<int> n{0};
+  std::vector<std::future<void>> futs;
+  for (int i = 0; i < 200; ++i) {
+    futs.push_back(pool.submit([&] { n++; }));
+  }
+  for (auto& f : futs) f.get();
+  EXPECT_EQ(n.load(), 200);
+}
+
+}  // namespace
+}  // namespace adr::util

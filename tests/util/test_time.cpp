@@ -1,0 +1,110 @@
+#include "util/time.hpp"
+
+#include <gtest/gtest.h>
+
+namespace adr::util {
+namespace {
+
+TEST(Time, EpochIsDayZero) {
+  EXPECT_EQ(days_from_civil(1970, 1, 1), 0);
+  EXPECT_EQ(from_civil(1970, 1, 1), 0);
+}
+
+TEST(Time, KnownDates) {
+  EXPECT_EQ(from_civil(2016, 1, 1), 1451606400);
+  EXPECT_EQ(from_civil(2000, 3, 1), 951868800);
+  EXPECT_EQ(from_civil(1969, 12, 31), -86400);
+}
+
+TEST(Time, CivilRoundTripAcrossYears) {
+  for (int year : {1900, 1970, 1999, 2000, 2015, 2016, 2100}) {
+    for (int month = 1; month <= 12; ++month) {
+      const TimePoint tp = from_civil(year, month, 15);
+      const CivilDate c = to_civil(tp);
+      EXPECT_EQ(c.year, year);
+      EXPECT_EQ(c.month, month);
+      EXPECT_EQ(c.day, 15);
+    }
+  }
+}
+
+TEST(Time, RoundTripEveryDayOf2016) {
+  // 2016 is the paper's replay year and a leap year.
+  std::int64_t d0 = days_from_civil(2016, 1, 1);
+  for (int i = 0; i < 366; ++i) {
+    const CivilDate c = civil_from_days(d0 + i);
+    EXPECT_EQ(days_from_civil(c.year, c.month, c.day), d0 + i);
+  }
+  EXPECT_EQ(civil_from_days(d0 + 365), (CivilDate{2016, 12, 31}));
+  EXPECT_EQ(civil_from_days(d0 + 366), (CivilDate{2017, 1, 1}));
+}
+
+TEST(Time, LeapYears) {
+  EXPECT_TRUE(is_leap_year(2016));
+  EXPECT_TRUE(is_leap_year(2000));
+  EXPECT_FALSE(is_leap_year(1900));
+  EXPECT_FALSE(is_leap_year(2015));
+  EXPECT_EQ(days_in_year(2016), 366);
+  EXPECT_EQ(days_in_year(2015), 365);
+}
+
+TEST(Time, DayOfYear) {
+  EXPECT_EQ(day_of_year(from_civil(2016, 1, 1)), 1);
+  EXPECT_EQ(day_of_year(from_civil(2016, 12, 31)), 366);
+  EXPECT_EQ(day_of_year(from_civil(2016, 3, 1)), 61);  // leap year
+  EXPECT_EQ(day_of_year(from_civil(2015, 3, 1)), 60);
+}
+
+TEST(Time, FloorToDay) {
+  const TimePoint noon = from_civil(2016, 6, 1) + 12 * kSecondsPerHour;
+  EXPECT_EQ(floor_to_day(noon), from_civil(2016, 6, 1));
+  EXPECT_EQ(floor_to_day(from_civil(2016, 6, 1)), from_civil(2016, 6, 1));
+  // Negative timestamps floor toward -inf, not zero.
+  EXPECT_EQ(floor_to_day(-1), -kSecondsPerDay);
+}
+
+TEST(Time, CeilDaysBetween) {
+  const TimePoint a = from_civil(2016, 1, 1);
+  EXPECT_EQ(ceil_days_between(a, a), 0);
+  EXPECT_EQ(ceil_days_between(a, a + 1), 1);
+  EXPECT_EQ(ceil_days_between(a, a + kSecondsPerDay), 1);
+  EXPECT_EQ(ceil_days_between(a, a + kSecondsPerDay + 1), 2);
+  EXPECT_EQ(ceil_days_between(a + 100, a), 0);  // reversed clamps to 0
+}
+
+TEST(Time, Formatting) {
+  const TimePoint tp = from_civil(2016, 8, 23) + 3661;
+  EXPECT_EQ(format_date(tp), "2016-08-23");
+  EXPECT_EQ(format_datetime(tp), "2016-08-23 01:01:01");
+  EXPECT_EQ(format_month(tp), "2016-08");
+}
+
+TEST(Time, ParseDateValid) {
+  TimePoint tp = 0;
+  ASSERT_TRUE(parse_date("2016-02-29", tp));
+  EXPECT_EQ(tp, from_civil(2016, 2, 29));
+}
+
+TEST(Time, ParseDateRejectsBadInput) {
+  TimePoint tp = 0;
+  EXPECT_FALSE(parse_date("2015-02-29", tp));  // not a leap year
+  EXPECT_FALSE(parse_date("2015-13-01", tp));
+  EXPECT_FALSE(parse_date("2015-00-10", tp));
+  EXPECT_FALSE(parse_date("garbage", tp));
+  EXPECT_FALSE(parse_date("", tp));
+}
+
+TEST(Time, FormatDuration) {
+  EXPECT_EQ(format_duration_seconds(0.5), "500ms");
+  EXPECT_EQ(format_duration_seconds(12.34), "12.3s");
+  EXPECT_EQ(format_duration_seconds(125), "2m 05s");
+  EXPECT_EQ(format_duration_seconds(3725), "1h 02m 05s");
+}
+
+TEST(Time, DurationHelpers) {
+  EXPECT_EQ(days(90), 90 * kSecondsPerDay);
+  EXPECT_EQ(hours(2), 7200);
+}
+
+}  // namespace
+}  // namespace adr::util

@@ -1,0 +1,10 @@
+// The `activedr` command-line tool. All logic lives in src/cli so the test
+// suite can drive it in-process; this is just the entry point.
+
+#include <iostream>
+
+#include "cli/commands.hpp"
+
+int main(int argc, char** argv) {
+  return adr::cli::run_cli(argc, argv, std::cout, std::cerr);
+}
