@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_exponent"
+  "../bench/bench_ablation_exponent.pdb"
+  "CMakeFiles/bench_ablation_exponent.dir/bench_ablation_exponent.cpp.o"
+  "CMakeFiles/bench_ablation_exponent.dir/bench_ablation_exponent.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_exponent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_retrospective"
+  "../bench/bench_ablation_retrospective.pdb"
+  "CMakeFiles/bench_ablation_retrospective.dir/bench_ablation_retrospective.cpp.o"
+  "CMakeFiles/bench_ablation_retrospective.dir/bench_ablation_retrospective.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_retrospective.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

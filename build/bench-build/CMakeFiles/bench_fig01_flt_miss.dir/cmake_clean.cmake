@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig01_flt_miss"
+  "../bench/bench_fig01_flt_miss.pdb"
+  "CMakeFiles/bench_fig01_flt_miss.dir/bench_fig01_flt_miss.cpp.o"
+  "CMakeFiles/bench_fig01_flt_miss.dir/bench_fig01_flt_miss.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig01_flt_miss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig08_miss_reduction"
+  "../bench/bench_fig08_miss_reduction.pdb"
+  "CMakeFiles/bench_fig08_miss_reduction.dir/bench_fig08_miss_reduction.cpp.o"
+  "CMakeFiles/bench_fig08_miss_reduction.dir/bench_fig08_miss_reduction.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig08_miss_reduction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig12_performance"
+  "../bench/bench_fig12_performance.pdb"
+  "CMakeFiles/bench_fig12_performance.dir/bench_fig12_performance.cpp.o"
+  "CMakeFiles/bench_fig12_performance.dir/bench_fig12_performance.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_performance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table1_flt_presets"
+  "../bench/bench_table1_flt_presets.pdb"
+  "CMakeFiles/bench_table1_flt_presets.dir/bench_table1_flt_presets.cpp.o"
+  "CMakeFiles/bench_table1_flt_presets.dir/bench_table1_flt_presets.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_flt_presets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_table1_flt_presets.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_activities.dir/custom_activities.cpp.o"
+  "CMakeFiles/custom_activities.dir/custom_activities.cpp.o.d"
+  "custom_activities"
+  "custom_activities.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_activities.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

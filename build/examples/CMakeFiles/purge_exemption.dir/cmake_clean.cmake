@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/purge_exemption.dir/purge_exemption.cpp.o"
+  "CMakeFiles/purge_exemption.dir/purge_exemption.cpp.o.d"
+  "purge_exemption"
+  "purge_exemption.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/purge_exemption.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

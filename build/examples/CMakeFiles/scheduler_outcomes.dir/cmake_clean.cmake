@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scheduler_outcomes.dir/scheduler_outcomes.cpp.o"
+  "CMakeFiles/scheduler_outcomes.dir/scheduler_outcomes.cpp.o.d"
+  "scheduler_outcomes"
+  "scheduler_outcomes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scheduler_outcomes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

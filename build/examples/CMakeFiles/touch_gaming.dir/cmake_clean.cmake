@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/touch_gaming.dir/touch_gaming.cpp.o"
+  "CMakeFiles/touch_gaming.dir/touch_gaming.cpp.o.d"
+  "touch_gaming"
+  "touch_gaming.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/touch_gaming.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/activeness/activity.cpp" "src/CMakeFiles/adr_activeness.dir/activeness/activity.cpp.o" "gcc" "src/CMakeFiles/adr_activeness.dir/activeness/activity.cpp.o.d"
+  "/root/repo/src/activeness/classifier.cpp" "src/CMakeFiles/adr_activeness.dir/activeness/classifier.cpp.o" "gcc" "src/CMakeFiles/adr_activeness.dir/activeness/classifier.cpp.o.d"
+  "/root/repo/src/activeness/evaluator.cpp" "src/CMakeFiles/adr_activeness.dir/activeness/evaluator.cpp.o" "gcc" "src/CMakeFiles/adr_activeness.dir/activeness/evaluator.cpp.o.d"
+  "/root/repo/src/activeness/rank_store.cpp" "src/CMakeFiles/adr_activeness.dir/activeness/rank_store.cpp.o" "gcc" "src/CMakeFiles/adr_activeness.dir/activeness/rank_store.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/adr_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/adr_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

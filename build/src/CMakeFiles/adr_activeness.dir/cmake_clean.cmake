@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adr_activeness.dir/activeness/activity.cpp.o"
+  "CMakeFiles/adr_activeness.dir/activeness/activity.cpp.o.d"
+  "CMakeFiles/adr_activeness.dir/activeness/classifier.cpp.o"
+  "CMakeFiles/adr_activeness.dir/activeness/classifier.cpp.o.d"
+  "CMakeFiles/adr_activeness.dir/activeness/evaluator.cpp.o"
+  "CMakeFiles/adr_activeness.dir/activeness/evaluator.cpp.o.d"
+  "CMakeFiles/adr_activeness.dir/activeness/rank_store.cpp.o"
+  "CMakeFiles/adr_activeness.dir/activeness/rank_store.cpp.o.d"
+  "libadr_activeness.a"
+  "libadr_activeness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adr_activeness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

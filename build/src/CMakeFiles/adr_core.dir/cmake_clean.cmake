@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adr_core.dir/core/engine.cpp.o"
+  "CMakeFiles/adr_core.dir/core/engine.cpp.o.d"
+  "libadr_core.a"
+  "libadr_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adr_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fs/archive.cpp" "src/CMakeFiles/adr_fs.dir/fs/archive.cpp.o" "gcc" "src/CMakeFiles/adr_fs.dir/fs/archive.cpp.o.d"
+  "/root/repo/src/fs/path_trie.cpp" "src/CMakeFiles/adr_fs.dir/fs/path_trie.cpp.o" "gcc" "src/CMakeFiles/adr_fs.dir/fs/path_trie.cpp.o.d"
+  "/root/repo/src/fs/striping.cpp" "src/CMakeFiles/adr_fs.dir/fs/striping.cpp.o" "gcc" "src/CMakeFiles/adr_fs.dir/fs/striping.cpp.o.d"
+  "/root/repo/src/fs/vfs.cpp" "src/CMakeFiles/adr_fs.dir/fs/vfs.cpp.o" "gcc" "src/CMakeFiles/adr_fs.dir/fs/vfs.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/adr_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/adr_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adr_fs.dir/fs/archive.cpp.o"
+  "CMakeFiles/adr_fs.dir/fs/archive.cpp.o.d"
+  "CMakeFiles/adr_fs.dir/fs/path_trie.cpp.o"
+  "CMakeFiles/adr_fs.dir/fs/path_trie.cpp.o.d"
+  "CMakeFiles/adr_fs.dir/fs/striping.cpp.o"
+  "CMakeFiles/adr_fs.dir/fs/striping.cpp.o.d"
+  "CMakeFiles/adr_fs.dir/fs/vfs.cpp.o"
+  "CMakeFiles/adr_fs.dir/fs/vfs.cpp.o.d"
+  "libadr_fs.a"
+  "libadr_fs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adr_fs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

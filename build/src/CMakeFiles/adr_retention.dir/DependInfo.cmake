@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/retention/activedr_policy.cpp" "src/CMakeFiles/adr_retention.dir/retention/activedr_policy.cpp.o" "gcc" "src/CMakeFiles/adr_retention.dir/retention/activedr_policy.cpp.o.d"
+  "/root/repo/src/retention/cache_policy.cpp" "src/CMakeFiles/adr_retention.dir/retention/cache_policy.cpp.o" "gcc" "src/CMakeFiles/adr_retention.dir/retention/cache_policy.cpp.o.d"
+  "/root/repo/src/retention/exemption.cpp" "src/CMakeFiles/adr_retention.dir/retention/exemption.cpp.o" "gcc" "src/CMakeFiles/adr_retention.dir/retention/exemption.cpp.o.d"
+  "/root/repo/src/retention/flt.cpp" "src/CMakeFiles/adr_retention.dir/retention/flt.cpp.o" "gcc" "src/CMakeFiles/adr_retention.dir/retention/flt.cpp.o.d"
+  "/root/repo/src/retention/ledger.cpp" "src/CMakeFiles/adr_retention.dir/retention/ledger.cpp.o" "gcc" "src/CMakeFiles/adr_retention.dir/retention/ledger.cpp.o.d"
+  "/root/repo/src/retention/policy.cpp" "src/CMakeFiles/adr_retention.dir/retention/policy.cpp.o" "gcc" "src/CMakeFiles/adr_retention.dir/retention/policy.cpp.o.d"
+  "/root/repo/src/retention/report.cpp" "src/CMakeFiles/adr_retention.dir/retention/report.cpp.o" "gcc" "src/CMakeFiles/adr_retention.dir/retention/report.cpp.o.d"
+  "/root/repo/src/retention/value_policy.cpp" "src/CMakeFiles/adr_retention.dir/retention/value_policy.cpp.o" "gcc" "src/CMakeFiles/adr_retention.dir/retention/value_policy.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/adr_fs.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/adr_activeness.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/adr_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/adr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adr_retention.dir/retention/activedr_policy.cpp.o"
+  "CMakeFiles/adr_retention.dir/retention/activedr_policy.cpp.o.d"
+  "CMakeFiles/adr_retention.dir/retention/cache_policy.cpp.o"
+  "CMakeFiles/adr_retention.dir/retention/cache_policy.cpp.o.d"
+  "CMakeFiles/adr_retention.dir/retention/exemption.cpp.o"
+  "CMakeFiles/adr_retention.dir/retention/exemption.cpp.o.d"
+  "CMakeFiles/adr_retention.dir/retention/flt.cpp.o"
+  "CMakeFiles/adr_retention.dir/retention/flt.cpp.o.d"
+  "CMakeFiles/adr_retention.dir/retention/ledger.cpp.o"
+  "CMakeFiles/adr_retention.dir/retention/ledger.cpp.o.d"
+  "CMakeFiles/adr_retention.dir/retention/policy.cpp.o"
+  "CMakeFiles/adr_retention.dir/retention/policy.cpp.o.d"
+  "CMakeFiles/adr_retention.dir/retention/report.cpp.o"
+  "CMakeFiles/adr_retention.dir/retention/report.cpp.o.d"
+  "CMakeFiles/adr_retention.dir/retention/value_policy.cpp.o"
+  "CMakeFiles/adr_retention.dir/retention/value_policy.cpp.o.d"
+  "libadr_retention.a"
+  "libadr_retention.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adr_retention.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

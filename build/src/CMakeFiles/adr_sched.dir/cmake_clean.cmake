@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adr_sched.dir/sched/batch_scheduler.cpp.o"
+  "CMakeFiles/adr_sched.dir/sched/batch_scheduler.cpp.o.d"
+  "libadr_sched.a"
+  "libadr_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adr_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libadr_sched.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adr_sim.dir/sim/emulator.cpp.o"
+  "CMakeFiles/adr_sim.dir/sim/emulator.cpp.o.d"
+  "CMakeFiles/adr_sim.dir/sim/experiment.cpp.o"
+  "CMakeFiles/adr_sim.dir/sim/experiment.cpp.o.d"
+  "CMakeFiles/adr_sim.dir/sim/metrics.cpp.o"
+  "CMakeFiles/adr_sim.dir/sim/metrics.cpp.o.d"
+  "libadr_sim.a"
+  "libadr_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adr_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

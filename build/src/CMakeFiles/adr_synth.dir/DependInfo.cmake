@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/synth/app_log_synth.cpp" "src/CMakeFiles/adr_synth.dir/synth/app_log_synth.cpp.o" "gcc" "src/CMakeFiles/adr_synth.dir/synth/app_log_synth.cpp.o.d"
+  "/root/repo/src/synth/fs_synth.cpp" "src/CMakeFiles/adr_synth.dir/synth/fs_synth.cpp.o" "gcc" "src/CMakeFiles/adr_synth.dir/synth/fs_synth.cpp.o.d"
+  "/root/repo/src/synth/job_synth.cpp" "src/CMakeFiles/adr_synth.dir/synth/job_synth.cpp.o" "gcc" "src/CMakeFiles/adr_synth.dir/synth/job_synth.cpp.o.d"
+  "/root/repo/src/synth/pub_synth.cpp" "src/CMakeFiles/adr_synth.dir/synth/pub_synth.cpp.o" "gcc" "src/CMakeFiles/adr_synth.dir/synth/pub_synth.cpp.o.d"
+  "/root/repo/src/synth/titan_model.cpp" "src/CMakeFiles/adr_synth.dir/synth/titan_model.cpp.o" "gcc" "src/CMakeFiles/adr_synth.dir/synth/titan_model.cpp.o.d"
+  "/root/repo/src/synth/user_model.cpp" "src/CMakeFiles/adr_synth.dir/synth/user_model.cpp.o" "gcc" "src/CMakeFiles/adr_synth.dir/synth/user_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/adr_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/adr_fs.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/adr_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/adr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

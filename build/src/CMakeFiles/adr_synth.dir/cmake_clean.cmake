@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adr_synth.dir/synth/app_log_synth.cpp.o"
+  "CMakeFiles/adr_synth.dir/synth/app_log_synth.cpp.o.d"
+  "CMakeFiles/adr_synth.dir/synth/fs_synth.cpp.o"
+  "CMakeFiles/adr_synth.dir/synth/fs_synth.cpp.o.d"
+  "CMakeFiles/adr_synth.dir/synth/job_synth.cpp.o"
+  "CMakeFiles/adr_synth.dir/synth/job_synth.cpp.o.d"
+  "CMakeFiles/adr_synth.dir/synth/pub_synth.cpp.o"
+  "CMakeFiles/adr_synth.dir/synth/pub_synth.cpp.o.d"
+  "CMakeFiles/adr_synth.dir/synth/titan_model.cpp.o"
+  "CMakeFiles/adr_synth.dir/synth/titan_model.cpp.o.d"
+  "CMakeFiles/adr_synth.dir/synth/user_model.cpp.o"
+  "CMakeFiles/adr_synth.dir/synth/user_model.cpp.o.d"
+  "libadr_synth.a"
+  "libadr_synth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adr_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/app_log.cpp" "src/CMakeFiles/adr_trace.dir/trace/app_log.cpp.o" "gcc" "src/CMakeFiles/adr_trace.dir/trace/app_log.cpp.o.d"
+  "/root/repo/src/trace/job_log.cpp" "src/CMakeFiles/adr_trace.dir/trace/job_log.cpp.o" "gcc" "src/CMakeFiles/adr_trace.dir/trace/job_log.cpp.o.d"
+  "/root/repo/src/trace/publication_log.cpp" "src/CMakeFiles/adr_trace.dir/trace/publication_log.cpp.o" "gcc" "src/CMakeFiles/adr_trace.dir/trace/publication_log.cpp.o.d"
+  "/root/repo/src/trace/snapshot.cpp" "src/CMakeFiles/adr_trace.dir/trace/snapshot.cpp.o" "gcc" "src/CMakeFiles/adr_trace.dir/trace/snapshot.cpp.o.d"
+  "/root/repo/src/trace/user_registry.cpp" "src/CMakeFiles/adr_trace.dir/trace/user_registry.cpp.o" "gcc" "src/CMakeFiles/adr_trace.dir/trace/user_registry.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/adr_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adr_trace.dir/trace/app_log.cpp.o"
+  "CMakeFiles/adr_trace.dir/trace/app_log.cpp.o.d"
+  "CMakeFiles/adr_trace.dir/trace/job_log.cpp.o"
+  "CMakeFiles/adr_trace.dir/trace/job_log.cpp.o.d"
+  "CMakeFiles/adr_trace.dir/trace/publication_log.cpp.o"
+  "CMakeFiles/adr_trace.dir/trace/publication_log.cpp.o.d"
+  "CMakeFiles/adr_trace.dir/trace/snapshot.cpp.o"
+  "CMakeFiles/adr_trace.dir/trace/snapshot.cpp.o.d"
+  "CMakeFiles/adr_trace.dir/trace/user_registry.cpp.o"
+  "CMakeFiles/adr_trace.dir/trace/user_registry.cpp.o.d"
+  "libadr_trace.a"
+  "libadr_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adr_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

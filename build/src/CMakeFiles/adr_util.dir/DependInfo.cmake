@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/util/config.cpp" "src/CMakeFiles/adr_util.dir/util/config.cpp.o" "gcc" "src/CMakeFiles/adr_util.dir/util/config.cpp.o.d"
+  "/root/repo/src/util/csv.cpp" "src/CMakeFiles/adr_util.dir/util/csv.cpp.o" "gcc" "src/CMakeFiles/adr_util.dir/util/csv.cpp.o.d"
+  "/root/repo/src/util/gzfile.cpp" "src/CMakeFiles/adr_util.dir/util/gzfile.cpp.o" "gcc" "src/CMakeFiles/adr_util.dir/util/gzfile.cpp.o.d"
+  "/root/repo/src/util/logging.cpp" "src/CMakeFiles/adr_util.dir/util/logging.cpp.o" "gcc" "src/CMakeFiles/adr_util.dir/util/logging.cpp.o.d"
+  "/root/repo/src/util/memory.cpp" "src/CMakeFiles/adr_util.dir/util/memory.cpp.o" "gcc" "src/CMakeFiles/adr_util.dir/util/memory.cpp.o.d"
+  "/root/repo/src/util/rng.cpp" "src/CMakeFiles/adr_util.dir/util/rng.cpp.o" "gcc" "src/CMakeFiles/adr_util.dir/util/rng.cpp.o.d"
+  "/root/repo/src/util/stats.cpp" "src/CMakeFiles/adr_util.dir/util/stats.cpp.o" "gcc" "src/CMakeFiles/adr_util.dir/util/stats.cpp.o.d"
+  "/root/repo/src/util/table.cpp" "src/CMakeFiles/adr_util.dir/util/table.cpp.o" "gcc" "src/CMakeFiles/adr_util.dir/util/table.cpp.o.d"
+  "/root/repo/src/util/thread_pool.cpp" "src/CMakeFiles/adr_util.dir/util/thread_pool.cpp.o" "gcc" "src/CMakeFiles/adr_util.dir/util/thread_pool.cpp.o.d"
+  "/root/repo/src/util/time.cpp" "src/CMakeFiles/adr_util.dir/util/time.cpp.o" "gcc" "src/CMakeFiles/adr_util.dir/util/time.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

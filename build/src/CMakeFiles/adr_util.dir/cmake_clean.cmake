@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adr_util.dir/util/config.cpp.o"
+  "CMakeFiles/adr_util.dir/util/config.cpp.o.d"
+  "CMakeFiles/adr_util.dir/util/csv.cpp.o"
+  "CMakeFiles/adr_util.dir/util/csv.cpp.o.d"
+  "CMakeFiles/adr_util.dir/util/gzfile.cpp.o"
+  "CMakeFiles/adr_util.dir/util/gzfile.cpp.o.d"
+  "CMakeFiles/adr_util.dir/util/logging.cpp.o"
+  "CMakeFiles/adr_util.dir/util/logging.cpp.o.d"
+  "CMakeFiles/adr_util.dir/util/memory.cpp.o"
+  "CMakeFiles/adr_util.dir/util/memory.cpp.o.d"
+  "CMakeFiles/adr_util.dir/util/rng.cpp.o"
+  "CMakeFiles/adr_util.dir/util/rng.cpp.o.d"
+  "CMakeFiles/adr_util.dir/util/stats.cpp.o"
+  "CMakeFiles/adr_util.dir/util/stats.cpp.o.d"
+  "CMakeFiles/adr_util.dir/util/table.cpp.o"
+  "CMakeFiles/adr_util.dir/util/table.cpp.o.d"
+  "CMakeFiles/adr_util.dir/util/thread_pool.cpp.o"
+  "CMakeFiles/adr_util.dir/util/thread_pool.cpp.o.d"
+  "CMakeFiles/adr_util.dir/util/time.cpp.o"
+  "CMakeFiles/adr_util.dir/util/time.cpp.o.d"
+  "libadr_util.a"
+  "libadr_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adr_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_activeness_properties.dir/activeness/test_evaluator_properties.cpp.o"
+  "CMakeFiles/test_activeness_properties.dir/activeness/test_evaluator_properties.cpp.o.d"
+  "test_activeness_properties"
+  "test_activeness_properties.pdb"
+  "test_activeness_properties[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_activeness_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

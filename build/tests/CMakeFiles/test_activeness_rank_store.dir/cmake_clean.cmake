@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_activeness_rank_store.dir/activeness/test_rank_store.cpp.o"
+  "CMakeFiles/test_activeness_rank_store.dir/activeness/test_rank_store.cpp.o.d"
+  "test_activeness_rank_store"
+  "test_activeness_rank_store.pdb"
+  "test_activeness_rank_store[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_activeness_rank_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fs_archive.dir/fs/test_archive.cpp.o"
+  "CMakeFiles/test_fs_archive.dir/fs/test_archive.cpp.o.d"
+  "test_fs_archive"
+  "test_fs_archive.pdb"
+  "test_fs_archive[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fs_archive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

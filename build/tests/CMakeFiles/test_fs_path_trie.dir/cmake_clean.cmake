@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fs_path_trie.dir/fs/test_path_trie.cpp.o"
+  "CMakeFiles/test_fs_path_trie.dir/fs/test_path_trie.cpp.o.d"
+  "test_fs_path_trie"
+  "test_fs_path_trie.pdb"
+  "test_fs_path_trie[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fs_path_trie.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fs_striping.dir/fs/test_striping.cpp.o"
+  "CMakeFiles/test_fs_striping.dir/fs/test_striping.cpp.o.d"
+  "test_fs_striping"
+  "test_fs_striping.pdb"
+  "test_fs_striping[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fs_striping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_retention_activedr.dir/retention/test_activedr.cpp.o"
+  "CMakeFiles/test_retention_activedr.dir/retention/test_activedr.cpp.o.d"
+  "test_retention_activedr"
+  "test_retention_activedr.pdb"
+  "test_retention_activedr[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_retention_activedr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_retention_cache.dir/retention/test_cache_policy.cpp.o"
+  "CMakeFiles/test_retention_cache.dir/retention/test_cache_policy.cpp.o.d"
+  "test_retention_cache"
+  "test_retention_cache.pdb"
+  "test_retention_cache[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_retention_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_retention_exemption.dir/retention/test_exemption.cpp.o"
+  "CMakeFiles/test_retention_exemption.dir/retention/test_exemption.cpp.o.d"
+  "test_retention_exemption"
+  "test_retention_exemption.pdb"
+  "test_retention_exemption[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_retention_exemption.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

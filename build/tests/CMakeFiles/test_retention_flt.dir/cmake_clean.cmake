@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_retention_flt.dir/retention/test_flt.cpp.o"
+  "CMakeFiles/test_retention_flt.dir/retention/test_flt.cpp.o.d"
+  "test_retention_flt"
+  "test_retention_flt.pdb"
+  "test_retention_flt[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_retention_flt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_retention_ledger.dir/retention/test_ledger.cpp.o"
+  "CMakeFiles/test_retention_ledger.dir/retention/test_ledger.cpp.o.d"
+  "test_retention_ledger"
+  "test_retention_ledger.pdb"
+  "test_retention_ledger[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_retention_ledger.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

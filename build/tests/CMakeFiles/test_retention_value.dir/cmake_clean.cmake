@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_retention_value.dir/retention/test_value_policy.cpp.o"
+  "CMakeFiles/test_retention_value.dir/retention/test_value_policy.cpp.o.d"
+  "test_retention_value"
+  "test_retention_value.pdb"
+  "test_retention_value[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_retention_value.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sched_batch.dir/sched/test_batch_scheduler.cpp.o"
+  "CMakeFiles/test_sched_batch.dir/sched/test_batch_scheduler.cpp.o.d"
+  "test_sched_batch"
+  "test_sched_batch.pdb"
+  "test_sched_batch[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sched_batch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

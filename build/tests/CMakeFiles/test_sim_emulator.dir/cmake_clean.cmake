@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_emulator.dir/sim/test_emulator.cpp.o"
+  "CMakeFiles/test_sim_emulator.dir/sim/test_emulator.cpp.o.d"
+  "test_sim_emulator"
+  "test_sim_emulator.pdb"
+  "test_sim_emulator[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_emulator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_synth_fs.dir/synth/test_fs_synth.cpp.o"
+  "CMakeFiles/test_synth_fs.dir/synth/test_fs_synth.cpp.o.d"
+  "test_synth_fs"
+  "test_synth_fs.pdb"
+  "test_synth_fs[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_synth_fs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_synth_titan.dir/synth/test_titan.cpp.o"
+  "CMakeFiles/test_synth_titan.dir/synth/test_titan.cpp.o.d"
+  "test_synth_titan"
+  "test_synth_titan.pdb"
+  "test_synth_titan[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_synth_titan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_synth_traces.dir/synth/test_traces.cpp.o"
+  "CMakeFiles/test_synth_traces.dir/synth/test_traces.cpp.o.d"
+  "test_synth_traces"
+  "test_synth_traces.pdb"
+  "test_synth_traces[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_synth_traces.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

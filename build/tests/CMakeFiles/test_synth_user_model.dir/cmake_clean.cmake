@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_synth_user_model.dir/synth/test_user_model.cpp.o"
+  "CMakeFiles/test_synth_user_model.dir/synth/test_user_model.cpp.o.d"
+  "test_synth_user_model"
+  "test_synth_user_model.pdb"
+  "test_synth_user_model[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_synth_user_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

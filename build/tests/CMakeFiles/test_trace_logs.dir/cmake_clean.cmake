@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_trace_logs.dir/trace/test_logs.cpp.o"
+  "CMakeFiles/test_trace_logs.dir/trace/test_logs.cpp.o.d"
+  "test_trace_logs"
+  "test_trace_logs.pdb"
+  "test_trace_logs[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_trace_logs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

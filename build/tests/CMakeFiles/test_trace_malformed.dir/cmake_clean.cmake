@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_trace_malformed.dir/trace/test_malformed_inputs.cpp.o"
+  "CMakeFiles/test_trace_malformed.dir/trace/test_malformed_inputs.cpp.o.d"
+  "test_trace_malformed"
+  "test_trace_malformed.pdb"
+  "test_trace_malformed[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_trace_malformed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

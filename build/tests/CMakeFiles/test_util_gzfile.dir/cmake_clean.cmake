@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_util_gzfile.dir/util/test_gzfile.cpp.o"
+  "CMakeFiles/test_util_gzfile.dir/util/test_gzfile.cpp.o.d"
+  "test_util_gzfile"
+  "test_util_gzfile.pdb"
+  "test_util_gzfile[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_util_gzfile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

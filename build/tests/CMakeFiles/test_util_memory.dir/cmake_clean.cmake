@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_util_memory.dir/util/test_memory.cpp.o"
+  "CMakeFiles/test_util_memory.dir/util/test_memory.cpp.o.d"
+  "test_util_memory"
+  "test_util_memory.pdb"
+  "test_util_memory[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_util_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/activedr_tool.dir/main.cpp.o"
+  "CMakeFiles/activedr_tool.dir/main.cpp.o.d"
+  "activedr"
+  "activedr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/activedr_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
