@@ -17,6 +17,7 @@
 #include <iostream>
 
 #include "common/scenario_cache.hpp"
+#include "obs/metrics.hpp"
 #include "sim/emulator.hpp"
 #include "util/memory.hpp"
 #include "util/stats.hpp"
@@ -209,6 +210,37 @@ void BM_TrieInsertErase(benchmark::State& state) {
 }
 BENCHMARK(BM_TrieInsertErase);
 
+// ---- Fig. 12b companion: registry-driven phase breakdown ------------------
+// Every evaluator/policy/vfs/thread-pool call above reported into the global
+// metrics registry; a single snapshot at the end attributes where the
+// benchmark's wall time actually went, per `component.phase` span, with the
+// matching work counters alongside.
+void print_phase_breakdown() {
+  using namespace adr;
+  const obs::MetricsSnapshot snap = obs::MetricsRegistry::global().snapshot();
+
+  util::Table spans("Phase breakdown (timer spans, whole bench run)");
+  spans.set_headers({"Span", "Count", "Total", "Mean", "Max"});
+  for (const auto& [name, h] : snap.spans) {
+    if (h.count == 0) continue;
+    spans.add_row(
+        {name, util::fmt_int(static_cast<std::int64_t>(h.count)),
+         util::format_duration_seconds(h.sum_seconds),
+         util::format_duration_seconds(h.sum_seconds /
+                                       static_cast<double>(h.count)),
+         util::format_duration_seconds(h.max_seconds)});
+  }
+  spans.print(std::cout);
+
+  util::Table counters("Work counters");
+  counters.set_headers({"Counter", "Value"});
+  for (const auto& [name, value] : snap.counters) {
+    if (value == 0) continue;
+    counters.add_row({name, util::fmt_int(static_cast<std::int64_t>(value))});
+  }
+  counters.print(std::cout);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -223,5 +255,6 @@ int main(int argc, char** argv) {
   benchmark::Initialize(&bench_argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+  print_phase_breakdown();
   return 0;
 }

@@ -156,10 +156,6 @@ bench-build/CMakeFiles/bench_ablation_exponent.dir/bench_ablation_exponent.cpp.o
  /usr/include/c++/12/bits/istream.tcc \
  /root/repo/bench/common/scenario_cache.hpp \
  /root/repo/src/sim/experiment.hpp /root/repo/src/sim/emulator.hpp \
- /usr/include/c++/12/chrono /usr/include/c++/12/bits/chrono.h \
- /usr/include/c++/12/ratio /usr/include/c++/12/limits \
- /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
- /usr/include/c++/12/sstream /usr/include/c++/12/bits/sstream.tcc \
  /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
  /usr/include/c++/12/ext/aligned_buffer.h \
  /usr/include/c++/12/bits/node_handle.h \
@@ -210,13 +206,17 @@ bench-build/CMakeFiles/bench_ablation_exponent.dir/bench_ablation_exponent.cpp.o
  /usr/include/c++/12/bits/stl_bvector.h \
  /usr/include/c++/12/bits/vector.tcc \
  /root/repo/src/activeness/classifier.hpp /usr/include/c++/12/array \
- /root/repo/src/activeness/evaluator.hpp /usr/include/c++/12/span \
- /usr/include/c++/12/cstddef /root/repo/src/activeness/activity.hpp \
- /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
- /root/repo/src/trace/job_log.hpp /root/repo/src/trace/types.hpp \
- /root/repo/src/util/time.hpp /root/repo/src/trace/publication_log.hpp \
- /root/repo/src/fs/archive.hpp /usr/include/c++/12/unordered_map \
- /usr/include/c++/12/bits/hashtable.h \
+ /root/repo/src/activeness/evaluator.hpp /usr/include/c++/12/limits \
+ /usr/include/c++/12/span /usr/include/c++/12/cstddef \
+ /root/repo/src/activeness/activity.hpp /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h /root/repo/src/trace/job_log.hpp \
+ /root/repo/src/trace/types.hpp /root/repo/src/util/time.hpp \
+ /root/repo/src/trace/publication_log.hpp /root/repo/src/obs/metrics.hpp \
+ /usr/include/c++/12/atomic /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/fs/archive.hpp \
+ /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/enable_special_members.h \
  /usr/include/c++/12/bits/unordered_map.h /root/repo/src/fs/file_meta.hpp \

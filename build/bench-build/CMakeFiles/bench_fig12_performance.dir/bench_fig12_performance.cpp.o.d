@@ -223,8 +223,10 @@ bench-build/CMakeFiles/bench_fig12_performance.dir/bench_fig12_performance.cpp.o
  /root/repo/src/activeness/evaluator.hpp /usr/include/c++/12/span \
  /root/repo/src/activeness/activity.hpp /root/repo/src/trace/job_log.hpp \
  /root/repo/src/trace/types.hpp /root/repo/src/util/time.hpp \
- /root/repo/src/trace/publication_log.hpp /root/repo/src/fs/archive.hpp \
- /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
+ /root/repo/src/trace/publication_log.hpp /root/repo/src/obs/metrics.hpp \
+ /usr/include/c++/12/mutex /usr/include/c++/12/bits/unique_lock.h \
+ /root/repo/src/fs/archive.hpp /usr/include/c++/12/unordered_map \
+ /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/enable_special_members.h \
  /usr/include/c++/12/bits/unordered_map.h /root/repo/src/fs/file_meta.hpp \
@@ -267,16 +269,14 @@ bench-build/CMakeFiles/bench_fig12_performance.dir/bench_fig12_performance.cpp.o
  /root/repo/src/synth/pub_synth.hpp /root/repo/src/trace/app_log.hpp \
  /root/repo/src/util/config.hpp /root/repo/src/util/memory.hpp \
  /root/repo/src/util/table.hpp /root/repo/src/util/thread_pool.hpp \
- /usr/include/c++/12/condition_variable \
- /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/stop_token \
+ /usr/include/c++/12/condition_variable /usr/include/c++/12/stop_token \
  /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
  /usr/include/c++/12/bits/semaphore_base.h \
  /usr/include/c++/12/bits/atomic_timed_wait.h \
  /usr/include/c++/12/bits/this_thread_sleep.h \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
  /usr/include/x86_64-linux-gnu/bits/semaphore.h \
- /usr/include/c++/12/future /usr/include/c++/12/mutex \
- /usr/include/c++/12/bits/atomic_futex.h /usr/include/c++/12/queue \
- /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
- /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/bits/stl_queue.h \
- /usr/include/c++/12/thread
+ /usr/include/c++/12/future /usr/include/c++/12/bits/atomic_futex.h \
+ /usr/include/c++/12/queue /usr/include/c++/12/deque \
+ /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /usr/include/c++/12/bits/stl_queue.h /usr/include/c++/12/thread

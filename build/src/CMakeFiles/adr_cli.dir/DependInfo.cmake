@@ -22,6 +22,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/CMakeFiles/adr_sched.dir/DependInfo.cmake"
   "/root/repo/build/src/CMakeFiles/adr_trace.dir/DependInfo.cmake"
   "/root/repo/build/src/CMakeFiles/adr_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/adr_obs.dir/DependInfo.cmake"
   )
 
 # Fortran module output directory.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adr_obs.dir/obs/metrics.cpp.o"
+  "CMakeFiles/adr_obs.dir/obs/metrics.cpp.o.d"
+  "CMakeFiles/adr_obs.dir/obs/span.cpp.o"
+  "CMakeFiles/adr_obs.dir/obs/span.cpp.o.d"
+  "libadr_obs.a"
+  "libadr_obs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adr_obs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

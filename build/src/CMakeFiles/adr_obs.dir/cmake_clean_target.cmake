@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libadr_obs.a"
+)

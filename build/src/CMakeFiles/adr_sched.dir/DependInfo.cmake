@@ -15,6 +15,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
 set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/CMakeFiles/adr_trace.dir/DependInfo.cmake"
   "/root/repo/build/src/CMakeFiles/adr_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/adr_obs.dir/DependInfo.cmake"
   )
 
 # Fortran module output directory.

@@ -307,8 +307,9 @@ tests/CMakeFiles/test_integration.dir/integration/test_end_to_end.cpp.o: \
  /root/repo/src/retention/report.hpp \
  /root/repo/src/trace/user_registry.hpp /root/repo/src/retention/flt.hpp \
  /root/repo/src/sim/experiment.hpp /root/repo/src/sim/emulator.hpp \
- /usr/include/c++/12/chrono /usr/include/c++/12/bits/chrono.h \
- /usr/include/c++/12/ratio /root/repo/src/fs/archive.hpp \
+ /root/repo/src/obs/metrics.hpp /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/fs/archive.hpp \
  /root/repo/src/retention/cache_policy.hpp \
  /root/repo/src/retention/value_policy.hpp /root/repo/src/sim/metrics.hpp \
  /root/repo/src/util/stats.hpp /root/repo/src/synth/titan_model.hpp \

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/obs/test_metrics.cpp" "tests/CMakeFiles/test_obs_metrics.dir/obs/test_metrics.cpp.o" "gcc" "tests/CMakeFiles/test_obs_metrics.dir/obs/test_metrics.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/adr_cli.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/adr_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/adr_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/adr_retention.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/adr_activeness.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/adr_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/adr_fs.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/adr_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/adr_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/adr_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/adr_obs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

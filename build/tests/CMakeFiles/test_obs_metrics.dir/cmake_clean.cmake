@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_obs_metrics.dir/obs/test_metrics.cpp.o"
+  "CMakeFiles/test_obs_metrics.dir/obs/test_metrics.cpp.o.d"
+  "test_obs_metrics"
+  "test_obs_metrics.pdb"
+  "test_obs_metrics[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_obs_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "util/thread_pool.hpp"
 
 namespace adr::activeness {
@@ -52,9 +54,11 @@ Rank evaluate_stream(std::span<const Activity> stream,
 
   const util::Duration plen = util::days(params.period_length_days);
 
-  // Eq. 1: number of periods from the activity span (>= 1).
-  const util::Duration span_ts =
-      stream.back().timestamp - stream.front().timestamp;
+  // Eq. 1: number of periods, anchored at t_c (>= 1). Counting from the
+  // first activity to *now* — not to the last activity — is what makes an
+  // idle tail decay the rank: a user silent for months accrues recent empty
+  // periods, while a span-based m would never see them.
+  const util::Duration span_ts = params.now - stream.front().timestamp;
   std::int64_t m = span_ts <= 0 ? 1 : (span_ts + plen - 1) / plen;
   if (m < 1) m = 1;
   if (params.max_periods > 0 && m > params.max_periods) m = params.max_periods;
@@ -130,31 +134,55 @@ std::span<const Activity> trim_to_now(std::span<const Activity> stream,
   return stream.first(static_cast<std::size_t>(it - stream.begin()));
 }
 
+obs::Counter& users_evaluated() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::global().counter("evaluator.users_evaluated");
+  return c;
+}
+
+obs::Counter& streams_trimmed() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::global().counter("evaluator.streams_trimmed");
+  return c;
+}
+
+obs::Counter& zero_ranks() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::global().counter("evaluator.zero_ranks");
+  return c;
+}
+
 }  // namespace
 
 UserActiveness Evaluator::evaluate_user(const ActivityStore& store,
                                         trace::UserId user) const {
   UserActiveness ua;
   ua.user = user;
-  for (const ActivityTypeId t : op_types_) {
-    const auto stream = trim_to_now(store.stream(user, t), params_.now);
-    if (!stream.empty()) {
-      ua.last_activity = std::max(ua.last_activity, stream.back().timestamp);
+  std::uint64_t trimmed = 0;
+  const auto eval_category = [&](std::span<const ActivityTypeId> types,
+                                 Rank& rank) {
+    for (const ActivityTypeId t : types) {
+      const auto full = store.stream(user, t);
+      const auto stream = trim_to_now(full, params_.now);
+      if (stream.size() < full.size()) ++trimmed;
+      if (!stream.empty()) {
+        ua.last_activity = std::max(ua.last_activity, stream.back().timestamp);
+      }
+      rank *= evaluate_stream(stream, params_);
     }
-    ua.op *= evaluate_stream(stream, params_);
-  }
-  for (const ActivityTypeId t : oc_types_) {
-    const auto stream = trim_to_now(store.stream(user, t), params_.now);
-    if (!stream.empty()) {
-      ua.last_activity = std::max(ua.last_activity, stream.back().timestamp);
-    }
-    ua.oc *= evaluate_stream(stream, params_);
-  }
+  };
+  eval_category(op_types_, ua.op);
+  eval_category(oc_types_, ua.oc);
+  users_evaluated().add();
+  if (trimmed > 0) streams_trimmed().add(trimmed);
+  if (ua.op.zero) zero_ranks().add();
+  if (ua.oc.zero) zero_ranks().add();
   return ua;
 }
 
 std::vector<UserActiveness> Evaluator::evaluate_all(
     const ActivityStore& store) const {
+  obs::TimerSpan span("evaluator.evaluate_all");
   std::vector<UserActiveness> out(store.user_count());
   util::global_pool().parallel_for(0, store.user_count(), [&](std::size_t u) {
     out[u] = evaluate_user(store, static_cast<trace::UserId>(u));

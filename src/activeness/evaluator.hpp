@@ -4,7 +4,7 @@
 // For one activity type λ with sorted activities {a_0..a_(k-1)} and period
 // length d days evaluated at time t_c:
 //
-//   m      = ceil((a_(k-1).ts − a_0.ts) / to_ts(d))            (Eq. 1)
+//   m      = ceil((t_c − a_0.ts) / to_ts(d))                    (Eq. 1)
 //   Avg    = (Σ_i D_(a_i)) / m                                  (Eq. 2)
 //   b_p    = D_p / Avg        per period p                      (Eq. 3)
 //   e(a_x) = m − ceil((t_c − a_x.ts) / to_ts(d)) + 1            (Eq. 4)
@@ -21,7 +21,7 @@
 //  * a type with no activities at all ⇒ no-data rank: *neutral* (acts as 1.0
 //    in products, counts as inactive for classification) — §3.4's "initial
 //    rank 1.0" without letting empty types zero out Eq. 6;
-//  * all activities share one timestamp ⇒ m = 1 (Eq. 1 would give 0);
+//  * first activity at/after t_c ⇒ m = 1 (Eq. 1 would give 0);
 //  * activities older than the m-period window (e < 1) are dropped;
 //  * activities at/after t_c (e > m) count toward the newest period m;
 //  * zero total impact ⇒ Φ = 0.
@@ -38,13 +38,14 @@ namespace adr::activeness {
 /// What happens to activities older than the m-period window (Eq. 4 yields
 /// e < 1 for them; the paper leaves this case undefined).
 enum class StaleHandling {
-  /// Attribute them to the oldest period (e = 1). Default: keeps users whose
-  /// entire activity history fits a single period (e.g. one publication)
-  /// active regardless of d — this is what reproduces Fig. 5's stable
-  /// outcome-active share across period lengths.
+  /// Attribute them to the oldest period (e = 1). Default: when
+  /// `max_periods` caps the window, history older than the window still
+  /// counts toward the oldest period instead of silently vanishing. (With
+  /// t_c-anchored periods this matters only under a cap: uncapped, e >= 1
+  /// for every activity at or before t_c.)
   kClampOldest,
   /// Drop them: only the trailing m-period window counts. Strictest recency
-  /// reading; makes single-activity users decay to inactive after d days.
+  /// reading under a `max_periods` cap.
   kDrop,
 };
 

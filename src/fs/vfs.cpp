@@ -2,10 +2,49 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
+
 namespace adr::fs {
 
+namespace {
+
+obs::Counter& creates_total() {
+  static obs::Counter& c = obs::MetricsRegistry::global().counter("vfs.creates");
+  return c;
+}
+
+obs::Counter& overwrites_total() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::global().counter("vfs.overwrites");
+  return c;
+}
+
+obs::Counter& accesses_total() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::global().counter("vfs.accesses");
+  return c;
+}
+
+obs::Counter& misses_total() {
+  static obs::Counter& c = obs::MetricsRegistry::global().counter("vfs.misses");
+  return c;
+}
+
+obs::Counter& removes_total() {
+  static obs::Counter& c = obs::MetricsRegistry::global().counter("vfs.removes");
+  return c;
+}
+
+}  // namespace
+
 bool Vfs::create(std::string_view path, const FileMeta& meta) {
+  creates_total().add();
   if (FileMeta* existing = trie_.find(path)) {
+    overwrites_total().add();
+    // The displaced version leaves the scratch tier exactly like a removal
+    // does — without routing it through the sink, replayed overwrites would
+    // silently drop the old version from the archive tier.
+    if (removal_sink_) removal_sink_(std::string(path), *existing);
     account_remove(*existing);
     *existing = meta;
     account_add(meta);
@@ -17,8 +56,12 @@ bool Vfs::create(std::string_view path, const FileMeta& meta) {
 }
 
 bool Vfs::access(std::string_view path, util::TimePoint t) {
+  accesses_total().add();
   FileMeta* meta = trie_.find(path);
-  if (!meta) return false;
+  if (!meta) {
+    misses_total().add();
+    return false;
+  }
   meta->atime = std::max(meta->atime, t);
   ++meta->access_count;
   return true;
@@ -27,6 +70,7 @@ bool Vfs::access(std::string_view path, util::TimePoint t) {
 bool Vfs::remove(std::string_view path) {
   const FileMeta* meta = trie_.find(path);
   if (!meta) return false;
+  removes_total().add();
   if (removal_sink_) removal_sink_(std::string(path), *meta);
   account_remove(*meta);
   trie_.erase(path);
@@ -81,9 +125,15 @@ void Vfs::account_add(const FileMeta& meta) {
 
 void Vfs::account_remove(const FileMeta& meta) {
   total_bytes_ -= meta.size_bytes;
-  auto& u = usage_[meta.owner];
+  const auto it = usage_.find(meta.owner);
+  if (it == usage_.end()) return;
+  auto& u = it->second;
   u.bytes -= meta.size_bytes;
   u.files -= 1;
+  // Drop empty entries: over a year-long replay, users churn through
+  // ownership (purge + recreate, overwrite ownership changes) and a
+  // never-shrinking map would grow monotonically.
+  if (u.files == 0) usage_.erase(it);
 }
 
 }  // namespace adr::fs

@@ -29,7 +29,9 @@ class Vfs {
   Vfs() = default;
 
   /// Create (or overwrite) a file. Accounting is updated for both the old
-  /// and new metadata. Returns true if the file is new.
+  /// and new metadata; overwriting routes the *displaced* version through
+  /// the removal sink so the archive tier never silently loses it. Returns
+  /// true if the file is new.
   bool create(std::string_view path, const FileMeta& meta);
 
   /// Record an access at time `t`: bumps atime monotonically. Returns false
@@ -40,9 +42,9 @@ class Vfs {
   /// observes the file before it disappears.
   bool remove(std::string_view path);
 
-  /// Observer invoked for every removed file — how the emulator routes
-  /// purged files into the archive tier. Overwrites via create() do not
-  /// fire it (they are not purges).
+  /// Observer invoked for every file that leaves the tier — removals and
+  /// the displaced old version on an overwriting create(). This is how the
+  /// emulator routes purged/displaced files into the archive tier.
   using RemovalSink = std::function<void(const std::string&, const FileMeta&)>;
   void set_removal_sink(RemovalSink sink) { removal_sink_ = std::move(sink); }
 

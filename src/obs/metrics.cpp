@@ -1,0 +1,244 @@
+#include "obs/metrics.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <sstream>
+
+namespace adr::obs {
+
+namespace {
+
+// Upper bounds in nanoseconds for buckets 0..kBuckets-2; the final bucket
+// is the +inf overflow. Log-spaced x4 from 1us to 256s.
+constexpr std::array<std::uint64_t, Histogram::kBuckets - 1> kBoundsNanos = {
+    1'000ull,            // 1us
+    4'000ull,            // 4us
+    16'000ull,           // 16us
+    64'000ull,           // 64us
+    256'000ull,          // 256us
+    1'024'000ull,        // ~1ms
+    4'096'000ull,        // ~4ms
+    16'384'000ull,       // ~16ms
+    65'536'000ull,       // ~65ms
+    262'144'000ull,      // ~262ms
+    1'048'576'000ull,    // ~1s
+    4'194'304'000ull,    // ~4.2s
+    16'777'216'000ull,   // ~16.8s
+    67'108'864'000ull,   // ~67s
+    268'435'456'000ull,  // ~268s
+};
+
+std::string format_double(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+}  // namespace
+
+double Histogram::bucket_bound(std::size_t i) noexcept {
+  if (i >= kBoundsNanos.size()) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return static_cast<double>(kBoundsNanos[i]) * 1e-9;
+}
+
+void Histogram::observe(double seconds) noexcept {
+  if (!(seconds >= 0.0)) seconds = 0.0;  // also catches NaN
+  const double nanos_d = seconds * 1e9;
+  const std::uint64_t nanos =
+      nanos_d >= 1.8e19 ? std::uint64_t{18'000'000'000'000'000'000ull}
+                        : static_cast<std::uint64_t>(nanos_d);
+
+  std::size_t bucket = kBuckets - 1;
+  for (std::size_t i = 0; i < kBoundsNanos.size(); ++i) {
+    if (nanos <= kBoundsNanos[i]) {
+      bucket = i;
+      break;
+    }
+  }
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_nanos_.fetch_add(nanos, std::memory_order_relaxed);
+
+  std::uint64_t seen = max_nanos_.load(std::memory_order_relaxed);
+  while (nanos > seen && !max_nanos_.compare_exchange_weak(
+                             seen, nanos, std::memory_order_relaxed,
+                             std::memory_order_relaxed)) {
+  }
+}
+
+void Histogram::reset() noexcept {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_nanos_.store(0, std::memory_order_relaxed);
+  max_nanos_.store(0, std::memory_order_relaxed);
+}
+
+namespace {
+
+template <typename Metric>
+Metric& find_or_create(std::mutex& mutex,
+                       std::map<std::string, std::unique_ptr<Metric>>& map,
+                       const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex);
+  auto& slot = map[name];
+  if (!slot) slot = std::make_unique<Metric>();
+  return *slot;
+}
+
+}  // namespace
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  return find_or_create(mutex_, counters_, name);
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  return find_or_create(mutex_, gauges_, name);
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name) {
+  return find_or_create(mutex_, histograms_, name);
+}
+
+Histogram& MetricsRegistry::span_histogram(const std::string& name) {
+  return find_or_create(mutex_, spans_, name);
+}
+
+namespace {
+
+MetricsSnapshot::HistogramData snapshot_histogram(const Histogram& h) {
+  MetricsSnapshot::HistogramData d;
+  d.count = h.count();
+  d.sum_seconds = h.sum_seconds();
+  d.max_seconds = h.max_seconds();
+  for (std::size_t i = 0; i < Histogram::kBuckets; ++i) {
+    d.buckets[i] = h.bucket_count(i);
+  }
+  return d;
+}
+
+}  // namespace
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  MetricsSnapshot snap;
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [name, c] : counters_) snap.counters[name] = c->value();
+  for (const auto& [name, g] : gauges_) snap.gauges[name] = g->value();
+  for (const auto& [name, h] : histograms_) {
+    snap.histograms[name] = snapshot_histogram(*h);
+  }
+  for (const auto& [name, h] : spans_) {
+    snap.spans[name] = snapshot_histogram(*h);
+  }
+  return snap;
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+  for (auto& [name, h] : spans_) h->reset();
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+namespace {
+
+// Metric names are dot-separated identifiers, but escape defensively so the
+// output is valid JSON for any registered name.
+void append_json_string(std::ostringstream& out, const std::string& s) {
+  out << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out << "\\\""; break;
+      case '\\': out << "\\\\"; break;
+      case '\n': out << "\\n"; break;
+      case '\t': out << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out << buf;
+        } else {
+          out << c;
+        }
+    }
+  }
+  out << '"';
+}
+
+void append_histogram_json(std::ostringstream& out,
+                           const MetricsSnapshot::HistogramData& h) {
+  out << "{\"count\": " << h.count
+      << ", \"sum_seconds\": " << format_double(h.sum_seconds)
+      << ", \"max_seconds\": " << format_double(h.max_seconds)
+      << ", \"buckets\": [";
+  for (std::size_t i = 0; i < Histogram::kBuckets; ++i) {
+    if (i > 0) out << ", ";
+    out << "{\"le\": ";
+    const double bound = Histogram::bucket_bound(i);
+    if (std::isinf(bound)) {
+      out << "\"inf\"";
+    } else {
+      out << format_double(bound);
+    }
+    out << ", \"count\": " << h.buckets[i] << "}";
+  }
+  out << "]}";
+}
+
+template <typename Map, typename EmitValue>
+void append_section(std::ostringstream& out, const char* title,
+                    const Map& map, const EmitValue& emit_value, bool last) {
+  out << "  ";
+  append_json_string(out, title);
+  out << ": {";
+  bool first = true;
+  for (const auto& [name, value] : map) {
+    if (!first) out << ",";
+    first = false;
+    out << "\n    ";
+    append_json_string(out, name);
+    out << ": ";
+    emit_value(out, value);
+  }
+  if (!first) out << "\n  ";
+  out << (last ? "}\n" : "},\n");
+}
+
+}  // namespace
+
+std::string to_json(const MetricsSnapshot& snapshot) {
+  std::ostringstream out;
+  out << "{\n";
+  append_section(out, "counters", snapshot.counters,
+                 [](std::ostringstream& o, std::uint64_t v) { o << v; },
+                 false);
+  append_section(out, "gauges", snapshot.gauges,
+                 [](std::ostringstream& o, std::int64_t v) { o << v; },
+                 false);
+  append_section(
+      out, "histograms", snapshot.histograms,
+      [](std::ostringstream& o, const MetricsSnapshot::HistogramData& h) {
+        append_histogram_json(o, h);
+      },
+      false);
+  append_section(
+      out, "spans", snapshot.spans,
+      [](std::ostringstream& o, const MetricsSnapshot::HistogramData& h) {
+        append_histogram_json(o, h);
+      },
+      true);
+  out << "}";
+  return out.str();
+}
+
+std::string MetricsRegistry::to_json() const { return obs::to_json(snapshot()); }
+
+}  // namespace adr::obs

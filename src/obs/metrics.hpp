@@ -1,0 +1,154 @@
+#pragma once
+// Lightweight metrics: registry-backed counters, gauges, and fixed-bucket
+// latency histograms.
+//
+// Design constraints (this is the substrate every perf PR reports through):
+//  * Hot-path updates are single relaxed atomic RMWs — no locks, no
+//    allocation, TSan-clean. Robinhood-style policy engines live or die by
+//    their accounting instrumentation being cheap enough to leave on.
+//  * Metric objects are owned by the registry and never move or disappear,
+//    so call sites resolve a name to a reference once (function-local
+//    static) and update through it forever. reset() zeroes values in place
+//    and never invalidates references.
+//  * Reads are snapshot-on-read: snapshot()/to_json() walk the registry
+//    under its registration mutex and load each atomic; concurrent writers
+//    are never blocked.
+//
+// Naming convention: `component.phase` (e.g. "policy.scan",
+// "vfs.creates", "threadpool.queue_wait"). See DESIGN.md "Observability".
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+namespace adr::obs {
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void add(std::uint64_t delta = 1) noexcept {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Instantaneous signed level (queue depth, bytes resident, ...).
+class Gauge {
+ public:
+  void set(std::int64_t v) noexcept {
+    value_.store(v, std::memory_order_relaxed);
+  }
+  void add(std::int64_t delta) noexcept {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  std::int64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// Fixed-bucket latency histogram over seconds. Bucket upper bounds are
+/// log-spaced (x4) from 1 microsecond to 256 seconds plus an overflow
+/// bucket, which covers everything from a trie lookup to a full-trace
+/// replay without per-instance configuration.
+class Histogram {
+ public:
+  static constexpr std::size_t kBuckets = 16;  // last bucket = +inf
+
+  /// Upper bound (seconds, inclusive) of bucket `i`; +inf for the last.
+  static double bucket_bound(std::size_t i) noexcept;
+
+  void observe(double seconds) noexcept;
+
+  std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  double sum_seconds() const noexcept {
+    return static_cast<double>(sum_nanos_.load(std::memory_order_relaxed)) *
+           1e-9;
+  }
+  double max_seconds() const noexcept {
+    return static_cast<double>(max_nanos_.load(std::memory_order_relaxed)) *
+           1e-9;
+  }
+  std::uint64_t bucket_count(std::size_t i) const noexcept {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+
+  void reset() noexcept;
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_nanos_{0};
+  std::atomic<std::uint64_t> max_nanos_{0};
+};
+
+/// Point-in-time copy of every registered metric (what to_json serializes).
+struct MetricsSnapshot {
+  struct HistogramData {
+    std::uint64_t count = 0;
+    double sum_seconds = 0.0;
+    double max_seconds = 0.0;
+    std::array<std::uint64_t, Histogram::kBuckets> buckets{};
+  };
+
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, std::int64_t> gauges;
+  std::map<std::string, HistogramData> histograms;
+  /// Span timings (RAII timer spans) — histograms kept in their own
+  /// namespace so phase attribution is separable from value histograms.
+  std::map<std::string, HistogramData> spans;
+};
+
+/// Name -> metric registry. Registration (first lookup of a name) takes a
+/// mutex; returned references stay valid for the registry's lifetime.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name);
+  /// Histogram recording span durations; serialized under "spans".
+  Histogram& span_histogram(const std::string& name);
+
+  MetricsSnapshot snapshot() const;
+  /// Serialize a snapshot as a JSON object with "counters", "gauges",
+  /// "histograms", and "spans" sections.
+  std::string to_json() const;
+
+  /// Zero every metric in place. References handed out stay valid.
+  void reset();
+
+  /// The process-wide registry all subsystems report into by default.
+  static MetricsRegistry& global();
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  std::map<std::string, std::unique_ptr<Histogram>> spans_;
+};
+
+/// Serialize an already-taken snapshot (used by exporters that diff two
+/// snapshots before printing).
+std::string to_json(const MetricsSnapshot& snapshot);
+
+}  // namespace adr::obs

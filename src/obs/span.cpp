@@ -1,0 +1,66 @@
+#include "obs/span.hpp"
+
+#include <utility>
+
+namespace adr::obs {
+
+namespace {
+
+// Raw pointers into live TimerSpan objects; entries are pushed/popped in
+// strict LIFO order by the spans themselves (they are scoped objects).
+thread_local std::vector<const TimerSpan*> t_span_stack;
+
+}  // namespace
+
+TimerSpan::TimerSpan(MetricsRegistry& registry, std::string name)
+    : name_(std::move(name)),
+      histogram_(&registry.span_histogram(name_)),
+      start_(std::chrono::steady_clock::now()) {
+  t_span_stack.push_back(this);
+}
+
+TimerSpan::TimerSpan(std::string name)
+    : TimerSpan(MetricsRegistry::global(), std::move(name)) {}
+
+TimerSpan::~TimerSpan() { stop(); }
+
+double TimerSpan::stop() {
+  const double elapsed = elapsed_seconds();
+  if (stopped_) return elapsed;
+  stopped_ = true;
+  histogram_->observe(elapsed);
+  // Spans are scoped objects, so this span is the innermost open one on
+  // this thread; pop defensively by search in case stop() is called out of
+  // order.
+  for (auto it = t_span_stack.rbegin(); it != t_span_stack.rend(); ++it) {
+    if (*it == this) {
+      t_span_stack.erase(std::next(it).base());
+      break;
+    }
+  }
+  return elapsed;
+}
+
+double TimerSpan::elapsed_seconds() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start_)
+      .count();
+}
+
+std::vector<std::string> TimerSpan::current_stack() {
+  std::vector<std::string> names;
+  names.reserve(t_span_stack.size());
+  for (const TimerSpan* span : t_span_stack) names.push_back(span->name());
+  return names;
+}
+
+std::string TimerSpan::current_path() {
+  std::string path;
+  for (const TimerSpan* span : t_span_stack) {
+    if (!path.empty()) path += '/';
+    path += span->name();
+  }
+  return path;
+}
+
+}  // namespace adr::obs

@@ -1,0 +1,55 @@
+#pragma once
+// RAII timer spans for phase attribution.
+//
+// A TimerSpan measures the wall time between construction and stop() (or
+// destruction) and records it into a span histogram of a MetricsRegistry.
+// Each thread keeps a stack of its active spans, so nested phases are
+// attributable: `TimerSpan::current_path()` yields e.g.
+// "policy.run/policy.scan" from inside the scan phase.
+//
+// Span names follow the `component.phase` convention (DESIGN.md
+// "Observability"). Construction resolves the histogram once; the per-span
+// cost is two steady_clock reads plus one histogram observe.
+
+#include <chrono>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace adr::obs {
+
+class TimerSpan {
+ public:
+  /// Open a span recording into `registry`'s span histogram `name`.
+  TimerSpan(MetricsRegistry& registry, std::string name);
+  /// Open a span against the global registry.
+  explicit TimerSpan(std::string name);
+  ~TimerSpan();
+
+  TimerSpan(const TimerSpan&) = delete;
+  TimerSpan& operator=(const TimerSpan&) = delete;
+
+  /// Stop the span now, record its duration, and return it in seconds.
+  /// Idempotent; the destructor becomes a no-op afterwards.
+  double stop();
+
+  /// Seconds elapsed so far (without stopping).
+  double elapsed_seconds() const;
+
+  const std::string& name() const { return name_; }
+
+  /// Names of the calling thread's open spans, outermost first.
+  static std::vector<std::string> current_stack();
+  /// The open spans joined with '/' ("" when none) — the phase path used
+  /// in log lines and debugging.
+  static std::string current_path();
+
+ private:
+  std::string name_;
+  Histogram* histogram_;
+  std::chrono::steady_clock::time_point start_;
+  bool stopped_ = false;
+};
+
+}  // namespace adr::obs

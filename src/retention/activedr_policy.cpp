@@ -6,10 +6,40 @@
 #include <utility>
 #include <vector>
 
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "util/logging.hpp"
 #include "util/thread_pool.hpp"
 
 namespace adr::retention {
+
+namespace {
+
+obs::Counter& victims_considered() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::global().counter("policy.victims_considered");
+  return c;
+}
+
+obs::Counter& victims_purged() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::global().counter("policy.victims_purged");
+  return c;
+}
+
+obs::Counter& retrospective_passes() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::global().counter("policy.retrospective_passes");
+  return c;
+}
+
+obs::Counter& groups_scanned() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::global().counter("policy.groups_scanned");
+  return c;
+}
+
+}  // namespace
 
 ActiveDrPolicy::ActiveDrPolicy(ActiveDrConfig config,
                                const trace::UserRegistry& registry)
@@ -76,37 +106,50 @@ PurgeReport ActiveDrPolicy::run(fs::Vfs& vfs, util::TimePoint now,
     std::uint64_t size;
   };
 
+  obs::TimerSpan run_span("policy.run");
   bool done = false;
   for (const activeness::UserGroup group : activeness::kScanOrder) {
     if (done) break;
     const auto& users = plan.group(group);
     if (users.empty()) continue;
+    groups_scanned().add();
 
     const int max_pass = no_target ? 0 : config_.retrospective_passes;
     for (int pass = 0; pass <= max_pass && !done; ++pass) {
-      if (pass > 0) ++report.retrospective_passes_used;
+      if (pass > 0) {
+        ++report.retrospective_passes_used;
+        retrospective_passes().add();
+      }
 
       // Decision phase: parallel over disjoint user directories.
       std::vector<std::vector<Victim>> victims(users.size());
-      util::global_pool().parallel_for(0, users.size(), [&](std::size_t ui) {
-        const auto& ua = users[ui];
-        const util::Duration lifetime = effective_lifetime(ua, pass);
-        const std::string home = registry_->home_dir(ua.user);
-        auto& mine = victims[ui];
-        vfs.for_each_under(home, [&](const std::string& path,
-                                     const fs::FileMeta& meta) {
-          if (exemptions_.is_exempt(path)) {
-            exempted.fetch_add(1, std::memory_order_relaxed);
-            return;
-          }
-          if (now - meta.atime > lifetime) {
-            mine.push_back({path, meta.size_bytes});
-          }
+      {
+        obs::TimerSpan scan_span("policy.scan");
+        util::global_pool().parallel_for(0, users.size(), [&](std::size_t ui) {
+          const auto& ua = users[ui];
+          const util::Duration lifetime = effective_lifetime(ua, pass);
+          const std::string home = registry_->home_dir(ua.user);
+          auto& mine = victims[ui];
+          vfs.for_each_under(home, [&](const std::string& path,
+                                       const fs::FileMeta& meta) {
+            if (exemptions_.is_exempt(path)) {
+              exempted.fetch_add(1, std::memory_order_relaxed);
+              return;
+            }
+            if (now - meta.atime > lifetime) {
+              mine.push_back({path, meta.size_bytes});
+            }
+          });
         });
-      });
+        report.phases.scan_seconds += scan_span.stop();
+      }
+      std::size_t considered = 0;
+      for (const auto& mine : victims) considered += mine.size();
+      victims_considered().add(considered);
 
       // Apply phase: sequential, ascending activeness order; stop exactly
       // at the target.
+      obs::TimerSpan apply_span("policy.apply");
       bool purged_any = false;
       for (std::size_t ui = 0; ui < users.size() && !done; ++ui) {
         const trace::UserId user = users[ui].user;
@@ -118,6 +161,7 @@ PurgeReport ActiveDrPolicy::run(fs::Vfs& vfs, util::TimePoint now,
           }
           if (record) report.victim_paths.push_back(v.path);
           purged_any = true;
+          victims_purged().add();
           report.purged_bytes += v.size;
           ++report.purged_files;
           auto& g = report.group(group);
@@ -141,15 +185,25 @@ PurgeReport ActiveDrPolicy::run(fs::Vfs& vfs, util::TimePoint now,
           }
         }
       }
+      report.phases.apply_seconds += apply_span.stop();
       if (!purged_any && pass > 0) {
         // Decayed lifetime freed nothing new; further decay of this group
         // can only help if files sit just under the current threshold —
-        // keep going (cheap) unless lifetimes have bottomed out.
-        if (effective_lifetime(users.front(), pass) == 0) break;
+        // keep going (cheap) unless *every* user's lifetime has bottomed
+        // out. Probing only the first (lowest-ranked) user would stop the
+        // decay for the whole group while later users still have positive
+        // lifetimes left to shrink.
+        util::Duration max_lifetime = 0;
+        for (const auto& ua : users) {
+          max_lifetime = std::max(max_lifetime, effective_lifetime(ua, pass));
+          if (max_lifetime > 0) break;
+        }
+        if (max_lifetime == 0) break;
       }
       ADR_DEBUG << name() << ": group '" << activeness::group_name(group)
                 << "' pass " << pass << " done, remaining "
-                << (no_target ? 0 : remaining) << " bytes";
+                << (no_target ? std::string("(no target)")
+                              : std::to_string(remaining) + " bytes");
     }
   }
 

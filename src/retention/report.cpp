@@ -47,6 +47,11 @@ void PurgeReport::print(std::ostream& out) const {
   if (exempted_files > 0) {
     out << ", exempted files: " << exempted_files;
   }
+  if (phases.total_seconds() > 0.0) {
+    out << "\n  phase timings: scan "
+        << util::format_duration_seconds(phases.scan_seconds) << ", apply "
+        << util::format_duration_seconds(phases.apply_seconds);
+  }
   out << '\n';
 }
 

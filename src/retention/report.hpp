@@ -30,6 +30,17 @@ struct GroupStats {
   std::size_t users_total = 0;     ///< users with >= 1 file before the run
 };
 
+/// Wall-time attribution of one retention run, split by phase. ActiveDR
+/// fills this from its obs timer spans; single-phase policies may leave it
+/// zeroed. The same numbers accumulate into the global metrics registry
+/// under the "policy.scan" / "policy.apply" spans.
+struct PhaseTimings {
+  double scan_seconds = 0.0;   ///< parallel decision phase, summed over passes
+  double apply_seconds = 0.0;  ///< sequential apply phase, summed over passes
+
+  double total_seconds() const { return scan_seconds + apply_seconds; }
+};
+
 struct PurgeReport {
   std::string policy;
   util::TimePoint when = 0;
@@ -41,6 +52,8 @@ struct PurgeReport {
 
   /// ActiveDR only: how many retrospective passes each scan needed, total.
   int retrospective_passes_used = 0;
+  /// Per-phase wall time of this run (see PhaseTimings).
+  PhaseTimings phases;
   /// Files skipped because they were on the reservation list.
   std::size_t exempted_files = 0;
 

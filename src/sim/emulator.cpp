@@ -3,26 +3,24 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "obs/span.hpp"
 #include "retention/policy.hpp"
 #include "util/logging.hpp"
 
 namespace adr::sim {
-
-namespace {
-
-double seconds_since(std::chrono::steady_clock::time_point start) {
-  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                       start)
-      .count();
-}
-
-}  // namespace
 
 ActivenessTimeline::ActivenessTimeline(
     const activeness::ActivityCatalog& catalog,
     activeness::ActivityStore store, activeness::EvaluationParams base_params)
     : catalog_(&catalog), store_(std::move(store)), base_params_(base_params) {
   store_.sort_all();
+  eval_span_ =
+      &obs::MetricsRegistry::global().span_histogram("evaluator.evaluate_all");
+  eval_baseline_seconds_ = eval_span_->sum_seconds();
+}
+
+double ActivenessTimeline::eval_seconds() const {
+  return eval_span_->sum_seconds() - eval_baseline_seconds_;
 }
 
 ActivenessTimeline ActivenessTimeline::for_scenario(
@@ -40,7 +38,6 @@ const activeness::ScanPlan& ActivenessTimeline::plan_at(util::TimePoint t) {
   auto it = evals_.find(t);
   if (it != evals_.end()) return it->second.plan;
 
-  const auto start = std::chrono::steady_clock::now();
   activeness::EvaluationParams params = base_params_;
   params.now = t;
   activeness::Evaluator evaluator(*catalog_, params);
@@ -53,7 +50,6 @@ const activeness::ScanPlan& ActivenessTimeline::plan_at(util::TimePoint t) {
     eval.group_of[ua.user] = activeness::classify(ua);
   }
   eval.plan = activeness::build_scan_plan(users);
-  eval_seconds_ += seconds_since(start);
 
   return evals_.emplace(t, std::move(eval)).first->second.plan;
 }
@@ -162,52 +158,65 @@ EmulationResult Emulator::run(RetentionDriver& driver,
   const util::Duration interval = util::days(config_.purge_interval_days);
   util::TimePoint next_trigger = scenario_->sim_begin + interval;
 
+  // Wall-time attribution comes from the metrics registry: each trigger and
+  // the whole replay loop run under timer spans, and the result fields are
+  // the span-sum deltas across this run.
+  obs::Histogram& trigger_span =
+      obs::MetricsRegistry::global().span_histogram("emulator.purge_trigger");
+  obs::Histogram& replay_span_hist =
+      obs::MetricsRegistry::global().span_histogram("emulator.replay");
+  const double trigger_baseline = trigger_span.sum_seconds();
+  const double replay_baseline = replay_span_hist.sum_seconds();
+
   auto fire_trigger = [&](util::TimePoint when) {
-    const auto start = std::chrono::steady_clock::now();
+    obs::TimerSpan span("emulator.purge_trigger");
     std::uint64_t target = 0;
     if (target_utilization > 0.0) {
       target = retention::purge_target_bytes(vfs, target_utilization);
       if (target == 0) return;  // already at/below target utilization
     }
     retention::PurgeReport report = driver.trigger(vfs, when, target);
-    result.purge_seconds += seconds_since(start);
     result.purges.push_back(std::move(report));
   };
 
-  const auto replay_start = std::chrono::steady_clock::now();
-  for (const auto& entry : scenario_->replay.entries()) {
-    while (entry.timestamp >= next_trigger &&
-           next_trigger < scenario_->sim_end) {
-      fire_trigger(next_trigger);
-      next_trigger += interval;
-    }
-    if (entry.op == trace::FileOp::kCreate) {
-      fs::FileMeta meta;
-      meta.owner = entry.user;
-      meta.stripe_count = entry.stripe_count;
-      meta.size_bytes = entry.size_bytes;
-      meta.atime = entry.timestamp;
-      meta.ctime = entry.timestamp;
-      vfs.create(entry.path, meta);
-    } else {
-      const bool hit = vfs.access(entry.path, entry.timestamp);
-      metrics.record_access(entry.timestamp,
-                            timeline_->group_at(entry.user, entry.timestamp),
-                            !hit);
-      if (!hit && config_.restore_on_miss) {
-        if (const fs::FileMeta* archived = archive.restore(entry.path)) {
-          fs::FileMeta meta = *archived;
-          meta.atime = entry.timestamp;
-          vfs.create(entry.path, meta);
+  {
+    obs::TimerSpan replay_span("emulator.replay");
+    for (const auto& entry : scenario_->replay.entries()) {
+      while (entry.timestamp >= next_trigger &&
+             next_trigger < scenario_->sim_end) {
+        fire_trigger(next_trigger);
+        next_trigger += interval;
+      }
+      if (entry.op == trace::FileOp::kCreate) {
+        fs::FileMeta meta;
+        meta.owner = entry.user;
+        meta.stripe_count = entry.stripe_count;
+        meta.size_bytes = entry.size_bytes;
+        meta.atime = entry.timestamp;
+        meta.ctime = entry.timestamp;
+        vfs.create(entry.path, meta);
+      } else {
+        const bool hit = vfs.access(entry.path, entry.timestamp);
+        metrics.record_access(entry.timestamp,
+                              timeline_->group_at(entry.user, entry.timestamp),
+                              !hit);
+        if (!hit && config_.restore_on_miss) {
+          if (const fs::FileMeta* archived = archive.restore(entry.path)) {
+            fs::FileMeta meta = *archived;
+            meta.atime = entry.timestamp;
+            vfs.create(entry.path, meta);
+          }
         }
       }
     }
+    while (next_trigger < scenario_->sim_end) {
+      fire_trigger(next_trigger);
+      next_trigger += interval;
+    }
   }
-  while (next_trigger < scenario_->sim_end) {
-    fire_trigger(next_trigger);
-    next_trigger += interval;
-  }
-  result.replay_seconds = seconds_since(replay_start) - result.purge_seconds;
+  result.purge_seconds = trigger_span.sum_seconds() - trigger_baseline;
+  result.replay_seconds =
+      replay_span_hist.sum_seconds() - replay_baseline - result.purge_seconds;
 
   result.archive = archive.stats();
   result.daily = metrics.daily();

@@ -4,9 +4,54 @@
 #include <cstdlib>
 #include <exception>
 
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
+
 namespace adr::util {
 
+namespace {
+
+obs::Counter& tasks_submitted() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::global().counter("threadpool.tasks.submitted");
+  return c;
+}
+
+obs::Counter& pf_calls() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::global().counter("threadpool.parallel_for.calls");
+  return c;
+}
+
+obs::Counter& pf_items() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::global().counter("threadpool.parallel_for.items");
+  return c;
+}
+
+obs::Counter& pf_chunks() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::global().counter("threadpool.parallel_for.chunks");
+  return c;
+}
+
+obs::Histogram& queue_wait() {
+  static obs::Histogram& h =
+      obs::MetricsRegistry::global().histogram("threadpool.queue_wait");
+  return h;
+}
+
+}  // namespace
+
 ThreadPool::ThreadPool(std::size_t n) {
+  // Pre-register every pool metric so exports always carry them — a
+  // zero-worker pool (single-core host) never enqueues a task, which would
+  // otherwise leave e.g. the queue-wait histogram unregistered.
+  tasks_submitted();
+  pf_calls();
+  pf_items();
+  pf_chunks();
+  queue_wait();
   if (n == 0) {
     n = std::max<std::size_t>(1, std::thread::hardware_concurrency());
   }
@@ -26,6 +71,15 @@ ThreadPool::~ThreadPool() {
   for (auto& w : workers_) w.join();
 }
 
+void ThreadPool::note_task_submitted() { tasks_submitted().add(); }
+
+void ThreadPool::note_task_started(
+    std::chrono::steady_clock::time_point enqueued) {
+  queue_wait().observe(std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - enqueued)
+                           .count());
+}
+
 void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;
@@ -40,15 +94,29 @@ void ThreadPool::worker_loop() {
   }
 }
 
+bool ThreadPool::try_run_one() {
+  std::function<void()> task;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (queue_.empty()) return false;
+    task = std::move(queue_.front());
+    queue_.pop();
+  }
+  task();
+  return true;
+}
+
 void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
                               const std::function<void(std::size_t)>& fn,
                               std::size_t grain) {
   if (begin >= end) return;
+  obs::TimerSpan span("threadpool.parallel_for");
   const std::size_t n = end - begin;
   const std::size_t parties = workers_.size() + 1;
   if (grain == 0) {
     grain = std::max<std::size_t>(1, n / (parties * 8));
   }
+  pf_calls().add();
 
   auto cursor = std::make_shared<std::atomic<std::size_t>>(begin);
   auto first_error = std::make_shared<std::atomic<bool>>(false);
@@ -60,8 +128,10 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
       const std::size_t lo = cursor->fetch_add(grain);
       if (lo >= end) return;
       const std::size_t hi = std::min(end, lo + grain);
+      pf_chunks().add();
       try {
         for (std::size_t i = lo; i < hi; ++i) fn(i);
+        pf_items().add(hi - lo);
       } catch (...) {
         std::lock_guard<std::mutex> lock(*error_mutex);
         if (!first_error->exchange(true)) *error = std::current_exception();
@@ -75,7 +145,19 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
   futs.reserve(workers_.size());
   for (std::size_t i = 0; i < workers_.size(); ++i) futs.push_back(submit(drain));
   drain();  // caller participates
-  for (auto& f : futs) f.get();
+  for (auto& f : futs) {
+    // Help-drain while waiting: if this parallel_for runs inside a pool
+    // task, its sibling drains (and any nested parallel_for's drains) may
+    // sit behind us in the queue — blocking in get() with every worker
+    // doing the same would deadlock the pool.
+    while (f.wait_for(std::chrono::seconds(0)) !=
+           std::future_status::ready) {
+      if (!try_run_one()) {
+        f.wait_for(std::chrono::microseconds(50));
+      }
+    }
+    f.get();
+  }
 
   if (first_error->load()) std::rethrow_exception(*error);
 }

@@ -5,8 +5,22 @@
 // paper partitions by MPI rank; we partition the same way over threads).
 // Workers pull contiguous index chunks from a shared atomic cursor, so uneven
 // per-user costs (Fig. 12d) self-balance.
+//
+// Observability (registry names, see DESIGN.md "Observability"):
+//   threadpool.tasks.submitted      counter, one per submit()
+//   threadpool.parallel_for.calls   counter, one per parallel_for
+//   threadpool.parallel_for.items   counter, indices executed
+//   threadpool.parallel_for.chunks  counter, chunks dispatched
+//                                   (= ceil(n / grain) per call)
+//   threadpool.queue_wait           histogram, submit -> execution delay
+//   threadpool.parallel_for         span, whole parallel_for duration
+//
+// While a parallel_for waits for its workers it drains the shared task
+// queue itself, so a task may issue a nested parallel_for without
+// deadlocking the pool.
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <functional>
@@ -35,10 +49,15 @@ class ThreadPool {
     using R = std::invoke_result_t<F>;
     auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
     std::future<R> fut = task->get_future();
+    const auto enqueued = std::chrono::steady_clock::now();
     {
       std::lock_guard<std::mutex> lock(mutex_);
-      queue_.emplace([task] { (*task)(); });
+      queue_.emplace([this, task, enqueued] {
+        note_task_started(enqueued);
+        (*task)();
+      });
     }
+    note_task_submitted();
     cv_.notify_one();
     return fut;
   }
@@ -46,7 +65,10 @@ class ThreadPool {
   /// Run fn(i) for every i in [begin, end), blocking until done.
   /// `grain` controls the chunk size workers claim at a time (0 = auto).
   /// The calling thread participates, so the pool also works with size() == 1
-  /// on single-core machines. Exceptions from fn are rethrown (first one).
+  /// on single-core machines. Exceptions from fn are rethrown (first one);
+  /// once one chunk throws, undispatched chunks are abandoned. Safe to call
+  /// from inside a pool task (nested parallel_for): waiters drain the queue
+  /// instead of blocking on it.
   void parallel_for(std::size_t begin, std::size_t end,
                     const std::function<void(std::size_t)>& fn,
                     std::size_t grain = 0);
@@ -57,6 +79,10 @@ class ThreadPool {
 
  private:
   void worker_loop();
+  /// Pop and run one queued task if any; false when the queue is empty.
+  bool try_run_one();
+  void note_task_submitted();
+  void note_task_started(std::chrono::steady_clock::time_point enqueued);
 
   std::vector<std::thread> workers_;
   std::queue<std::function<void()>> queue_;

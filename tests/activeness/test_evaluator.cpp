@@ -76,8 +76,8 @@ TEST(EvaluateStream, EmptyStreamHasNoData) {
 
 // Hand-computed Eq. 1-5 example:
 // d = 10 days, activities at now-29d (impact 3), now-15d (6), now-5d (9).
-// m = ceil(24d/10d) = 3, Avg = 18/3 = 6, periods: e=1 (b=0.5), e=2 (b=1),
-// e=3 (b=1.5); Phi = 0.5^1 * 1^2 * 1.5^3 = 1.6875.
+// m = ceil((t_c - a_0.ts)/d) = ceil(29d/10d) = 3, Avg = 18/3 = 6, periods:
+// e=1 (b=0.5), e=2 (b=1), e=3 (b=1.5); Phi = 0.5^1 * 1^2 * 1.5^3 = 1.6875.
 TEST(EvaluateStream, MatchesHandComputedExample) {
   const std::vector<Activity> acts{
       at_days_ago(kT0, 29, 3.0),
@@ -104,14 +104,23 @@ TEST(EvaluateStream, EmptyPeriodZeroesRank) {
   EXPECT_DOUBLE_EQ(r.value(0.0, 1e6), 0.0);
 }
 
-TEST(EvaluateStream, SingleActivityIsUnitRank) {
-  // k = 1: span 0 -> m = 1, b = 1 -> Phi = 1 (active), at any age under
-  // kClampOldest.
-  for (double age_days : {1.0, 50.0, 400.0}) {
+TEST(EvaluateStream, SingleFreshActivityIsUnitRank) {
+  // k = 1 inside the current period: m = 1, b = 1 -> Phi = 1 (active).
+  const std::vector<Activity> acts{at_days_ago(kT0, 1.0, 7.0)};
+  const Rank r = evaluate_stream(acts, params_days(30, kT0));
+  EXPECT_TRUE(r.active());
+  EXPECT_NEAR(r.value(), 1.0, 1e-12);
+}
+
+TEST(EvaluateStream, SingleStaleActivityIsZeroRank) {
+  // Eq. 1 anchors the period count at t_c, so a lone activity several
+  // periods back leaves the recent periods empty and the rank zeroes —
+  // it must not keep the unit rank its history alone would earn.
+  for (double age_days : {50.0, 400.0}) {
     const std::vector<Activity> acts{at_days_ago(kT0, age_days, 7.0)};
     const Rank r = evaluate_stream(acts, params_days(30, kT0));
-    EXPECT_TRUE(r.active()) << age_days;
-    EXPECT_NEAR(r.value(), 1.0, 1e-12);
+    EXPECT_FALSE(r.active()) << age_days;
+    EXPECT_TRUE(r.zero) << age_days;
   }
 }
 
@@ -238,17 +247,33 @@ TEST(EvaluateStream, DenseSteadyActivityIsUnitRank) {
   EXPECT_NEAR(static_cast<double>(r.log_phi), 0.0, 1e-9);
 }
 
-TEST(EvaluateStream, SparseSteadyActivityDecaysBelowUnit) {
-  // One activity per period: Eq. 2 spreads k activities over m = k-1
-  // periods (the span rounds up), so every ratio sits below 1 and the rank
-  // lands below the activeness threshold. This "noise drag" is what keeps
-  // Fig. 5's active shares in the low percent range.
+TEST(EvaluateStream, SparseSteadyActivityHoldsUnitRank) {
+  // One activity per period, all the way up to t_c: with Eq. 1 anchored at
+  // t_c the span covers exactly m = 6 periods, every ratio is 1, and the
+  // user sits right at the activeness threshold.
   std::vector<Activity> acts;
   for (int i = 0; i < 6; ++i) {
     acts.push_back(at_days_ago(kT0, 55 - i * 10, 1.0));
   }
   const Rank r = evaluate_stream(acts, params_days(10, kT0));
   ASSERT_TRUE(r.has_data);
+  EXPECT_TRUE(r.active());
+  EXPECT_NEAR(static_cast<double>(r.log_phi), 0.0, 1e-9);
+}
+
+TEST(EvaluateStream, IdleTailDropsRankBelowUnit) {
+  // Regression for the Eq. 1 anchoring fix: m counts periods back from
+  // t_c, not from the user's newest activity. A user with a perfectly
+  // steady history who then went idle must not keep the unit rank the
+  // history alone would earn — the idle tail adds empty recent periods
+  // and drags the rank below 1.
+  std::vector<Activity> acts;
+  for (int i = 0; i < 4; ++i) {
+    acts.push_back(at_days_ago(kT0, 205.0 - i * 10.0, 1.0));
+  }
+  const Rank r = evaluate_stream(acts, params_days(10, kT0));
+  ASSERT_TRUE(r.has_data);
+  EXPECT_LT(r.value(0.0, 1e6), 1.0);
   EXPECT_FALSE(r.active());
 }
 

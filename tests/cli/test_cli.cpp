@@ -219,6 +219,49 @@ TEST_F(CliTest, InfoSummarizesSnapshot) {
   EXPECT_NE(r.out.find("Largest owners"), std::string::npos);
 }
 
+TEST_F(CliTest, MetricsOutDumpsRegistryJson) {
+  // `replay` exercises every instrumented subsystem: evaluator, policy
+  // scan/apply, vfs, thread pool, emulator.
+  const std::string metrics = path("metrics.json");
+  const CliResult r = run(
+      {"replay", "--dir", dir_->c_str(), "--metrics-out", metrics.c_str()});
+  ASSERT_EQ(r.code, 0) << r.err;
+  ASSERT_TRUE(fsys::exists(metrics));
+
+  std::ifstream in(metrics);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const std::string json = buf.str();
+
+  // Structural validity: balanced braces/brackets outside strings.
+  int depth = 0;
+  bool in_string = false, escaped = false;
+  for (const char ch : json) {
+    if (escaped) { escaped = false; continue; }
+    if (ch == '\\') { escaped = true; continue; }
+    if (ch == '"') { in_string = !in_string; continue; }
+    if (in_string) continue;
+    if (ch == '{' || ch == '[') ++depth;
+    if (ch == '}' || ch == ']') --depth;
+    ASSERT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+  EXPECT_FALSE(in_string);
+
+  for (const char* section :
+       {"\"counters\"", "\"gauges\"", "\"histograms\"", "\"spans\""}) {
+    EXPECT_NE(json.find(section), std::string::npos) << section;
+  }
+  // All instrumented components reported through the shared registry.
+  for (const char* metric :
+       {"\"evaluator.evaluate_all\"", "\"evaluator.users_evaluated\"",
+        "\"policy.scan\"", "\"policy.apply\"", "\"vfs.accesses\"",
+        "\"threadpool.parallel_for\"", "\"threadpool.queue_wait\"",
+        "\"emulator.replay\""}) {
+    EXPECT_NE(json.find(metric), std::string::npos) << metric;
+  }
+}
+
 TEST_F(CliTest, BadDateRejected) {
   const CliResult r =
       run({"evaluate", "--users", path("users.csv").c_str(), "--jobs",

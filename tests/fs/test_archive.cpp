@@ -91,10 +91,13 @@ TEST(Archive, VfsRemovalSinkFlow) {
   ASSERT_NE(tier.peek("/s/u1/x"), nullptr);
   EXPECT_EQ(tier.peek("/s/u1/x")->size_bytes, 500u);
 
-  // Overwrites are not purges: no sink call.
+  // Overwrites displace the old version through the sink too, so the
+  // archive tier never silently loses a byte.
   vfs.create("/s/u1/y", meta(1));
   vfs.create("/s/u1/y", meta(2));
-  EXPECT_EQ(tier.size(), 1u);
+  EXPECT_EQ(tier.size(), 2u);
+  ASSERT_NE(tier.peek("/s/u1/y"), nullptr);
+  EXPECT_EQ(tier.peek("/s/u1/y")->size_bytes, 1u);
 }
 
 }  // namespace

@@ -110,6 +110,43 @@ TEST(Vfs, ForEachUnderScopesToUser) {
   EXPECT_EQ(count, 2);
 }
 
+TEST(Vfs, OverwriteRoutesDisplacedVersionThroughRemovalSink) {
+  // Regression: an overwriting create() must hand the old version to the
+  // removal sink — otherwise the displaced bytes silently vanish instead of
+  // reaching the archive tier.
+  Vfs vfs;
+  std::vector<std::pair<std::string, std::uint64_t>> displaced;
+  vfs.set_removal_sink([&](const std::string& path, const FileMeta& m) {
+    displaced.emplace_back(path, m.size_bytes);
+  });
+  vfs.create("/s/u0/a", meta(0, 100));
+  EXPECT_TRUE(displaced.empty());  // fresh create displaces nothing
+  vfs.create("/s/u0/a", meta(0, 40));
+  ASSERT_EQ(displaced.size(), 1u);
+  EXPECT_EQ(displaced[0].first, "/s/u0/a");
+  EXPECT_EQ(displaced[0].second, 100u);  // old version, not the new one
+  vfs.remove("/s/u0/a");
+  ASSERT_EQ(displaced.size(), 2u);
+  EXPECT_EQ(displaced[1].second, 40u);
+}
+
+TEST(Vfs, UsageEntryErasedWhenUserHasNoFilesLeft) {
+  // Regression: per-user accounting entries must disappear when the last
+  // file goes, so usage_by_user() iteration (final-state aggregation in the
+  // emulator) does not see ghost users with zeroed rows.
+  Vfs vfs;
+  vfs.create("/s/u0/a", meta(0, 10));
+  vfs.create("/s/u1/b", meta(1, 20));
+  EXPECT_EQ(vfs.usage_by_user().size(), 2u);
+  vfs.remove("/s/u0/a");
+  EXPECT_EQ(vfs.usage_by_user().count(0), 0u);
+  EXPECT_EQ(vfs.usage_by_user().size(), 1u);
+  // Owner change on overwrite releases the previous owner's entry too.
+  vfs.create("/s/u1/b", meta(2, 20));
+  EXPECT_EQ(vfs.usage_by_user().count(1), 0u);
+  EXPECT_EQ(vfs.usage(2).files, 1u);
+}
+
 TEST(Vfs, ClearResetsEverything) {
   Vfs vfs;
   vfs.create("/s/u0/a", meta(0, 10));

@@ -1,0 +1,244 @@
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include "obs/span.hpp"
+
+namespace adr::obs {
+namespace {
+
+TEST(Counter, AddAndReset) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Gauge, SetAddReset) {
+  Gauge g;
+  g.set(10);
+  g.add(-3);
+  EXPECT_EQ(g.value(), 7);
+  g.reset();
+  EXPECT_EQ(g.value(), 0);
+}
+
+TEST(Histogram, BucketBoundsAreMonotonic) {
+  for (std::size_t i = 0; i + 1 < Histogram::kBuckets; ++i) {
+    EXPECT_LT(Histogram::bucket_bound(i), Histogram::bucket_bound(i + 1));
+  }
+  EXPECT_TRUE(std::isinf(Histogram::bucket_bound(Histogram::kBuckets - 1)));
+}
+
+TEST(Histogram, ObserveFillsCountSumMax) {
+  Histogram h;
+  h.observe(0.001);
+  h.observe(0.002);
+  h.observe(0.5);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_NEAR(h.sum_seconds(), 0.503, 1e-6);
+  EXPECT_NEAR(h.max_seconds(), 0.5, 1e-6);
+}
+
+TEST(Histogram, ObservationsLandInTheRightBucket) {
+  Histogram h;
+  h.observe(0.5e-6);  // 0.5us -> bucket 0 (le 1us)
+  h.observe(2.0);     // 2s -> first bucket with bound >= 2s
+  h.observe(1e6);     // way past the largest bound -> overflow bucket
+  EXPECT_EQ(h.bucket_count(0), 1u);
+  EXPECT_EQ(h.bucket_count(Histogram::kBuckets - 1), 1u);
+  std::size_t two_s_bucket = Histogram::kBuckets - 1;
+  for (std::size_t i = 0; i < Histogram::kBuckets; ++i) {
+    if (Histogram::bucket_bound(i) >= 2.0) {
+      two_s_bucket = i;
+      break;
+    }
+  }
+  EXPECT_EQ(h.bucket_count(two_s_bucket), 1u);
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < Histogram::kBuckets; ++i) {
+    total += h.bucket_count(i);
+  }
+  EXPECT_EQ(total, h.count());
+}
+
+TEST(Histogram, NegativeAndNanClampToZero) {
+  Histogram h;
+  h.observe(-1.0);
+  h.observe(std::nan(""));
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_EQ(h.bucket_count(0), 2u);
+  EXPECT_DOUBLE_EQ(h.sum_seconds(), 0.0);
+}
+
+TEST(Registry, SameNameYieldsSameMetric) {
+  MetricsRegistry reg;
+  Counter& a = reg.counter("x");
+  Counter& b = reg.counter("x");
+  EXPECT_EQ(&a, &b);
+  EXPECT_NE(&reg.counter("y"), &a);
+  // Value histograms and span histograms are separate namespaces.
+  EXPECT_NE(&reg.histogram("t"), &reg.span_histogram("t"));
+}
+
+TEST(Registry, ResetZeroesInPlaceAndKeepsReferences) {
+  MetricsRegistry reg;
+  Counter& c = reg.counter("c");
+  Gauge& g = reg.gauge("g");
+  Histogram& h = reg.histogram("h");
+  c.add(5);
+  g.set(-2);
+  h.observe(1.0);
+  reg.reset();
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_EQ(g.value(), 0);
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(&reg.counter("c"), &c);  // reference stability across reset
+  c.add();
+  EXPECT_EQ(reg.snapshot().counters.at("c"), 1u);
+}
+
+TEST(Registry, SnapshotReflectsAllSections) {
+  MetricsRegistry reg;
+  reg.counter("a.count").add(3);
+  reg.gauge("a.level").set(-7);
+  reg.histogram("a.size").observe(2.0);
+  reg.span_histogram("a.phase").observe(0.25);
+  const MetricsSnapshot snap = reg.snapshot();
+  EXPECT_EQ(snap.counters.at("a.count"), 3u);
+  EXPECT_EQ(snap.gauges.at("a.level"), -7);
+  EXPECT_EQ(snap.histograms.at("a.size").count, 1u);
+  EXPECT_NEAR(snap.spans.at("a.phase").sum_seconds, 0.25, 1e-6);
+}
+
+TEST(Registry, ConcurrentIncrementsAreLossless) {
+  MetricsRegistry reg;
+  Counter& c = reg.counter("hot");
+  Histogram& h = reg.histogram("lat");
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 10'000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i) {
+        c.add();
+        h.observe(1e-6);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(c.value(), static_cast<std::uint64_t>(kThreads * kPerThread));
+  EXPECT_EQ(h.count(), static_cast<std::uint64_t>(kThreads * kPerThread));
+}
+
+// Minimal structural JSON check: balanced braces/brackets outside strings,
+// and the expected section keys present. (No JSON parser in the toolchain —
+// the CLI test drives a real consumer.)
+void expect_balanced_json(const std::string& json) {
+  int depth = 0;
+  bool in_string = false;
+  bool escaped = false;
+  for (const char ch : json) {
+    if (escaped) {
+      escaped = false;
+      continue;
+    }
+    if (ch == '\\') {
+      escaped = true;
+      continue;
+    }
+    if (ch == '"') {
+      in_string = !in_string;
+      continue;
+    }
+    if (in_string) continue;
+    if (ch == '{' || ch == '[') ++depth;
+    if (ch == '}' || ch == ']') --depth;
+    ASSERT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+  EXPECT_FALSE(in_string);
+}
+
+TEST(Registry, ToJsonHasAllSectionsAndBalances) {
+  MetricsRegistry reg;
+  reg.counter("vfs.creates").add(2);
+  reg.gauge("pool.depth").set(1);
+  reg.span_histogram("policy.scan").observe(0.125);
+  const std::string json = reg.to_json();
+  expect_balanced_json(json);
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"spans\""), std::string::npos);
+  EXPECT_NE(json.find("\"vfs.creates\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"policy.scan\""), std::string::npos);
+  EXPECT_NE(json.find("\"le\": \"inf\""), std::string::npos);
+}
+
+TEST(Registry, ToJsonEscapesAwkwardNames) {
+  MetricsRegistry reg;
+  reg.counter("weird\"name\\with\nstuff").add(1);
+  const std::string json = reg.to_json();
+  expect_balanced_json(json);
+  EXPECT_NE(json.find("weird\\\"name\\\\with\\nstuff"), std::string::npos);
+}
+
+TEST(TimerSpan, RecordsIntoSpanHistogram) {
+  MetricsRegistry reg;
+  {
+    TimerSpan span(reg, "unit.phase");
+    EXPECT_GE(span.elapsed_seconds(), 0.0);
+  }
+  const auto snap = reg.snapshot();
+  EXPECT_EQ(snap.spans.at("unit.phase").count, 1u);
+  EXPECT_TRUE(snap.histograms.empty());
+}
+
+TEST(TimerSpan, StopIsIdempotent) {
+  MetricsRegistry reg;
+  TimerSpan span(reg, "unit.once");
+  const double first = span.stop();
+  EXPECT_GE(first, 0.0);
+  EXPECT_GE(span.stop(), first);  // reports elapsed but records nothing
+  EXPECT_EQ(reg.snapshot().spans.at("unit.once").count, 1u);
+}
+
+TEST(TimerSpan, StackTracksNesting) {
+  MetricsRegistry reg;
+  EXPECT_EQ(TimerSpan::current_path(), "");
+  {
+    TimerSpan outer(reg, "policy.run");
+    EXPECT_EQ(TimerSpan::current_path(), "policy.run");
+    {
+      TimerSpan inner(reg, "policy.scan");
+      EXPECT_EQ(TimerSpan::current_path(), "policy.run/policy.scan");
+      const auto stack = TimerSpan::current_stack();
+      ASSERT_EQ(stack.size(), 2u);
+      EXPECT_EQ(stack[0], "policy.run");
+      EXPECT_EQ(stack[1], "policy.scan");
+    }
+    EXPECT_EQ(TimerSpan::current_path(), "policy.run");
+  }
+  EXPECT_EQ(TimerSpan::current_path(), "");
+}
+
+TEST(TimerSpan, StackIsPerThread) {
+  MetricsRegistry reg;
+  TimerSpan outer(reg, "main.phase");
+  std::string other_thread_path = "unset";
+  std::thread t([&] { other_thread_path = TimerSpan::current_path(); });
+  t.join();
+  EXPECT_EQ(other_thread_path, "");  // sibling thread sees no open spans
+  EXPECT_EQ(TimerSpan::current_path(), "main.phase");
+}
+
+}  // namespace
+}  // namespace adr::obs

@@ -111,6 +111,42 @@ TEST_F(ActiveDrTest, RetrospectivePassesDecayLifetimes) {
   EXPECT_GE(report.retrospective_passes_used, 3);
 }
 
+TEST_F(ActiveDrTest, RetrospectiveDecayContinuesPastBottomedOutUsers) {
+  // Regression: the early-exit after a fruitless decayed pass must check
+  // the whole group's lifetimes, not only the lowest-ranked user's. Here
+  // user3 (rank 0 under literal Eq. 7 with no multiplier floor) bottoms
+  // out at lifetime 0 immediately and sorts first in the group; user2's
+  // 60d lifetime still has decay room and crosses the file's 35d age at
+  // pass 3 (60 * 0.8^3 = 30.72d). Probing only the front user would stop
+  // the whole group's decay after the first fruitless pass.
+  vfs_.create(file(2, "f"), meta(2, 100, 35));
+  ActiveDrConfig config;
+  config.initial_lifetime_days = 100;
+  config.lifetime_mode = activeness::LifetimeMode::kLiteralEq7;
+  config.min_multiplier = 0.0;
+  const ActiveDrPolicy policy(config, registry_);
+  UserActiveness weak;  // op 0.6, oc no-data (neutral) -> multiplier 0.6
+  weak.user = 2;
+  weak.op = Rank::from_value(0.6);
+  const PurgeReport report =
+      policy.run(vfs_, kNow, 100, plan({ua(3, 0.0, 0.0), weak}));
+  EXPECT_TRUE(report.target_reached);
+  EXPECT_FALSE(vfs_.exists(file(2, "f")));
+  EXPECT_GE(report.retrospective_passes_used, 3);
+}
+
+TEST_F(ActiveDrTest, PhaseTimingsAccumulatePerPass) {
+  vfs_.create(file(3, "old"), meta(3, 100, 200));
+  const ActiveDrPolicy policy(ActiveDrConfig{}, registry_);
+  const PurgeReport report =
+      policy.run(vfs_, kNow, 0, plan({ua(3, 0.0, 0.0)}));
+  EXPECT_EQ(report.purged_files, 1u);
+  // Wall clocks are coarse but both phases ran, so both timers advanced.
+  EXPECT_GT(report.phases.scan_seconds, 0.0);
+  EXPECT_GT(report.phases.apply_seconds, 0.0);
+  EXPECT_GT(report.phases.total_seconds(), 0.0);
+}
+
 TEST_F(ActiveDrTest, TargetUnreachableReported) {
   // A single very fresh file: even 5 decayed passes (min 90*0.33 = 29.5d)
   // cannot free it.

@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Build and run the test suite under ASan+UBSan and TSan.
+#
+# Usage: tools/run_sanitizers.sh [asan-ubsan|tsan] [ctest -R regex]
+#   tools/run_sanitizers.sh                 # both sanitizers, full suite
+#   tools/run_sanitizers.sh tsan            # TSan only
+#   tools/run_sanitizers.sh tsan ThreadPool # TSan, tests matching ThreadPool
+#
+# Uses the CMakePresets.json presets of the same names; build trees land in
+# build-asan/ and build-tsan/ next to build/.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+presets=(asan-ubsan tsan)
+if [[ $# -ge 1 ]]; then
+  presets=("$1")
+  shift
+fi
+filter=("$@")
+
+export ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1:strict_string_checks=1}"
+export UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1:halt_on_error=1}"
+export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1:second_deadlock_stack=1}"
+
+jobs="$(nproc 2>/dev/null || echo 2)"
+
+for preset in "${presets[@]}"; do
+  echo "==> [$preset] configure"
+  cmake --preset "$preset" >/dev/null
+  echo "==> [$preset] build"
+  cmake --build --preset "$preset" -j "$jobs"
+  echo "==> [$preset] test"
+  if [[ ${#filter[@]} -gt 0 ]]; then
+    ctest --preset "$preset" -R "${filter[@]}"
+  else
+    ctest --preset "$preset"
+  fi
+  echo "==> [$preset] OK"
+done
