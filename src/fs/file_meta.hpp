@@ -11,6 +11,12 @@
 
 namespace adr::fs {
 
+/// Dense id of an interned path string (see fs::PurgeIndex). Ids are
+/// assigned by the Vfs on first create and recycled after removal, so a
+/// policy can carry victims around as 4-byte ids instead of path copies.
+using PathId = std::uint32_t;
+inline constexpr PathId kInvalidPathId = static_cast<PathId>(-1);
+
 struct FileMeta {
   trace::UserId owner = trace::kInvalidUser;
   std::int32_t stripe_count = 1;
@@ -21,6 +27,9 @@ struct FileMeta {
   /// strategy family) scores files by access frequency among other
   /// attributes.
   std::uint32_t access_count = 0;
+  /// Interned-path id, owned and assigned by the Vfs (caller-supplied
+  /// values are ignored on create). kInvalidPathId outside a Vfs.
+  PathId path_id = kInvalidPathId;
 };
 
 }  // namespace adr::fs

@@ -1,0 +1,157 @@
+#include "fs/purge_index.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "obs/metrics.hpp"
+
+namespace adr::fs {
+
+namespace {
+
+obs::Counter& adds_total() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::global().counter("purge_index.adds");
+  return c;
+}
+
+obs::Counter& touches_total() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::global().counter("purge_index.touches");
+  return c;
+}
+
+obs::Counter& updates_total() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::global().counter("purge_index.updates");
+  return c;
+}
+
+obs::Counter& removes_total() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::global().counter("purge_index.removes");
+  return c;
+}
+
+obs::Gauge& entries_gauge() {
+  static obs::Gauge& g =
+      obs::MetricsRegistry::global().gauge("purge_index.entries");
+  return g;
+}
+
+}  // namespace
+
+PathId PurgeIndex::intern(std::string_view path) {
+  if (!free_ids_.empty()) {
+    const PathId id = free_ids_.back();
+    free_ids_.pop_back();
+    paths_[id].assign(path);  // reuses the recycled slot's capacity
+    return id;
+  }
+  const PathId id = static_cast<PathId>(paths_.size());
+  paths_.emplace_back(path);
+  return id;
+}
+
+void PurgeIndex::add(const FileMeta& meta) {
+  assert(meta.path_id != kInvalidPathId);
+  by_owner_[meta.owner].insert({meta.atime, meta.path_id, meta.size_bytes});
+  ++entry_count_;
+  adds_total().add();
+  entries_gauge().add(1);
+}
+
+void PurgeIndex::touch(const FileMeta& before, util::TimePoint new_atime) {
+  auto& set = by_owner_[before.owner];
+  set.erase({before.atime, before.path_id, 0});
+  set.insert({new_atime, before.path_id, before.size_bytes});
+  touches_total().add();
+}
+
+void PurgeIndex::update(const FileMeta& before, const FileMeta& after) {
+  assert(before.path_id == after.path_id);
+  const auto it = by_owner_.find(before.owner);
+  assert(it != by_owner_.end());
+  it->second.erase({before.atime, before.path_id, 0});
+  if (it->second.empty() && before.owner != after.owner) {
+    by_owner_.erase(it);
+  }
+  by_owner_[after.owner].insert({after.atime, after.path_id, after.size_bytes});
+  updates_total().add();
+}
+
+void PurgeIndex::remove(const FileMeta& meta) {
+  const auto it = by_owner_.find(meta.owner);
+  assert(it != by_owner_.end());
+  it->second.erase({meta.atime, meta.path_id, 0});
+  // Drop empty owners so the map tracks the live population (mirrors the
+  // Vfs usage_ map's churn behaviour).
+  if (it->second.empty()) by_owner_.erase(it);
+  --entry_count_;
+  // Release the id last: the caller's path argument may alias paths_[id].
+  free_ids_.push_back(meta.path_id);
+  removes_total().add();
+  entries_gauge().add(-1);
+}
+
+void PurgeIndex::clear() {
+  entries_gauge().add(-static_cast<std::int64_t>(entry_count_));
+  paths_.clear();
+  free_ids_.clear();
+  by_owner_.clear();
+  entry_count_ = 0;
+}
+
+const PurgeIndex::EntrySet* PurgeIndex::entries(trace::UserId owner) const {
+  const auto it = by_owner_.find(owner);
+  return it == by_owner_.end() ? nullptr : &it->second;
+}
+
+void PurgeIndex::collect_expired(trace::UserId owner, util::TimePoint cutoff,
+                                 std::vector<Entry>& out) const {
+  const EntrySet* set = entries(owner);
+  if (!set) return;
+  for (const Entry& e : *set) {
+    if (e.atime >= cutoff) break;  // set is atime-ascending
+    out.push_back(e);
+  }
+}
+
+std::vector<PurgeIndex::OwnedEntry> PurgeIndex::collect_expired_all(
+    util::TimePoint cutoff) const {
+  std::vector<OwnedEntry> out;
+  for (const auto& [owner, set] : by_owner_) {
+    for (const Entry& e : set) {
+      if (e.atime >= cutoff) break;
+      out.push_back({owner, e});
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const OwnedEntry& a, const OwnedEntry& b) {
+              return EntryOrder{}(a.entry, b.entry);
+            });
+  return out;
+}
+
+bool PurgeIndex::contains(const FileMeta& meta) const {
+  if (meta.path_id == kInvalidPathId || meta.path_id >= paths_.size()) {
+    return false;
+  }
+  const EntrySet* set = entries(meta.owner);
+  if (!set) return false;
+  const auto it = set->find({meta.atime, meta.path_id, 0});
+  return it != set->end() && it->size_bytes == meta.size_bytes;
+}
+
+std::size_t PurgeIndex::memory_bytes() const {
+  std::size_t bytes = paths_.capacity() * sizeof(std::string) +
+                      free_ids_.capacity() * sizeof(PathId);
+  for (const auto& p : paths_) bytes += p.capacity();
+  // std::set nodes: entry + three pointers + color, per libstdc++ layout.
+  bytes += entry_count_ * (sizeof(Entry) + 4 * sizeof(void*));
+  bytes += by_owner_.size() * (sizeof(trace::UserId) + sizeof(EntrySet) +
+                               2 * sizeof(void*));
+  return bytes;
+}
+
+}  // namespace adr::fs

@@ -41,17 +41,23 @@ bool Vfs::create(std::string_view path, const FileMeta& meta) {
   creates_total().add();
   if (FileMeta* existing = trie_.find(path)) {
     overwrites_total().add();
+    const FileMeta displaced = *existing;
     // The displaced version leaves the scratch tier exactly like a removal
     // does — without routing it through the sink, replayed overwrites would
     // silently drop the old version from the archive tier.
-    if (removal_sink_) removal_sink_(std::string(path), *existing);
-    account_remove(*existing);
+    if (removal_sink_) removal_sink_(std::string(path), displaced);
+    account_remove(displaced);
     *existing = meta;
-    account_add(meta);
+    existing->path_id = displaced.path_id;  // the path keeps its id
+    account_add(*existing);
+    purge_index_.update(displaced, *existing);
     return false;
   }
-  trie_.insert(path, meta);
-  account_add(meta);
+  FileMeta stored = meta;
+  stored.path_id = purge_index_.intern(path);
+  trie_.insert(path, stored);
+  account_add(stored);
+  purge_index_.add(stored);
   return true;
 }
 
@@ -62,19 +68,65 @@ bool Vfs::access(std::string_view path, util::TimePoint t) {
     misses_total().add();
     return false;
   }
-  meta->atime = std::max(meta->atime, t);
+  if (t > meta->atime) {  // atime is monotone; no re-key when unchanged
+    purge_index_.touch(*meta, t);
+    meta->atime = t;
+  }
   ++meta->access_count;
   return true;
 }
 
 bool Vfs::remove(std::string_view path) {
-  const FileMeta* meta = trie_.find(path);
-  if (!meta) return false;
+  const FileMeta* found = trie_.find(path);
+  if (!found) return false;
+  const FileMeta meta = *found;
   removes_total().add();
-  if (removal_sink_) removal_sink_(std::string(path), *meta);
-  account_remove(*meta);
+  if (removal_sink_) removal_sink_(std::string(path), meta);
+  account_remove(meta);
   trie_.erase(path);
+  // Index last: `path` may alias the interned string this releases, and
+  // the slot's storage survives until the id is recycled by a later create.
+  purge_index_.remove(meta);
   return true;
+}
+
+bool Vfs::verify_purge_index(std::string* error) const {
+  bool ok = true;
+  std::size_t walked = 0;
+  trie_.for_each([&](const std::string& path, const FileMeta& meta) {
+    ++walked;
+    if (!ok) return;
+    if (meta.path_id == kInvalidPathId) {
+      ok = false;
+      if (error) *error = "file without interned path id: " + path;
+      return;
+    }
+    if (!purge_index_.contains(meta)) {
+      ok = false;
+      if (error) {
+        *error = "index entry missing or stale for " + path + " (owner " +
+                 std::to_string(meta.owner) + ", atime " +
+                 std::to_string(meta.atime) + ")";
+      }
+      return;
+    }
+    if (purge_index_.path(meta.path_id) != path) {
+      ok = false;
+      if (error) {
+        *error = "path id " + std::to_string(meta.path_id) + " interned as '" +
+                 purge_index_.path(meta.path_id) + "' but trie holds '" +
+                 path + "'";
+      }
+    }
+  });
+  if (ok && purge_index_.entry_count() != walked) {
+    ok = false;
+    if (error) {
+      *error = "index holds " + std::to_string(purge_index_.entry_count()) +
+               " entries but the trie walk found " + std::to_string(walked);
+    }
+  }
+  return ok;
 }
 
 UserUsage Vfs::usage(trace::UserId user) const {
@@ -111,6 +163,7 @@ trace::Snapshot Vfs::export_snapshot() const {
 
 void Vfs::clear() {
   trie_.clear();
+  purge_index_.clear();
   total_bytes_ = 0;
   capacity_bytes_ = 0;
   usage_.clear();

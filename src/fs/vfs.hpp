@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "fs/path_trie.hpp"
+#include "fs/purge_index.hpp"
 #include "trace/snapshot.hpp"
 
 namespace adr::fs {
@@ -81,6 +82,17 @@ class Vfs {
   /// Underlying index (read-only), exposed for memory probes.
   const PathTrie& index() const { return trie_; }
 
+  /// Atime-ordered purge index, maintained incrementally by every
+  /// create/access/remove — the policies' fast scan path.
+  const PurgeIndex& purge_index() const { return purge_index_; }
+
+  /// Opt-in consistency check: cross-verify the purge index against a full
+  /// trie walk (every file indexed with matching owner/atime/size/path, and
+  /// nothing extra). Returns true when consistent; otherwise describes the
+  /// first mismatch in *error (if non-null). O(files) — meant for tests,
+  /// audits (EmulatorConfig::audit_purge_index), and `purge --check-index`.
+  bool verify_purge_index(std::string* error = nullptr) const;
+
   /// Seed from / export to a metadata snapshot.
   void import_snapshot(const trace::Snapshot& snapshot);
   trace::Snapshot export_snapshot() const;
@@ -92,6 +104,7 @@ class Vfs {
   void account_remove(const FileMeta& meta);
 
   PathTrie trie_;
+  PurgeIndex purge_index_;
   RemovalSink removal_sink_;
   std::uint64_t total_bytes_ = 0;
   std::uint64_t capacity_bytes_ = 0;

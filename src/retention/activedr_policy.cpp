@@ -1,11 +1,13 @@
 #include "retention/activedr_policy.hpp"
 
+#include <algorithm>
 #include <atomic>
-#include <set>
 #include <cmath>
+#include <unordered_set>
 #include <utility>
 #include <vector>
 
+#include "fs/purge_index.hpp"
 #include "obs/metrics.hpp"
 #include "obs/span.hpp"
 #include "util/logging.hpp"
@@ -36,6 +38,24 @@ obs::Counter& retrospective_passes() {
 obs::Counter& groups_scanned() {
   static obs::Counter& c =
       obs::MetricsRegistry::global().counter("policy.groups_scanned");
+  return c;
+}
+
+obs::Counter& indexed_scans() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::global().counter("policy.scan.indexed");
+  return c;
+}
+
+obs::Counter& walk_scans() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::global().counter("policy.scan.walk");
+  return c;
+}
+
+obs::Counter& index_candidates() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::global().counter("policy.index_candidates");
   return c;
 }
 
@@ -92,18 +112,29 @@ PurgeReport ActiveDrPolicy::run(fs::Vfs& vfs, util::TimePoint now,
 
   report.dry_run = config_.dry_run;
   const bool record = config_.dry_run || config_.record_victims;
-  // Dry runs cannot mutate the vfs, so passes would re-select earlier
-  // victims; dedupe by path instead.
-  std::set<std::string> claimed;
+  const bool indexed = config_.scan_mode != ScanMode::kWalk;
+  (indexed ? indexed_scans() : walk_scans()).add();
+  const fs::PurgeIndex& index = vfs.purge_index();
+
+  // Walk-mode dry runs cannot mutate the vfs, so later passes would
+  // re-select earlier victims; dedupe by interned path id. (The indexed
+  // path needs no dedup: its cursor visits each candidate exactly once.)
+  std::unordered_set<fs::PathId> claimed;
 
   std::uint64_t remaining = target_purge_bytes;
   const bool no_target = target_purge_bytes == 0;
   std::vector<bool> user_affected;
   std::atomic<std::size_t> exempted{0};
 
+  // Victims travel as interned ids — no per-victim path copies; the string
+  // is only touched for vfs.remove() and opt-in recording.
   struct Victim {
-    std::string path;
+    fs::PathId id;
+    util::TimePoint atime;
     std::uint64_t size;
+  };
+  const auto victim_order = [](const Victim& a, const Victim& b) {
+    return a.atime != b.atime ? a.atime < b.atime : a.id < b.id;
   };
 
   obs::TimerSpan run_span("policy.run");
@@ -115,15 +146,52 @@ PurgeReport ActiveDrPolicy::run(fs::Vfs& vfs, util::TimePoint now,
     groups_scanned().add();
 
     const int max_pass = no_target ? 0 : config_.retrospective_passes;
+
+    // Indexed scan-once: materialize each user's candidates one time, at
+    // the *widest* cutoff this group can ever reach (the fully decayed
+    // lifetime of the last retrospective pass). The 20%-per-pass decay only
+    // widens the victim window, so every pass's victims are a prefix of
+    // this list; passes then advance a cursor instead of re-walking.
+    std::vector<std::vector<Victim>> candidates;
+    std::vector<std::size_t> cursor;
+    if (indexed) {
+      obs::TimerSpan scan_span("policy.scan");
+      candidates.resize(users.size());
+      cursor.assign(users.size(), 0);
+      util::global_pool().parallel_for(0, users.size(), [&](std::size_t ui) {
+        const auto& ua = users[ui];
+        const util::TimePoint widest_cutoff =
+            now - effective_lifetime(ua, max_pass);
+        std::vector<fs::PurgeIndex::Entry> entries;
+        index.collect_expired(ua.user, widest_cutoff, entries);
+        auto& mine = candidates[ui];
+        mine.reserve(entries.size());
+        for (const auto& e : entries) {
+          if (exemptions_.is_exempt(index.path(e.id))) {
+            exempted.fetch_add(1, std::memory_order_relaxed);
+            continue;
+          }
+          mine.push_back({e.id, e.atime, e.size_bytes});
+        }
+      });
+      report.phases.scan_seconds += scan_span.stop();
+      std::size_t considered = 0;
+      for (const auto& mine : candidates) considered += mine.size();
+      victims_considered().add(considered);
+      index_candidates().add(considered);
+    }
+
     for (int pass = 0; pass <= max_pass && !done; ++pass) {
       if (pass > 0) {
         ++report.retrospective_passes_used;
         retrospective_passes().add();
       }
 
-      // Decision phase: parallel over disjoint user directories.
-      std::vector<std::vector<Victim>> victims(users.size());
-      {
+      // Walk-mode decision phase: parallel over disjoint user directories,
+      // re-walked every pass (the seed behaviour the bench baselines).
+      std::vector<std::vector<Victim>> victims;
+      if (!indexed) {
+        victims.resize(users.size());
         obs::TimerSpan scan_span("policy.scan");
         util::global_pool().parallel_for(0, users.size(), [&](std::size_t ui) {
           const auto& ua = users[ui];
@@ -137,15 +205,18 @@ PurgeReport ActiveDrPolicy::run(fs::Vfs& vfs, util::TimePoint now,
               return;
             }
             if (now - meta.atime > lifetime) {
-              mine.push_back({path, meta.size_bytes});
+              mine.push_back({meta.path_id, meta.atime, meta.size_bytes});
             }
           });
+          // Oldest first, matching the index order, so both modes select
+          // identical victims when a byte target stops mid-user.
+          std::sort(mine.begin(), mine.end(), victim_order);
         });
         report.phases.scan_seconds += scan_span.stop();
+        std::size_t considered = 0;
+        for (const auto& mine : victims) considered += mine.size();
+        victims_considered().add(considered);
       }
-      std::size_t considered = 0;
-      for (const auto& mine : victims) considered += mine.size();
-      victims_considered().add(considered);
 
       // Apply phase: sequential, ascending activeness order; stop exactly
       // at the target.
@@ -153,13 +224,22 @@ PurgeReport ActiveDrPolicy::run(fs::Vfs& vfs, util::TimePoint now,
       bool purged_any = false;
       for (std::size_t ui = 0; ui < users.size() && !done; ++ui) {
         const trace::UserId user = users[ui].user;
-        for (const auto& v : victims[ui]) {
+        const auto apply = [&](const Victim& v) {
+          const std::string& path = index.path(v.id);
           if (config_.dry_run) {
-            if (!claimed.insert(v.path).second) continue;  // earlier pass
-          } else if (!vfs.remove(v.path)) {
-            continue;  // purged in an earlier pass
+            if (indexed) {
+              // Cursor semantics already guarantee single selection.
+            } else if (!claimed.insert(v.id).second) {
+              return;  // earlier pass
+            }
+            if (record) report.victim_paths.push_back(path);
+          } else {
+            if (record) report.victim_paths.push_back(path);
+            if (!vfs.remove(path)) {
+              if (record) report.victim_paths.pop_back();
+              return;  // purged in an earlier pass
+            }
           }
-          if (record) report.victim_paths.push_back(v.path);
           purged_any = true;
           victims_purged().add();
           report.purged_bytes += v.size;
@@ -178,10 +258,25 @@ PurgeReport ActiveDrPolicy::run(fs::Vfs& vfs, util::TimePoint now,
           }
           if (!no_target) {
             remaining -= std::min(remaining, v.size);
-            if (remaining == 0) {
-              done = true;
-              break;
-            }
+            if (remaining == 0) done = true;
+          }
+        };
+
+        if (indexed) {
+          // This pass's victims: the candidate prefix under the decayed
+          // cutoff, starting where the previous pass left off.
+          const util::TimePoint cutoff =
+              now - effective_lifetime(users[ui], pass);
+          const auto& mine = candidates[ui];
+          std::size_t& cur = cursor[ui];
+          while (!done && cur < mine.size() && mine[cur].atime < cutoff) {
+            apply(mine[cur]);
+            ++cur;
+          }
+        } else {
+          for (const auto& v : victims[ui]) {
+            apply(v);
+            if (done) break;
           }
         }
       }

@@ -22,6 +22,16 @@
 // The parallel-decision / ordered-apply split mirrors the paper's mpi4py
 // implementation: ranks scan disjoint user shards concurrently (Fig. 12b–d)
 // while the purge-target guarantee stays exact.
+//
+// Scan modes (ScanMode, DESIGN.md "Purge index"): the default indexed mode
+// answers the Eq. 7 victim query as an atime range over the Vfs's purge
+// index, and makes the retrospective passes *scan-once* — a group's
+// candidates are materialized a single time at the fully-decayed cutoff
+// (decay only widens the victim window, so each pass's victims are a prefix)
+// and passes 1..5 just advance a per-user cursor. kWalk preserves the
+// original per-pass directory re-walks as the measurable baseline. Within a
+// user, both modes purge oldest-first (atime, then path id), so they select
+// identical victims.
 
 #include <cstdint>
 #include <string>
@@ -56,6 +66,14 @@ struct ActiveDrConfig {
   bool dry_run = false;
   /// Record every victim path into PurgeReport::victim_paths.
   bool record_victims = false;
+
+  /// kAuto/kIndexed: scan the Vfs's atime-ordered purge index — candidates
+  /// materialize once per group and retrospective passes advance a cursor
+  /// (no re-walks). kWalk: the seed's per-pass trie walk. Both modes select
+  /// identical victims (per user, ascending atime with path-id tie-break);
+  /// only exempted_files differs — the walk counts an exempt file once per
+  /// pass it is scanned by, the index once per candidate window.
+  ScanMode scan_mode = ScanMode::kAuto;
 };
 
 class ActiveDrPolicy {

@@ -25,6 +25,14 @@ struct FltConfig {
   /// Record every victim path into PurgeReport::victim_paths.
   bool record_victims = false;
 
+  /// kIndexed: read expired files straight off the Vfs's atime-ordered
+  /// purge index, oldest first, instead of walking the trie. kWalk keeps
+  /// the legacy trie-DFS path order. kAuto picks indexed for strict
+  /// (no-target) runs — where the victim *set* is order-independent — and
+  /// the walk for purge-to-target runs, whose documented semantics purge in
+  /// system scan order.
+  ScanMode scan_mode = ScanMode::kAuto;
+
   /// Facility presets from Table 1.
   static FltConfig ncar() { return {120}; }
   static FltConfig olcf() { return {90}; }

@@ -54,14 +54,20 @@ const activeness::ScanPlan& ActivenessTimeline::plan_at(util::TimePoint t) {
   return evals_.emplace(t, std::move(eval)).first->second.plan;
 }
 
+const std::vector<activeness::UserGroup>* ActivenessTimeline::group_lookup_at(
+    util::TimePoint t) const {
+  auto it = evals_.upper_bound(t);
+  if (it == evals_.begin()) return nullptr;
+  --it;
+  return &it->second.group_of;
+}
+
 activeness::UserGroup ActivenessTimeline::group_at(trace::UserId user,
                                                    util::TimePoint t) const {
-  auto it = evals_.upper_bound(t);
-  if (it == evals_.begin()) return activeness::UserGroup::kBothInactive;
-  --it;
-  const auto& lookup = it->second.group_of;
-  return user < lookup.size() ? lookup[user]
-                              : activeness::UserGroup::kBothInactive;
+  const auto* lookup = group_lookup_at(t);
+  if (lookup == nullptr) return activeness::UserGroup::kBothInactive;
+  return user < lookup->size() ? (*lookup)[user]
+                               : activeness::UserGroup::kBothInactive;
 }
 
 FltDriver::FltDriver(retention::FltConfig config, ActivenessTimeline& timeline)
@@ -168,6 +174,8 @@ EmulationResult Emulator::run(RetentionDriver& driver,
   const double trigger_baseline = trigger_span.sum_seconds();
   const double replay_baseline = replay_span_hist.sum_seconds();
 
+  obs::Counter& audit_failures =
+      obs::MetricsRegistry::global().counter("purge_index.audit_failures");
   auto fire_trigger = [&](util::TimePoint when) {
     obs::TimerSpan span("emulator.purge_trigger");
     std::uint64_t target = 0;
@@ -177,6 +185,14 @@ EmulationResult Emulator::run(RetentionDriver& driver,
     }
     retention::PurgeReport report = driver.trigger(vfs, when, target);
     result.purges.push_back(std::move(report));
+    if (config_.audit_purge_index) {
+      std::string error;
+      if (!vfs.verify_purge_index(&error)) {
+        audit_failures.add();
+        ADR_ERROR << "purge-index audit failed after trigger at " << when
+                  << ": " << error;
+      }
+    }
   };
 
   {
@@ -234,24 +250,32 @@ EmulationResult Emulator::run(RetentionDriver& driver,
       result.groups[g].purged_files += report.by_group[g].purged_files;
     }
   }
+  // One timeline lookup covers all three attribution loops below — the
+  // final evaluation is fixed at `end`, so per-user group_at calls (a map
+  // search each) would redo the same search tens of thousands of times.
+  const std::vector<activeness::UserGroup>* final_groups =
+      timeline_->group_lookup_at(end);
+  const auto group_index_of = [final_groups](trace::UserId user) {
+    return static_cast<std::size_t>(
+        final_groups != nullptr && user < final_groups->size()
+            ? (*final_groups)[user]
+            : activeness::UserGroup::kBothInactive);
+  };
   std::unordered_set<trace::UserId> affected;
   for (const auto& report : result.purges) {
     for (const trace::UserId u : report.affected_users) affected.insert(u);
   }
   for (const trace::UserId u : affected) {
-    ++result.groups[static_cast<std::size_t>(timeline_->group_at(u, end))]
-          .unique_affected_users;
+    ++result.groups[group_index_of(u)].unique_affected_users;
   }
   for (const auto& [user, usage] : vfs.usage_by_user()) {
     if (usage.files == 0) continue;
-    auto& g =
-        result.groups[static_cast<std::size_t>(timeline_->group_at(user, end))];
+    auto& g = result.groups[group_index_of(user)];
     g.retained_bytes += usage.bytes;
     g.retained_files += usage.files;
   }
   for (trace::UserId u = 0; u < scenario_->registry.size(); ++u) {
-    ++result.groups[static_cast<std::size_t>(timeline_->group_at(u, end))]
-          .users_in_group;
+    ++result.groups[group_index_of(u)].users_in_group;
   }
 
   ADR_INFO << result.policy << ": " << result.total_misses << "/"

@@ -44,6 +44,13 @@ class ActivenessTimeline {
   /// (Both-Inactive before any evaluation exists).
   activeness::UserGroup group_at(trace::UserId user, util::TimePoint t) const;
 
+  /// Dense user -> group table of the latest evaluation at or before `t`,
+  /// or nullptr before any evaluation. Callers attributing *many* users at
+  /// one instant (end-of-year aggregation) fetch this once instead of
+  /// paying the timeline map lookup per user.
+  const std::vector<activeness::UserGroup>* group_lookup_at(
+      util::TimePoint t) const;
+
   std::size_t user_count() const { return store_.user_count(); }
   /// Wall time spent in evaluate_all since this timeline was built (Fig.
   /// 12b probe) — read from the metrics registry's
@@ -152,6 +159,10 @@ struct EmulatorConfig {
   bool restore_on_miss = true;
   /// Restore bandwidth/latency model for the archive tier.
   fs::ArchiveConfig archive;
+  /// Consistency-check mode: after every purge trigger, cross-verify the
+  /// Vfs's purge index against a full trie walk (Vfs::verify_purge_index).
+  /// O(files) per trigger — for tests and debugging, not production runs.
+  bool audit_purge_index = false;
 };
 
 /// Per-group aggregates over a whole emulation (the Fig. 9–11 numbers).

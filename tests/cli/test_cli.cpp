@@ -7,9 +7,13 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
+#include <algorithm>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
+#include <vector>
 
 #include "util/time.hpp"
 
@@ -37,7 +41,10 @@ CliResult run(std::initializer_list<const char*> args) {
 class CliTest : public ::testing::Test {
  protected:
   static void SetUpTestSuite() {
-    dir_ = new std::string(::testing::TempDir() + "/adr_cli_bundle");
+    // Per-process directory: ctest -j runs each discovered test in its own
+    // process, and concurrent processes must not race on one bundle dir.
+    dir_ = new std::string(::testing::TempDir() + "/adr_cli_bundle_" +
+                           std::to_string(::getpid()));
     fsys::remove_all(*dir_);
     const CliResult r = run(
         {"synth", "--out", dir_->c_str(), "--users", "120", "--seed", "5"});
@@ -131,6 +138,48 @@ TEST_F(CliTest, PurgeFltDoesNotNeedRanks) {
            "flt", "--lifetime", "30", "--target", "0"});
   EXPECT_EQ(r.code, 0) << r.err;
   EXPECT_NE(r.out.find("FLT-30d"), std::string::npos);
+}
+
+TEST_F(CliTest, PurgeCheckIndexVerifiesConsistency) {
+  const CliResult r =
+      run({"purge", "--snapshot", path("snapshot.csv").c_str(), "--users",
+           path("users.csv").c_str(), "--now", "2016-06-01", "--policy",
+           "flt", "--lifetime", "30", "--target", "0", "--check-index"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("Purge index verified"), std::string::npos);
+}
+
+TEST_F(CliTest, PurgeScanModesSelectIdenticalVictims) {
+  // The same FLT purge under --scan-mode walk and indexed must write the
+  // same victim list (modulo order; strict runs purge the full expired set).
+  std::vector<std::string> victims[2];
+  int i = 0;
+  for (const char* mode : {"walk", "indexed"}) {
+    const std::string list = path(std::string("victims_") + mode + ".txt");
+    const CliResult r =
+        run({"purge", "--snapshot", path("snapshot.csv").c_str(), "--users",
+             path("users.csv").c_str(), "--now", "2016-06-01", "--policy",
+             "flt", "--lifetime", "30", "--target", "0", "--dry-run",
+             "--scan-mode", mode, "--victims", list.c_str()});
+    ASSERT_EQ(r.code, 0) << r.err;
+    std::ifstream in(list);
+    for (std::string line; std::getline(in, line);) {
+      victims[i].push_back(line);
+    }
+    std::sort(victims[i].begin(), victims[i].end());
+    ++i;
+  }
+  EXPECT_FALSE(victims[0].empty());
+  EXPECT_EQ(victims[0], victims[1]);
+}
+
+TEST_F(CliTest, PurgeRejectsUnknownScanMode) {
+  const CliResult r =
+      run({"purge", "--snapshot", path("snapshot.csv").c_str(), "--users",
+           path("users.csv").c_str(), "--now", "2016-06-01", "--policy",
+           "flt", "--scan-mode", "psychic"});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("unknown --scan-mode"), std::string::npos);
 }
 
 TEST_F(CliTest, PurgeRejectsUnknownPolicy) {

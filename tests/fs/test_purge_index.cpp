@@ -1,0 +1,273 @@
+#include "fs/purge_index.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "fs/vfs.hpp"
+#include "util/rng.hpp"
+
+namespace adr::fs {
+namespace {
+
+FileMeta meta(trace::UserId owner, std::uint64_t size,
+              util::TimePoint atime = 0) {
+  FileMeta m;
+  m.owner = owner;
+  m.size_bytes = size;
+  m.atime = atime;
+  m.ctime = atime;
+  return m;
+}
+
+// -- PurgeIndex unit tests ---------------------------------------------------
+
+FileMeta indexed(PurgeIndex& index, const std::string& path,
+                 trace::UserId owner, std::uint64_t size,
+                 util::TimePoint atime) {
+  FileMeta m = meta(owner, size, atime);
+  m.path_id = index.intern(path);
+  index.add(m);
+  return m;
+}
+
+TEST(PurgeIndex, EntriesOrderedByAtimeThenId) {
+  PurgeIndex index;
+  indexed(index, "/s/u0/b", 0, 1, 300);
+  indexed(index, "/s/u0/a", 0, 1, 100);
+  const FileMeta tie1 = indexed(index, "/s/u0/c", 0, 1, 200);
+  const FileMeta tie2 = indexed(index, "/s/u0/d", 0, 1, 200);
+
+  const auto* set = index.entries(0);
+  ASSERT_NE(set, nullptr);
+  std::vector<util::TimePoint> atimes;
+  for (const auto& e : *set) atimes.push_back(e.atime);
+  EXPECT_EQ(atimes, (std::vector<util::TimePoint>{100, 200, 200, 300}));
+  // Equal atimes break ties by ascending path id (deterministic order).
+  auto it = set->begin();
+  ++it;
+  EXPECT_EQ(it->id, std::min(tie1.path_id, tie2.path_id));
+}
+
+TEST(PurgeIndex, CollectExpiredIsStrictPrefix) {
+  PurgeIndex index;
+  indexed(index, "/s/u0/a", 0, 1, 100);
+  indexed(index, "/s/u0/b", 0, 1, 200);
+  indexed(index, "/s/u0/c", 0, 1, 300);
+
+  std::vector<PurgeIndex::Entry> out;
+  index.collect_expired(0, 200, out);  // strict: atime < 200
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].atime, 100);
+  EXPECT_EQ(index.path(out[0].id), "/s/u0/a");
+
+  out.clear();
+  index.collect_expired(7, 1000, out);  // unknown owner
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(PurgeIndex, CollectExpiredAllGloballySorted) {
+  PurgeIndex index;
+  indexed(index, "/s/u1/x", 1, 1, 250);
+  indexed(index, "/s/u0/y", 0, 1, 150);
+  indexed(index, "/s/u2/z", 2, 1, 50);
+
+  const auto all = index.collect_expired_all(300);
+  ASSERT_EQ(all.size(), 3u);
+  EXPECT_EQ(all[0].owner, 2u);
+  EXPECT_EQ(all[1].owner, 0u);
+  EXPECT_EQ(all[2].owner, 1u);
+  EXPECT_TRUE(std::is_sorted(all.begin(), all.end(),
+                             [](const auto& a, const auto& b) {
+                               return a.entry.atime < b.entry.atime;
+                             }));
+}
+
+TEST(PurgeIndex, TouchRekeysEntry) {
+  PurgeIndex index;
+  const FileMeta a = indexed(index, "/s/u0/a", 0, 1, 100);
+  indexed(index, "/s/u0/b", 0, 1, 200);
+
+  index.touch(a, 500);  // /a moves from front to back
+  const auto* set = index.entries(0);
+  ASSERT_EQ(set->size(), 2u);
+  EXPECT_EQ(set->begin()->atime, 200);
+  EXPECT_EQ(set->rbegin()->atime, 500);
+  EXPECT_EQ(set->rbegin()->id, a.path_id);
+}
+
+TEST(PurgeIndex, UpdateMovesEntryAcrossOwners) {
+  PurgeIndex index;
+  const FileMeta before = indexed(index, "/s/shared/f", 0, 10, 100);
+  FileMeta after = before;
+  after.owner = 1;
+  after.size_bytes = 20;
+  after.atime = 400;
+  index.update(before, after);
+
+  EXPECT_EQ(index.entries(0), nullptr);  // old owner's set dropped when empty
+  const auto* set = index.entries(1);
+  ASSERT_NE(set, nullptr);
+  EXPECT_EQ(set->begin()->size_bytes, 20u);
+  EXPECT_EQ(set->begin()->atime, 400);
+  EXPECT_TRUE(index.contains(after));
+  EXPECT_FALSE(index.contains(before));
+}
+
+TEST(PurgeIndex, RemoveRecyclesIds) {
+  PurgeIndex index;
+  const FileMeta a = indexed(index, "/s/u0/a", 0, 1, 100);
+  index.remove(a);
+  EXPECT_EQ(index.entry_count(), 0u);
+  // The released id must be handed back to the next intern.
+  const PathId recycled = index.intern("/s/u0/b");
+  EXPECT_EQ(recycled, a.path_id);
+  EXPECT_EQ(index.path(recycled), "/s/u0/b");
+}
+
+TEST(PurgeIndex, ContainsDetectsMismatches) {
+  PurgeIndex index;
+  const FileMeta a = indexed(index, "/s/u0/a", 0, 10, 100);
+  EXPECT_TRUE(index.contains(a));
+
+  FileMeta wrong = a;
+  wrong.size_bytes = 11;
+  EXPECT_FALSE(index.contains(wrong));
+  wrong = a;
+  wrong.atime = 101;
+  EXPECT_FALSE(index.contains(wrong));
+  wrong = a;
+  wrong.owner = 1;
+  EXPECT_FALSE(index.contains(wrong));
+  wrong = a;
+  wrong.path_id = kInvalidPathId;
+  EXPECT_FALSE(index.contains(wrong));
+}
+
+// -- Vfs maintenance integration --------------------------------------------
+
+TEST(VfsPurgeIndex, CreateAccessRemoveKeepIndexConsistent) {
+  Vfs vfs;
+  vfs.create("/s/u0/a", meta(0, 100, 10));
+  vfs.create("/s/u0/b", meta(0, 50, 20));
+  vfs.create("/s/u1/c", meta(1, 25, 30));
+  EXPECT_EQ(vfs.purge_index().entry_count(), 3u);
+  EXPECT_TRUE(vfs.verify_purge_index());
+
+  vfs.access("/s/u0/a", 500);
+  EXPECT_TRUE(vfs.verify_purge_index());
+  const auto* set = vfs.purge_index().entries(0);
+  EXPECT_EQ(set->rbegin()->atime, 500);
+
+  vfs.remove("/s/u0/b");
+  EXPECT_EQ(vfs.purge_index().entry_count(), 2u);
+  EXPECT_TRUE(vfs.verify_purge_index());
+
+  vfs.clear();
+  EXPECT_EQ(vfs.purge_index().entry_count(), 0u);
+  EXPECT_TRUE(vfs.verify_purge_index());
+}
+
+TEST(VfsPurgeIndex, OverwritePreservesIdAndReindexes) {
+  Vfs vfs;
+  // Overwrites must route the displaced version through the removal sink
+  // while the index keeps exactly one entry under the same interned id.
+  std::vector<std::string> displaced;
+  vfs.set_removal_sink([&](const std::string& path, const FileMeta&) {
+    displaced.push_back(path);
+  });
+  vfs.create("/s/shared/f", meta(0, 100, 10));
+  const PathId original_id = vfs.stat("/s/shared/f")->path_id;
+  vfs.create("/s/shared/f", meta(1, 40, 99));  // owner + size + atime change
+
+  EXPECT_EQ(displaced, std::vector<std::string>{"/s/shared/f"});
+  EXPECT_EQ(vfs.stat("/s/shared/f")->path_id, original_id);
+  EXPECT_EQ(vfs.purge_index().entry_count(), 1u);
+  EXPECT_EQ(vfs.purge_index().entries(0), nullptr);
+  ASSERT_NE(vfs.purge_index().entries(1), nullptr);
+  EXPECT_TRUE(vfs.verify_purge_index());
+}
+
+TEST(VfsPurgeIndex, RemoveViaAliasedIndexPathIsSafe) {
+  Vfs vfs;
+  vfs.create("/s/u0/a", meta(0, 100, 10));
+  // Policies pass vfs.remove() a reference into the index's own interned
+  // storage; the id release must not invalidate it mid-call.
+  const std::string& interned =
+      vfs.purge_index().path(vfs.stat("/s/u0/a")->path_id);
+  EXPECT_TRUE(vfs.remove(interned));
+  EXPECT_FALSE(vfs.exists("/s/u0/a"));
+  EXPECT_TRUE(vfs.verify_purge_index());
+}
+
+TEST(VfsPurgeIndex, ImportSnapshotIndexesEverything) {
+  Vfs vfs;
+  vfs.create("/s/u0/a", meta(0, 100, 10));
+  vfs.create("/s/u1/b", meta(1, 50, 20));
+  const trace::Snapshot snap = vfs.export_snapshot();
+
+  Vfs fresh;
+  fresh.import_snapshot(snap);
+  EXPECT_EQ(fresh.purge_index().entry_count(), 2u);
+  EXPECT_TRUE(fresh.verify_purge_index());
+}
+
+// -- Randomized property: the index always mirrors the trie ------------------
+
+TEST(VfsPurgeIndex, RandomizedOpsStayConsistent) {
+  util::Rng rng(20260807);
+  Vfs vfs;
+  vfs.set_removal_sink([](const std::string&, const FileMeta&) {});
+  std::vector<std::string> paths;
+  for (int i = 0; i < 64; ++i) {
+    paths.push_back("/s/u" + std::to_string(i % 8) + "/f" + std::to_string(i));
+  }
+
+  for (int step = 0; step < 4000; ++step) {
+    const std::string& path =
+        paths[static_cast<std::size_t>(rng.uniform_int(0, 63))];
+    const auto op = rng.uniform_int(0, 3);
+    const auto t = rng.uniform_int(0, 1'000'000);
+    if (op == 0 || op == 1) {
+      // create or overwrite (owner may differ from the path's usual one)
+      const auto owner = static_cast<trace::UserId>(rng.uniform_int(0, 9));
+      vfs.create(path, meta(owner, static_cast<std::uint64_t>(
+                                       rng.uniform_int(1, 1000)),
+                            t));
+    } else if (op == 2) {
+      vfs.access(path, t);
+    } else {
+      vfs.remove(path);
+    }
+    if (step % 257 == 0) {
+      std::string error;
+      ASSERT_TRUE(vfs.verify_purge_index(&error)) << "step " << step << ": "
+                                                  << error;
+    }
+  }
+  std::string error;
+  EXPECT_TRUE(vfs.verify_purge_index(&error)) << error;
+
+  // Cross-check a range query against a brute-force walk.
+  constexpr util::TimePoint kCutoff = 500'000;
+  for (trace::UserId owner = 0; owner < 10; ++owner) {
+    std::vector<std::string> walked;
+    vfs.for_each([&](const std::string& path, const FileMeta& m) {
+      if (m.owner == owner && m.atime < kCutoff) walked.push_back(path);
+    });
+    std::vector<PurgeIndex::Entry> collected;
+    vfs.purge_index().collect_expired(owner, kCutoff, collected);
+    std::vector<std::string> from_index;
+    for (const auto& e : collected) {
+      from_index.push_back(vfs.purge_index().path(e.id));
+    }
+    std::sort(walked.begin(), walked.end());
+    std::sort(from_index.begin(), from_index.end());
+    EXPECT_EQ(from_index, walked) << "owner " << owner;
+  }
+}
+
+}  // namespace
+}  // namespace adr::fs

@@ -1,0 +1,246 @@
+// Walk vs indexed scan equivalence (DESIGN.md "Purge index"): both modes of
+// ActiveDrPolicy must produce byte-identical PurgeReports — same victims, in
+// the same order, with the same accounting — across targets, retrospective
+// passes, and randomized file populations. The only sanctioned difference is
+// exempted_files (the walk counts an exempt file once per pass that scans
+// it, the index once per candidate window) and the phase wall times.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "activeness/classifier.hpp"
+#include "retention/activedr_policy.hpp"
+#include "retention/flt.hpp"
+#include "trace/user_registry.hpp"
+#include "util/rng.hpp"
+
+namespace adr::retention {
+namespace {
+
+using activeness::Rank;
+using activeness::ScanPlan;
+using activeness::UserActiveness;
+
+constexpr util::TimePoint kNow = 1'600'000'000;
+constexpr std::size_t kUsers = 12;
+
+fs::FileMeta meta(trace::UserId owner, std::uint64_t size, double age_days) {
+  fs::FileMeta m;
+  m.owner = owner;
+  m.size_bytes = size;
+  m.atime = kNow - static_cast<util::Duration>(age_days * 86400);
+  m.ctime = m.atime;
+  return m;
+}
+
+UserActiveness ua(trace::UserId user, double op, double oc) {
+  UserActiveness u;
+  u.user = user;
+  u.op = Rank::from_value(op);
+  u.oc = Rank::from_value(oc);
+  return u;
+}
+
+/// Randomized population: files of mixed ages/sizes per user, some users in
+/// every activeness group, plus a stream of overwrites and removes so the
+/// index has seen every maintenance path before the policies run.
+void populate(fs::Vfs& vfs, const trace::UserRegistry& registry,
+              util::Rng& rng) {
+  vfs.set_removal_sink([](const std::string&, const fs::FileMeta&) {});
+  for (trace::UserId u = 0; u < kUsers; ++u) {
+    const std::string home = registry.home_dir(u);
+    const int files = static_cast<int>(rng.uniform_int(5, 40));
+    for (int i = 0; i < files; ++i) {
+      vfs.create(home + "/f" + std::to_string(i),
+                 meta(u, static_cast<std::uint64_t>(rng.uniform_int(1, 500)),
+                      rng.uniform(0.0, 400.0)));
+    }
+    // Overwrites (atime/size churn) and removes on a random sample.
+    for (int i = 0; i < files / 4; ++i) {
+      const std::string path =
+          home + "/f" + std::to_string(rng.uniform_int(0, files - 1));
+      if (rng.uniform() < 0.5) {
+        vfs.create(path,
+                   meta(u, static_cast<std::uint64_t>(rng.uniform_int(1, 500)),
+                        rng.uniform(0.0, 400.0)));
+      } else {
+        vfs.remove(path);
+      }
+    }
+  }
+  ASSERT_TRUE(vfs.verify_purge_index());
+}
+
+ScanPlan make_plan(util::Rng& rng) {
+  std::vector<UserActiveness> users;
+  for (trace::UserId u = 0; u < kUsers; ++u) {
+    users.push_back(
+        ua(u, rng.uniform() < 0.5 ? 0.0 : rng.uniform(0.5, 4.0),
+           rng.uniform() < 0.5 ? 0.0 : rng.uniform(0.5, 4.0)));
+  }
+  return activeness::build_scan_plan(std::move(users));
+}
+
+/// Byte-identical modulo exempted_files and wall times (see header comment).
+void expect_reports_equal(const PurgeReport& walk, const PurgeReport& indexed,
+                          const std::string& label) {
+  SCOPED_TRACE(label);
+  EXPECT_EQ(walk.target_purge_bytes, indexed.target_purge_bytes);
+  EXPECT_EQ(walk.purged_bytes, indexed.purged_bytes);
+  EXPECT_EQ(walk.purged_files, indexed.purged_files);
+  EXPECT_EQ(walk.target_reached, indexed.target_reached);
+  EXPECT_EQ(walk.retrospective_passes_used, indexed.retrospective_passes_used);
+  EXPECT_EQ(walk.victim_paths, indexed.victim_paths);  // order included
+  EXPECT_EQ(walk.affected_users, indexed.affected_users);
+  for (std::size_t g = 0; g < activeness::kGroupCount; ++g) {
+    SCOPED_TRACE("group " + std::to_string(g));
+    EXPECT_EQ(walk.by_group[g].purged_bytes, indexed.by_group[g].purged_bytes);
+    EXPECT_EQ(walk.by_group[g].purged_files, indexed.by_group[g].purged_files);
+    EXPECT_EQ(walk.by_group[g].retained_bytes,
+              indexed.by_group[g].retained_bytes);
+    EXPECT_EQ(walk.by_group[g].retained_files,
+              indexed.by_group[g].retained_files);
+    EXPECT_EQ(walk.by_group[g].users_affected,
+              indexed.by_group[g].users_affected);
+    EXPECT_EQ(walk.by_group[g].users_total, indexed.by_group[g].users_total);
+  }
+}
+
+PurgeReport run_mode(const fs::Vfs& initial,
+                     const trace::UserRegistry& registry,
+                     const ScanPlan& plan, std::uint64_t target, bool dry_run,
+                     ScanMode mode, fs::Vfs* out_vfs = nullptr) {
+  fs::Vfs vfs;
+  vfs.import_snapshot(initial.export_snapshot());
+  ActiveDrConfig config;
+  config.dry_run = dry_run;
+  config.record_victims = true;
+  config.scan_mode = mode;
+  const ActiveDrPolicy policy(config, registry);
+  PurgeReport report = policy.run(vfs, kNow, target, plan);
+  EXPECT_TRUE(vfs.verify_purge_index());
+  if (out_vfs != nullptr) *out_vfs = std::move(vfs);
+  return report;
+}
+
+TEST(ScanModes, WetRunsProduceIdenticalReportsAcrossTargets) {
+  util::Rng rng(42);
+  const auto registry = trace::UserRegistry::with_synthetic_users(kUsers);
+  fs::Vfs vfs;
+  populate(vfs, registry, rng);
+  const ScanPlan plan = make_plan(rng);
+  const std::uint64_t total = vfs.total_bytes();
+
+  // From trivially-reachable through pass-exhausting to unreachable.
+  for (const std::uint64_t target :
+       {std::uint64_t{0}, total / 100, total / 10, total / 2, total}) {
+    fs::Vfs after_walk, after_indexed;
+    const PurgeReport walk = run_mode(vfs, registry, plan, target,
+                                      /*dry_run=*/false, ScanMode::kWalk,
+                                      &after_walk);
+    const PurgeReport indexed = run_mode(vfs, registry, plan, target,
+                                         /*dry_run=*/false, ScanMode::kIndexed,
+                                         &after_indexed);
+    expect_reports_equal(walk, indexed,
+                         "wet target=" + std::to_string(target));
+    EXPECT_EQ(after_walk.total_bytes(), after_indexed.total_bytes());
+    EXPECT_EQ(after_walk.file_count(), after_indexed.file_count());
+  }
+}
+
+TEST(ScanModes, DryRunsProduceIdenticalReportsAcrossTargets) {
+  util::Rng rng(1337);
+  const auto registry = trace::UserRegistry::with_synthetic_users(kUsers);
+  fs::Vfs vfs;
+  populate(vfs, registry, rng);
+  const ScanPlan plan = make_plan(rng);
+  const std::uint64_t total = vfs.total_bytes();
+
+  for (const std::uint64_t target :
+       {std::uint64_t{0}, total / 100, total / 10, total / 2, total}) {
+    const PurgeReport walk = run_mode(vfs, registry, plan, target,
+                                      /*dry_run=*/true, ScanMode::kWalk);
+    const PurgeReport indexed = run_mode(vfs, registry, plan, target,
+                                         /*dry_run=*/true, ScanMode::kIndexed);
+    expect_reports_equal(walk, indexed,
+                         "dry target=" + std::to_string(target));
+  }
+}
+
+TEST(ScanModes, RandomizedPopulationsAgreeOverManySeeds) {
+  const auto registry = trace::UserRegistry::with_synthetic_users(kUsers);
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    util::Rng rng(seed);
+    fs::Vfs vfs;
+    populate(vfs, registry, rng);
+    const ScanPlan plan = make_plan(rng);
+    const std::uint64_t target = static_cast<std::uint64_t>(
+        static_cast<double>(vfs.total_bytes()) * rng.uniform(0.05, 0.9));
+    const PurgeReport walk = run_mode(vfs, registry, plan, target,
+                                      /*dry_run=*/false, ScanMode::kWalk);
+    const PurgeReport indexed = run_mode(vfs, registry, plan, target,
+                                         /*dry_run=*/false, ScanMode::kIndexed);
+    expect_reports_equal(walk, indexed, "seed " + std::to_string(seed));
+  }
+}
+
+TEST(ScanModes, ExemptionsRespectedInBothModes) {
+  util::Rng rng(7);
+  const auto registry = trace::UserRegistry::with_synthetic_users(kUsers);
+  fs::Vfs vfs;
+  populate(vfs, registry, rng);
+  const ScanPlan plan = make_plan(rng);
+
+  for (const ScanMode mode : {ScanMode::kWalk, ScanMode::kIndexed}) {
+    fs::Vfs run;
+    run.import_snapshot(vfs.export_snapshot());
+    ActiveDrConfig config;
+    config.record_victims = true;
+    config.scan_mode = mode;
+    ActiveDrPolicy policy(config, registry);
+    ExemptionList exemptions;
+    exemptions.reserve(registry.home_dir(0));  // user 0 fully reserved
+    policy.set_exemptions(std::move(exemptions));
+    const PurgeReport report = policy.run(run, kNow, vfs.total_bytes(), plan);
+    for (const auto& path : report.victim_paths) {
+      EXPECT_EQ(path.rfind(registry.home_dir(0) + "/", 0), std::string::npos)
+          << "exempt file purged in mode " << static_cast<int>(mode) << ": "
+          << path;
+    }
+    EXPECT_GT(report.exempted_files, 0u);
+  }
+}
+
+TEST(ScanModes, FltStrictModesSelectIdenticalVictimSets) {
+  util::Rng rng(99);
+  const auto registry = trace::UserRegistry::with_synthetic_users(kUsers);
+  fs::Vfs vfs;
+  populate(vfs, registry, rng);
+
+  std::vector<std::string> victims_by_mode[2];
+  std::uint64_t purged_by_mode[2] = {0, 0};
+  int i = 0;
+  for (const ScanMode mode : {ScanMode::kWalk, ScanMode::kIndexed}) {
+    fs::Vfs run;
+    run.import_snapshot(vfs.export_snapshot());
+    FltConfig config;
+    config.record_victims = true;
+    config.scan_mode = mode;
+    const FltPolicy policy(config);
+    const PurgeReport report = policy.run(run, kNow, /*target=*/0);
+    victims_by_mode[i] = report.victim_paths;
+    std::sort(victims_by_mode[i].begin(), victims_by_mode[i].end());
+    purged_by_mode[i] = report.purged_bytes;
+    EXPECT_TRUE(run.verify_purge_index());
+    ++i;
+  }
+  EXPECT_EQ(victims_by_mode[0], victims_by_mode[1]);
+  EXPECT_EQ(purged_by_mode[0], purged_by_mode[1]);
+}
+
+}  // namespace
+}  // namespace adr::retention

@@ -121,6 +121,25 @@ TEST_F(EmulatorTest, DeterministicAcrossRuns) {
   EXPECT_EQ(a.purges.size(), b.purges.size());
 }
 
+TEST_F(EmulatorTest, AuditModeFindsIndexConsistentAllYear) {
+  // audit_purge_index cross-verifies the purge index against a trie walk
+  // after every trigger; a year of replay with ~52 purges must log zero
+  // failures.
+  ActivenessTimeline timeline = ActivenessTimeline::for_scenario(
+      *scenario_, activeness::EvaluationParams{90, scenario_->sim_begin});
+  EmulatorConfig config;
+  config.audit_purge_index = true;
+  Emulator emulator(*scenario_, config, timeline);
+  ActiveDrDriver driver(retention::ActiveDrConfig{}, scenario_->registry,
+                        timeline);
+  obs::Counter& failures =
+      obs::MetricsRegistry::global().counter("purge_index.audit_failures");
+  const std::uint64_t before = failures.value();
+  const EmulationResult r = emulator.run(driver);
+  EXPECT_FALSE(r.purges.empty());
+  EXPECT_EQ(failures.value(), before);
+}
+
 TEST_F(EmulatorTest, ActiveDrReducesMissesForActiveUsers) {
   // The headline claim, at test scale: ActiveDR must not miss *more* than
   // FLT overall for the active groups combined.

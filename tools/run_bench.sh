@@ -1,0 +1,76 @@
+#!/usr/bin/env bash
+# Perf regression harness for the purge-index scan path.
+#
+# Builds the Release bench tree, runs the Fig. 12 walk-vs-indexed purge
+# trigger comparison, and diffs the emitted BENCH_fig12.json against the
+# committed baseline (bench/baselines/BENCH_fig12.json).
+#
+# Fails when:
+#   * the two scan modes select different victim sets (correctness), or
+#   * the indexed/walk speedup drops below MIN_SPEEDUP (default 3.0), or
+#   * indexed_seconds regresses more than TOLERANCE x the baseline.
+#
+# Usage: tools/run_bench.sh [extra bench flags, e.g. --users 600 --seed 42]
+
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD_DIR="${BUILD_DIR:-$REPO_ROOT/bench-build}"
+BASELINE="$REPO_ROOT/bench/baselines/BENCH_fig12.json"
+OUT_JSON="$BUILD_DIR/BENCH_fig12.json"
+MIN_SPEEDUP="${MIN_SPEEDUP:-3.0}"
+TOLERANCE="${TOLERANCE:-1.5}"
+
+cmake -S "$REPO_ROOT" -B "$BUILD_DIR" -DCMAKE_BUILD_TYPE=Release >/dev/null
+cmake --build "$BUILD_DIR" --target bench_fig12_performance -j "$(nproc)"
+
+# The google-benchmark suites are not part of the regression gate; the
+# comparison section runs before them, so cut the run short via filter-less
+# environment (benchmark still runs, but it is cheap at bench scale).
+"$BUILD_DIR/bench/bench_fig12_performance" --bench-json "$OUT_JSON" "$@"
+
+python3 - "$OUT_JSON" "$BASELINE" "$MIN_SPEEDUP" "$TOLERANCE" <<'PY'
+import json, sys
+
+out_path, base_path, min_speedup, tolerance = sys.argv[1:5]
+min_speedup, tolerance = float(min_speedup), float(tolerance)
+out = json.load(open(out_path))
+base = json.load(open(base_path))
+
+failures = []
+if not out["victim_sets_identical"]:
+    failures.append("walk and indexed scans selected DIFFERENT victim sets")
+if out["speedup"] < min_speedup:
+    failures.append(
+        f"indexed speedup {out['speedup']:.2f}x below floor {min_speedup}x")
+
+# Cross-run comparisons only make sense on the baseline's scenario.
+same_scenario = all(out[k] == base[k] for k in ("users", "seed", "files"))
+if same_scenario:
+    if out["victims"] != base["victims"]:
+        failures.append(
+            f"victim count changed: {out['victims']} vs baseline "
+            f"{base['victims']}")
+    if out["purged_bytes"] != base["purged_bytes"]:
+        failures.append(
+            f"purged bytes changed: {out['purged_bytes']} vs baseline "
+            f"{base['purged_bytes']}")
+    if out["indexed_seconds"] > base["indexed_seconds"] * tolerance:
+        failures.append(
+            f"indexed scan regressed: {out['indexed_seconds']:.4f}s vs "
+            f"baseline {base['indexed_seconds']:.4f}s "
+            f"(tolerance {tolerance}x)")
+else:
+    print(f"note: scenario differs from baseline "
+          f"({out['users']} users / seed {out['seed']} vs "
+          f"{base['users']} / {base['seed']}); timing diff skipped")
+
+print(f"walk {out['walk_seconds']:.4f}s, indexed "
+      f"{out['indexed_seconds']:.4f}s, speedup {out['speedup']:.2f}x, "
+      f"{out['victims']} victims")
+if failures:
+    for f in failures:
+        print("FAIL:", f, file=sys.stderr)
+    sys.exit(1)
+print("PASS")
+PY
