@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <fstream>
+#include <limits>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
 #include "util/csv.hpp"
 
 namespace adr::activeness {
@@ -36,13 +38,53 @@ ActivityCatalog ActivityCatalog::paper_default() {
 }
 
 ActivityStore::ActivityStore(std::size_t user_count, std::size_t type_count)
-    : users_(user_count), types_(type_count), streams_(user_count * type_count) {}
+    : users_(user_count),
+      types_(type_count),
+      streams_(user_count * type_count),
+      prefix_(user_count * type_count),
+      gap_prefix_(user_count * type_count),
+      dirty_flags_(user_count, 0) {}
+
+void ActivityStore::mark_dirty(trace::UserId user) {
+  if (dirty_flags_[user]) return;
+  dirty_flags_[user] = 1;
+  dirty_list_.push_back(user);
+}
 
 void ActivityStore::add(trace::UserId user, ActivityTypeId type,
                         Activity activity) {
   if (user >= users_ || type >= types_)
     throw std::out_of_range("ActivityStore: bad user/type");
   streams_[user * types_ + type].push_back(activity);
+  finalized_ = false;
+  mark_dirty(user);
+}
+
+void ActivityStore::rebuild_aggregates() {
+  chrono_.clear();
+  chrono_.reserve(total_activities());
+  for (std::size_t s = 0; s < streams_.size(); ++s) {
+    const auto& stream = streams_[s];
+    auto& prefix = prefix_[s];
+    auto& gaps = gap_prefix_[s];
+    prefix.resize(stream.size() + 1);
+    gaps.resize(stream.size() + 1);
+    prefix[0] = 0.0;
+    gaps[0] = 0;
+    for (std::size_t i = 0; i < stream.size(); ++i) {
+      prefix[i + 1] = prefix[i] + stream[i].impact;
+      gaps[i + 1] =
+          i == 0 ? 0
+                 : std::max(gaps[i],
+                            stream[i].timestamp - stream[i - 1].timestamp);
+    }
+    const auto user = static_cast<trace::UserId>(s / types_);
+    for (const auto& a : stream) chrono_.emplace_back(a.timestamp, user);
+  }
+  std::sort(chrono_.begin(), chrono_.end());
+  obs::MetricsRegistry::global()
+      .gauge("activity_store.aggregate_entries")
+      .set(static_cast<std::int64_t>(aggregate_entries()));
 }
 
 void ActivityStore::sort_all() {
@@ -51,6 +93,85 @@ void ActivityStore::sort_all() {
                      [](const Activity& a, const Activity& b) {
                        return a.timestamp < b.timestamp;
                      });
+  }
+  rebuild_aggregates();
+  // A bulk load can have touched anyone: every user is dirty until the next
+  // evaluation drains them.
+  for (trace::UserId u = 0; u < users_; ++u) mark_dirty(u);
+  finalized_ = true;
+}
+
+void ActivityStore::append(trace::UserId user, ActivityTypeId type,
+                           Activity activity) {
+  if (user >= users_ || type >= types_)
+    throw std::out_of_range("ActivityStore: bad user/type");
+  if (!finalized_) {
+    sort_all();  // flush pending bulk rows so the aggregates are consistent
+  }
+  auto& stream = streams_[user * types_ + type];
+  auto& prefix = prefix_[user * types_ + type];
+  // upper_bound keeps arrival order among equal timestamps — identical to
+  // the stable sort a bulk load would have produced.
+  const auto it = std::upper_bound(
+      stream.begin(), stream.end(), activity.timestamp,
+      [](util::TimePoint t, const Activity& a) { return t < a.timestamp; });
+  const std::size_t pos = static_cast<std::size_t>(it - stream.begin());
+  stream.insert(it, activity);
+  prefix.resize(stream.size() + 1);
+  for (std::size_t i = pos; i < stream.size(); ++i) {
+    prefix[i + 1] = prefix[i] + stream[i].impact;
+  }
+  // Gaps change only at/after the insertion point: O(1) for the common
+  // append-at-end, O(k - pos) for an out-of-order insert.
+  auto& gaps = gap_prefix_[user * types_ + type];
+  gaps.resize(stream.size() + 1);
+  gaps[0] = 0;
+  for (std::size_t i = pos == 0 ? 0 : pos - 1; i < stream.size(); ++i) {
+    gaps[i + 1] =
+        i == 0
+            ? 0
+            : std::max(gaps[i], stream[i].timestamp - stream[i - 1].timestamp);
+  }
+  const auto cit = std::upper_bound(
+      chrono_.begin(), chrono_.end(),
+      std::make_pair(activity.timestamp,
+                     std::numeric_limits<trace::UserId>::max()));
+  chrono_.emplace(cit, activity.timestamp, user);
+  mark_dirty(user);
+  static obs::Counter& appends =
+      obs::MetricsRegistry::global().counter("activity_store.appends");
+  appends.add();
+  obs::MetricsRegistry::global()
+      .gauge("activity_store.aggregate_entries")
+      .add(3);  // one prefix entry + one gap entry + one chrono entry
+}
+
+void ActivityStore::add_types(std::size_t extra) {
+  if (extra == 0) return;
+  const std::size_t new_types = types_ + extra;
+  std::vector<std::vector<Activity>> streams(users_ * new_types);
+  std::vector<std::vector<double>> prefix(users_ * new_types);
+  std::vector<std::vector<util::Duration>> gaps(users_ * new_types);
+  for (trace::UserId u = 0; u < users_; ++u) {
+    for (std::size_t t = 0; t < types_; ++t) {
+      streams[u * new_types + t] = std::move(streams_[u * types_ + t]);
+      prefix[u * new_types + t] = std::move(prefix_[u * types_ + t]);
+      gaps[u * new_types + t] = std::move(gap_prefix_[u * types_ + t]);
+    }
+  }
+  streams_ = std::move(streams);
+  prefix_ = std::move(prefix);
+  gap_prefix_ = std::move(gaps);
+  types_ = new_types;
+  if (finalized_) {
+    // New streams are empty; prefixes for them are built lazily on append,
+    // but give them their canonical empty shape now.
+    for (auto& p : prefix_) {
+      if (p.empty()) p.assign(1, 0.0);
+    }
+    for (auto& g : gap_prefix_) {
+      if (g.empty()) g.assign(1, 0);
+    }
   }
 }
 
@@ -61,9 +182,60 @@ std::span<const Activity> ActivityStore::stream(trace::UserId user,
   return streams_[user * types_ + type];
 }
 
+std::span<const double> ActivityStore::prefix(trace::UserId user,
+                                              ActivityTypeId type) const {
+  if (user >= users_ || type >= types_)
+    throw std::out_of_range("ActivityStore: bad user/type");
+  return prefix_[user * types_ + type];
+}
+
+std::span<const util::Duration> ActivityStore::max_gap_prefix(
+    trace::UserId user, ActivityTypeId type) const {
+  if (user >= users_ || type >= types_)
+    throw std::out_of_range("ActivityStore: bad user/type");
+  return gap_prefix_[user * types_ + type];
+}
+
+std::vector<trace::UserId> ActivityStore::take_dirty() {
+  std::vector<trace::UserId> out = std::move(dirty_list_);
+  dirty_list_.clear();
+  for (const trace::UserId u : out) dirty_flags_[u] = 0;
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::span<const std::pair<util::TimePoint, trace::UserId>>
+ActivityStore::chrono_window(util::TimePoint begin, util::TimePoint end) const {
+  if (end <= begin) return {};
+  const auto lo = std::upper_bound(
+      chrono_.begin(), chrono_.end(),
+      std::make_pair(begin, std::numeric_limits<trace::UserId>::max()));
+  const auto hi = std::upper_bound(
+      chrono_.begin(), chrono_.end(),
+      std::make_pair(end, std::numeric_limits<trace::UserId>::max()));
+  return {chrono_.data() + (lo - chrono_.begin()),
+          static_cast<std::size_t>(hi - lo)};
+}
+
+std::vector<trace::UserId> ActivityStore::users_active_between(
+    util::TimePoint begin, util::TimePoint end) const {
+  std::vector<trace::UserId> out;
+  for (const auto& [ts, user] : chrono_window(begin, end)) out.push_back(user);
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
 std::size_t ActivityStore::total_activities() const {
   std::size_t n = 0;
   for (const auto& s : streams_) n += s.size();
+  return n;
+}
+
+std::size_t ActivityStore::aggregate_entries() const {
+  std::size_t n = chrono_.size();
+  for (const auto& p : prefix_) n += p.size();
+  for (const auto& g : gap_prefix_) n += g.size();
   return n;
 }
 

@@ -58,17 +58,79 @@ class ActivityCatalog {
 
 /// Per-user, per-type activity streams. Dense over users for cache-friendly
 /// parallel evaluation.
+///
+/// Two ingestion styles:
+///  * bulk: add() rows in any order, then sort_all() once — the load path
+///    for whole trace files;
+///  * streaming: append() events as they happen — each append keeps the
+///    stream sorted, maintains the per-stream prefix-impact aggregate and
+///    the global chronological index, and marks the user dirty so an
+///    incremental evaluator knows exactly whose rank can have changed.
+///
+/// The prefix aggregates let an evaluation at any t_c resolve per-period
+/// impacts by binary-searching period boundaries (O(m log k)) instead of
+/// walking the whole stream; the chronological index answers "which users
+/// have activity inside a replay window" without touching every stream.
 class ActivityStore {
  public:
   ActivityStore(std::size_t user_count, std::size_t type_count);
 
   void add(trace::UserId user, ActivityTypeId type, Activity activity);
 
-  /// Sort every stream by timestamp (the evaluator requires sorted input).
+  /// Sort every stream by timestamp (the evaluator requires sorted input),
+  /// rebuild the prefix aggregates and the chronological index, and mark
+  /// every user dirty (bulk loads invalidate any cached evaluation).
   void sort_all();
+
+  /// Streaming insert: keeps the stream time-sorted (equal timestamps keep
+  /// arrival order, matching add()+sort_all()'s stable sort), updates the
+  /// aggregates in place, and marks `user` dirty. Finalizes the store first
+  /// if bulk rows are pending.
+  void append(trace::UserId user, ActivityTypeId type, Activity activity);
+
+  /// Grow the type dimension (administrators may register activity types
+  /// after tracing has started). Existing streams keep their data.
+  void add_types(std::size_t extra);
 
   std::span<const Activity> stream(trace::UserId user,
                                    ActivityTypeId type) const;
+
+  /// Prefix-impact aggregate of a stream: element i is the sum of the first
+  /// i impacts (size = stream size + 1, element 0 = 0). Only valid while
+  /// finalized().
+  std::span<const double> prefix(trace::UserId user, ActivityTypeId type) const;
+
+  /// Prefix-max of internal inter-activity gaps: element i is the widest
+  /// gap between consecutive timestamps among the first i activities (0
+  /// for i < 2; size = stream size + 1). Only valid while finalized().
+  /// The incremental evaluator's frozen-zero rule reads this: a static gap
+  /// wider than two period lengths swallows a full period wherever the
+  /// t_c-anchored boundaries land, so a zero rank provably survives any
+  /// window shift until new activity arrives.
+  std::span<const util::Duration> max_gap_prefix(trace::UserId user,
+                                                 ActivityTypeId type) const;
+
+  /// True once sort_all() (or any append) has built the aggregates and no
+  /// un-sorted bulk add() is pending.
+  bool finalized() const { return finalized_; }
+
+  // -- dirty tracking (single consumer: the incremental evaluator) --------
+  bool has_dirty() const { return !dirty_list_.empty(); }
+  /// Users touched by append()/add()/sort_all() since the last take_dirty(),
+  /// sorted ascending; clears the dirty set.
+  std::vector<trace::UserId> take_dirty();
+
+  /// Users with at least one activity in (begin, end], sorted ascending —
+  /// resolved against the chronological index, O(log n + hits).
+  std::vector<trace::UserId> users_active_between(util::TimePoint begin,
+                                                  util::TimePoint end) const;
+
+  /// The chronological-index slice covering (begin, end] — the
+  /// allocation-free form of users_active_between for hot callers that
+  /// dedupe into their own flag table. Entries are time-sorted and may
+  /// repeat a user.
+  std::span<const std::pair<util::TimePoint, trace::UserId>> chrono_window(
+      util::TimePoint begin, util::TimePoint end) const;
 
   std::size_t user_count() const { return users_; }
   std::size_t type_count() const { return types_; }
@@ -76,10 +138,25 @@ class ActivityStore {
   /// Total number of stored activities.
   std::size_t total_activities() const;
 
+  /// Entries held by the prefix aggregates + chronological index (the obs
+  /// "activity_store.aggregate_entries" gauge).
+  std::size_t aggregate_entries() const;
+
  private:
+  void mark_dirty(trace::UserId user);
+  void rebuild_aggregates();
+
   std::size_t users_;
   std::size_t types_;
   std::vector<std::vector<Activity>> streams_;  // [user * types_ + type]
+  std::vector<std::vector<double>> prefix_;     // parallel to streams_
+  std::vector<std::vector<util::Duration>> gap_prefix_;  // parallel to streams_
+  /// All activities, time-sorted, for windowed dirty-user queries.
+  std::vector<std::pair<util::TimePoint, trace::UserId>> chrono_;
+  bool finalized_ = false;
+
+  std::vector<std::uint8_t> dirty_flags_;  // dense by user
+  std::vector<trace::UserId> dirty_list_;
 };
 
 /// Ingest a job log: each job submission becomes one operation activity with

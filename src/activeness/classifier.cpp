@@ -29,48 +29,67 @@ std::size_t ScanPlan::total_users() const {
   return n;
 }
 
+namespace {
+
+// Rank ties (the bulk of the population sits at Φ = 0 exactly) break on
+// recency, *most recently active first*: a still-writing-but-inactive
+// user keeps producing fresh data and rarely re-reads old files, so their
+// stale files are the harmless purge fodder; a user who has gone quiet is
+// exactly the paused-project case of §1 who may come back for what they
+// left — scan them last. User id breaks exact ties for determinism.
+bool tie_break(const UserActiveness& a, const UserActiveness& b) {
+  if (a.last_activity != b.last_activity)
+    return a.last_activity > b.last_activity;
+  return a.user < b.user;
+}
+
+// Operation-inactive groups (Both Inactive, Outcome Active Only): sort by
+// operation rank, then outcome rank (§3.3: operation rank has priority).
+bool by_op(const UserActiveness& a, const UserActiveness& b) {
+  const auto ka = a.op.sort_key(), kb = b.op.sort_key();
+  if (ka != kb) return ka < kb;
+  if (a.oc.sort_key() != b.oc.sort_key())
+    return a.oc.sort_key() < b.oc.sort_key();
+  return tie_break(a, b);
+}
+
+// Operation-active groups: "in an ascending order of the outcome
+// activeness" (§3.4).
+bool by_oc(const UserActiveness& a, const UserActiveness& b) {
+  const auto ka = a.oc.sort_key(), kb = b.oc.sort_key();
+  if (ka != kb) return ka < kb;
+  if (a.op.sort_key() != b.op.sort_key())
+    return a.op.sort_key() < b.op.sort_key();
+  return tie_break(a, b);
+}
+
+}  // namespace
+
+bool scan_less(UserGroup group, const UserActiveness& a,
+               const UserActiveness& b) {
+  switch (group) {
+    case UserGroup::kBothInactive:
+    case UserGroup::kOutcomeActiveOnly:
+      return by_op(a, b);
+    case UserGroup::kOperationActiveOnly:
+    case UserGroup::kBothActive:
+      return by_oc(a, b);
+  }
+  return by_op(a, b);
+}
+
 ScanPlan build_scan_plan(const std::vector<UserActiveness>& users) {
   ScanPlan plan;
   for (const auto& ua : users) {
     plan.groups[static_cast<std::size_t>(classify(ua))].push_back(ua);
   }
-  // Operation-inactive groups (Both Inactive, Outcome Active Only): sort by
-  // operation rank, then outcome rank (§3.3: operation rank has priority).
-  // Rank ties (the bulk of the population sits at Φ = 0 exactly) break on
-  // recency, *most recently active first*: a still-writing-but-inactive
-  // user keeps producing fresh data and rarely re-reads old files, so their
-  // stale files are the harmless purge fodder; a user who has gone quiet is
-  // exactly the paused-project case of §1 who may come back for what they
-  // left — scan them last. User id breaks exact ties for determinism.
-  const auto tie_break = [](const UserActiveness& a, const UserActiveness& b) {
-    if (a.last_activity != b.last_activity)
-      return a.last_activity > b.last_activity;
-    return a.user < b.user;
-  };
-  const auto by_op = [&](const UserActiveness& a, const UserActiveness& b) {
-    const auto ka = a.op.sort_key(), kb = b.op.sort_key();
-    if (ka != kb) return ka < kb;
-    if (a.oc.sort_key() != b.oc.sort_key())
-      return a.oc.sort_key() < b.oc.sort_key();
-    return tie_break(a, b);
-  };
-  // Operation-active groups: "in an ascending order of the outcome
-  // activeness" (§3.4).
-  const auto by_oc = [&](const UserActiveness& a, const UserActiveness& b) {
-    const auto ka = a.oc.sort_key(), kb = b.oc.sort_key();
-    if (ka != kb) return ka < kb;
-    if (a.op.sort_key() != b.op.sort_key())
-      return a.op.sort_key() < b.op.sort_key();
-    return tie_break(a, b);
-  };
-  auto& bi = plan.groups[static_cast<std::size_t>(UserGroup::kBothInactive)];
-  auto& oc = plan.groups[static_cast<std::size_t>(UserGroup::kOutcomeActiveOnly)];
-  auto& op = plan.groups[static_cast<std::size_t>(UserGroup::kOperationActiveOnly)];
-  auto& ba = plan.groups[static_cast<std::size_t>(UserGroup::kBothActive)];
-  std::sort(bi.begin(), bi.end(), by_op);
-  std::sort(oc.begin(), oc.end(), by_op);
-  std::sort(op.begin(), op.end(), by_oc);
-  std::sort(ba.begin(), ba.end(), by_oc);
+  for (std::size_t g = 0; g < kGroupCount; ++g) {
+    const auto group = static_cast<UserGroup>(g);
+    std::sort(plan.groups[g].begin(), plan.groups[g].end(),
+              [group](const UserActiveness& a, const UserActiveness& b) {
+                return scan_less(group, a, b);
+              });
+  }
   return plan;
 }
 

@@ -33,6 +33,8 @@ Rank& Rank::operator*=(const Rank& other) {
     return *this;
   }
   zero = zero || other.zero;
+  // One sticky-zero factor pins the whole product at zero for good.
+  sticky_zero = sticky_zero || other.sticky_zero;
   log_phi = zero ? 0.0L : log_phi + other.log_phi;
   return *this;
 }
@@ -70,6 +72,15 @@ Rank evaluate_stream(std::span<const Activity> stream,
   r.has_data = true;
   if (total <= 0.0) {
     r.zero = true;
+    r.sticky_zero = true;
+    return r;
+  }
+  // Pigeonhole: fewer activities than periods guarantees an empty period.
+  // Structural — m only grows with t_c while the activity count is frozen,
+  // so the zero outlives any window shift.
+  if (m > static_cast<std::int64_t>(stream.size())) {
+    r.zero = true;
+    r.sticky_zero = true;
     return r;
   }
   const double avg = total / static_cast<double>(m);
@@ -96,21 +107,111 @@ Rank evaluate_stream(std::span<const Activity> stream,
       r.zero = true;
       return r;
     }
-    const long double b = static_cast<long double>(d_pe / avg);
-    long double exponent = 1.0L;
+    // Per-period log in double (the long double accumulator keeps the sum
+    // stable): the transcendental is the hot instruction for active users,
+    // and a double log is several times cheaper than the x87 one for far
+    // more precision than the ranks need.
+    const double b = d_pe / avg;
+    double exponent = 1.0;
     switch (params.scheme) {
       case ExponentScheme::kPaperExponent:
-        exponent = static_cast<long double>(e);
+        exponent = static_cast<double>(e);
         break;
       case ExponentScheme::kUniform:
-        exponent = 1.0L;
+        exponent = 1.0;
         break;
       case ExponentScheme::kCappedLinear:
-        exponent = static_cast<long double>(
+        exponent = static_cast<double>(
             std::min<std::int64_t>(e, params.exponent_cap));
         break;
     }
-    log_phi += exponent * std::log(b);
+    log_phi += static_cast<long double>(exponent * std::log(b));
+  }
+  r.log_phi = log_phi;
+  return r;
+}
+
+Rank evaluate_stream_indexed(std::span<const Activity> stream,
+                             std::span<const double> prefix,
+                             const EvaluationParams& params) {
+  if (stream.empty()) return Rank::no_data();
+
+  const util::Duration plen = util::days(params.period_length_days);
+  const util::Duration span_ts = params.now - stream.front().timestamp;
+  std::int64_t m = span_ts <= 0 ? 1 : (span_ts + plen - 1) / plen;
+  if (m < 1) m = 1;
+  if (params.max_periods > 0 && m > params.max_periods) m = params.max_periods;
+
+  const std::size_t n = stream.size();
+  const double total = prefix[n];
+  Rank r;
+  r.has_data = true;
+  if (total <= 0.0) {
+    r.zero = true;
+    r.sticky_zero = true;
+    return r;
+  }
+  // Pigeonhole: a non-zero product needs every one of the m periods
+  // populated, impossible with fewer than m activities. (Holds under both
+  // stale modes — clamping folds stale activities into period 1, it never
+  // duplicates them.) Structural, hence sticky: m only grows with t_c while
+  // the stream is frozen, so this zero persists until new activity arrives.
+  if (m > static_cast<std::int64_t>(n)) {
+    r.zero = true;
+    r.sticky_zero = true;
+    return r;
+  }
+
+  // idx(j, cap) = first activity with timestamp >= t_c - j*plen. Period
+  // e < m covers [idx(m-e+1), idx(m-e)); period m covers [idx(1), n)
+  // (activities at t_c were clamped into the newest period by the caller's
+  // trim); period 1 reaches down to index 0 under kClampOldest, which folds
+  // the stale tail into the oldest period, or to idx(m) under kDrop.
+  // Boundaries descend as the walk ages, so each search is bounded by the
+  // previous period's low index — the ranges telescope instead of re-probing
+  // the whole stream m times.
+  const auto idx = [&](std::int64_t j, std::size_t cap) -> std::size_t {
+    const util::TimePoint boundary = params.now - j * plen;
+    const auto it = std::lower_bound(
+        stream.begin(), stream.begin() + static_cast<std::ptrdiff_t>(cap),
+        boundary,
+        [](const Activity& a, util::TimePoint t) { return a.timestamp < t; });
+    return static_cast<std::size_t>(it - stream.begin());
+  };
+
+  const double avg = total / static_cast<double>(m);
+  long double log_phi = 0.0L;
+  std::size_t hi = n;
+  // Newest period first: a stream that has gone quiet exits after a single
+  // binary search instead of grinding through its whole history.
+  for (std::int64_t e = m; e >= 1; --e) {
+    const std::size_t lo =
+        e > 1 ? idx(m - e + 1, hi)
+              : (params.stale == StaleHandling::kDrop ? idx(m, hi) : 0);
+    const double d_pe = prefix[hi] - prefix[lo];
+    if (d_pe <= 0.0) {
+      r.zero = true;
+      r.log_phi = 0.0L;
+      return r;
+    }
+    // Same double-log / long-double-accumulate split as evaluate_stream —
+    // the two paths must agree to the last bit of their shared math.
+    const double b = d_pe / avg;
+    double exponent = 1.0;
+    switch (params.scheme) {
+      case ExponentScheme::kPaperExponent:
+        exponent = static_cast<double>(e);
+        break;
+      case ExponentScheme::kUniform:
+        exponent = 1.0;
+        break;
+      case ExponentScheme::kCappedLinear:
+        exponent = static_cast<double>(
+            std::min<std::int64_t>(e, params.exponent_cap));
+        break;
+    }
+    log_phi += static_cast<long double>(exponent * std::log(b));
+    hi = lo;
   }
   r.log_phi = log_phi;
   return r;
@@ -159,6 +260,10 @@ UserActiveness Evaluator::evaluate_user(const ActivityStore& store,
   UserActiveness ua;
   ua.user = user;
   std::uint64_t trimmed = 0;
+  // A finalized store carries prefix-impact aggregates; the indexed
+  // evaluation resolves period impacts via boundary binary searches instead
+  // of walking every activity.
+  const bool indexed = store.finalized();
   const auto eval_category = [&](std::span<const ActivityTypeId> types,
                                  Rank& rank) {
     for (const ActivityTypeId t : types) {
@@ -168,7 +273,12 @@ UserActiveness Evaluator::evaluate_user(const ActivityStore& store,
       if (!stream.empty()) {
         ua.last_activity = std::max(ua.last_activity, stream.back().timestamp);
       }
-      rank *= evaluate_stream(stream, params_);
+      if (indexed) {
+        rank *= evaluate_stream_indexed(
+            stream, store.prefix(user, t).first(stream.size() + 1), params_);
+      } else {
+        rank *= evaluate_stream(stream, params_);
+      }
     }
   };
   eval_category(op_types_, ua.op);

@@ -75,6 +75,13 @@ struct EvaluationParams {
 struct Rank {
   bool has_data = false;      ///< false = no activities (neutral element)
   bool zero = false;          ///< Φ == 0 exactly (some period was empty)
+  /// The zero is *structural* — pigeonhole (more periods than activities)
+  /// or non-positive total impact — so it provably persists at every later
+  /// evaluation instant until new activity arrives (m never shrinks and the
+  /// totals are frozen). The incremental pipeline's skip rule leans on this:
+  /// a sticky zero can be carried forward without recency checks, where a
+  /// plain empty-period zero can clear once the window shifts.
+  bool sticky_zero = false;
   long double log_phi = 0.0;  ///< ln Φ; meaningful only if has_data && !zero
 
   /// Active per the paper's threshold: Φ ≥ 1, which requires actual data.
@@ -102,6 +109,18 @@ struct Rank {
 /// Eq. 1–5 for one type: evaluate a time-sorted activity stream.
 Rank evaluate_stream(std::span<const Activity> stream,
                      const EvaluationParams& params);
+
+/// Eq. 1–5 through a prefix-impact aggregate: per-period impacts resolve as
+/// prefix differences at binary-searched period boundaries — O(m log k) per
+/// stream, and O(log k) for the dominant zero-rank case (any user whose
+/// newest period is empty, plus the m > k pigeonhole) — instead of the
+/// O(k) walk of evaluate_stream. `stream` must already be trimmed to
+/// params.now and `prefix` must be its aggregate (size k+1, prefix[0] = 0,
+/// see ActivityStore::prefix). Equal to evaluate_stream up to
+/// floating-point summation order.
+Rank evaluate_stream_indexed(std::span<const Activity> stream,
+                             std::span<const double> prefix,
+                             const EvaluationParams& params);
 
 /// A user's evaluated activeness: Φop, Φoc (Eq. 6).
 struct UserActiveness {

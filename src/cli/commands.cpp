@@ -8,6 +8,7 @@
 #include <ostream>
 #include <string>
 
+#include "activeness/incremental.hpp"
 #include "activeness/rank_store.hpp"
 #include "obs/metrics.hpp"
 #include "retention/ledger.hpp"
@@ -34,6 +35,7 @@ commands:
   evaluate  --users F --jobs F [--pubs F] --now YYYY-MM-DD
             [--period-days D] [--out ranks.csv]
             [--op-activities F1,F2,...] [--oc-activities F1,F2,...]
+            [--eval-mode auto|full|incremental]
             Evaluate every user's activeness (Eqs. 1-6) and print the
             classification; optionally save the rank store. Extra activity
             CSVs (header: user,timestamp,impact) register one additional
@@ -44,26 +46,35 @@ commands:
             Print the Fig. 4 activeness matrix for a saved rank store.
 
   purge     --snapshot F --users F --now YYYY-MM-DD [--policy activedr|flt]
-            [--ranks F] [--lifetime D] [--target FRACTION] [--exempt FILE]
+            [--ranks F] [--jobs F] [--pubs F] [--lifetime D]
+            [--target FRACTION] [--exempt FILE]
             [--out-snapshot F] [--ledger F] [--dry-run] [--victims F]
-            [--scan-mode auto|walk|indexed] [--check-index]
+            [--scan-mode auto|walk|indexed]
+            [--eval-mode auto|full|incremental] [--check-index]
             One retention pass over a snapshot. --target is the fraction of
             *current usage* to retain (0 disables the byte target). ActiveDR
-            needs --ranks (from `evaluate`); FLT does not. --ledger appends
+            needs ranks: either --ranks (from `evaluate`) or --jobs/--pubs
+            to evaluate inline at --now; FLT needs neither. --ledger appends
             the run to an audit CSV; --dry-run selects victims without
             deleting; --victims writes the purge list (one path per line).
             --scan-mode picks the victim scan: the maintained atime index
             or the legacy namespace walk (auto chooses per policy).
+            --eval-mode picks how the inline evaluation runs (see
+            activeness/incremental.hpp; both modes rank identically).
             --check-index cross-verifies the purge index against a full
             namespace walk after the run (exit 3 on mismatch).
 
   compare   --dir DIR --as-of YYYY-MM-DD [--lifetime D] [--target FRACTION]
+            [--eval-mode auto|full|incremental]
             The paper's §4.4 one-shot retention comparison (Figs. 9-11) on a
             `synth` bundle: both policies chase the same target from the
             state at --as-of.
 
   replay    --dir DIR [--lifetime D] [--interval D] [--target FRACTION]
+            [--eval-mode auto|full|incremental]
             Year-long FLT-vs-ActiveDR replay over a `synth` bundle.
+            --eval-mode selects delta-aware vs full re-evaluation at each
+            purge trigger (identical results; incremental is the fast path).
 
   info      --snapshot F
             Summarize a metadata snapshot.
@@ -91,6 +102,16 @@ std::string require_str(const util::Config& config, const char* key) {
   const auto value = config.get(key);
   if (!value) throw std::runtime_error(std::string("missing --") + key);
   return *value;
+}
+
+activeness::EvalMode eval_mode_flag(const util::Config& config) {
+  const std::string name = config.get_string("eval-mode", "auto");
+  activeness::EvalMode mode = activeness::EvalMode::kAuto;
+  if (!activeness::parse_eval_mode(name, mode)) {
+    throw std::runtime_error("unknown --eval-mode: " + name +
+                             " (expected auto, full, or incremental)");
+  }
+  return mode;
 }
 
 // ---- synth ---------------------------------------------------------------
@@ -207,9 +228,10 @@ int cmd_evaluate(const util::Config& config, std::ostream& out) {
   activeness::EvaluationParams params;
   params.period_length_days =
       static_cast<int>(config.get_int("period-days", 90));
-  params.now = now;
-  const activeness::Evaluator evaluator(catalog, params);
-  activeness::RankStore ranks(evaluator.evaluate_all(store));
+  activeness::IncrementalEvaluator pipeline(catalog, params,
+                                            eval_mode_flag(config));
+  pipeline.advance(store, now);
+  activeness::RankStore ranks(pipeline.users());
 
   out << "Evaluated " << ranks.size() << " users at "
       << util::format_date(now) << " (period "
@@ -263,6 +285,9 @@ int cmd_purge(const util::Config& config, std::ostream& out) {
     throw std::runtime_error("unknown --scan-mode: " + scan_mode_name +
                              " (expected auto, walk, or indexed)");
   }
+  // Validated up front (even for FLT, which never evaluates) so a typo
+  // fails fast instead of being silently ignored.
+  const activeness::EvalMode eval_mode = eval_mode_flag(config);
 
   retention::PurgeReport report;
   if (policy_name == "flt") {
@@ -274,8 +299,29 @@ int cmd_purge(const util::Config& config, std::ostream& out) {
     const retention::FltPolicy policy(flt_config);
     report = policy.run(vfs, now, target);
   } else if (policy_name == "activedr") {
-    const auto ranks =
-        activeness::RankStore::load_csv(require_str(config, "ranks"));
+    activeness::RankStore ranks;
+    if (const auto ranks_path = config.get("ranks")) {
+      ranks = activeness::RankStore::load_csv(*ranks_path);
+    } else if (config.contains("jobs")) {
+      // Inline evaluation at --now through the incremental pipeline — the
+      // single-binary path for sites that don't persist rank stores.
+      const auto jobs = trace::JobLog::load_csv(require_str(config, "jobs"));
+      const activeness::ActivityCatalog catalog =
+          activeness::ActivityCatalog::paper_default();
+      activeness::ActivityStore store(registry.size(), catalog.size());
+      activeness::ingest_jobs(store, 0, 1.0, jobs);
+      if (const auto pubs_path = config.get("pubs")) {
+        const auto pubs = trace::PublicationLog::load_csv(*pubs_path);
+        activeness::ingest_publications(store, 1, 1.0, pubs);
+      }
+      activeness::IncrementalEvaluator pipeline(
+          catalog, activeness::EvaluationParams{lifetime}, eval_mode);
+      pipeline.advance(store, now);
+      ranks = activeness::RankStore(pipeline.users());
+    } else {
+      throw std::runtime_error(
+          "activedr policy needs --ranks or --jobs (for inline evaluation)");
+    }
     retention::ActiveDrConfig adr_config;
     adr_config.initial_lifetime_days = lifetime;
     adr_config.dry_run = dry_run;
@@ -343,6 +389,7 @@ int cmd_replay(const util::Config& config, std::ostream& out) {
   experiment.purge_interval_days =
       static_cast<int>(config.get_int("interval", 7));
   experiment.purge_target_utilization = config.get_double("target", 0.5);
+  experiment.eval_mode = eval_mode_flag(config);
 
   out << "Replaying " << util::format_date(scenario.sim_begin) << " .. "
       << util::format_date(scenario.sim_end) << " (" << scenario.replay.size()
@@ -412,6 +459,7 @@ int cmd_compare(const util::Config& config, std::ostream& out) {
   sim::ExperimentConfig experiment;
   experiment.lifetime_days = static_cast<int>(config.get_int("lifetime", 90));
   experiment.purge_target_utilization = config.get_double("target", 0.5);
+  experiment.eval_mode = eval_mode_flag(config);
 
   out << "One-shot retention comparison at " << util::format_date(as_of)
       << " (lifetime " << experiment.lifetime_days << "d, retain "

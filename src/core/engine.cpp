@@ -5,18 +5,35 @@
 namespace adr::core {
 
 Engine::Engine(trace::UserRegistry registry, Options options)
-    : registry_(std::move(registry)), options_(options) {}
+    : registry_(std::move(registry)), options_(options) {
+  activeness::EvaluationParams params;
+  params.period_length_days = options_.lifetime_days;
+  params.scheme = options_.scheme;
+  params.max_periods = options_.max_periods;
+  pipeline_.emplace(catalog_, params, options_.eval_mode);
+}
+
+activeness::ActivityStore& Engine::ensure_store() {
+  if (!store_) {
+    store_.emplace(registry_.size(), catalog_.size());
+  }
+  return *store_;
+}
 
 activeness::ActivityTypeId Engine::register_operation_type(
     const std::string& name, double weight) {
-  store_.reset();
-  return catalog_.add({name, activeness::ActivityCategory::kOperation, weight});
+  const auto id =
+      catalog_.add({name, activeness::ActivityCategory::kOperation, weight});
+  if (store_) store_->add_types(1);
+  return id;
 }
 
 activeness::ActivityTypeId Engine::register_outcome_type(
     const std::string& name, double weight) {
-  store_.reset();
-  return catalog_.add({name, activeness::ActivityCategory::kOutcome, weight});
+  const auto id =
+      catalog_.add({name, activeness::ActivityCategory::kOutcome, weight});
+  if (store_) store_->add_types(1);
+  return id;
 }
 
 void Engine::reserve(const std::string& path) {
@@ -29,70 +46,33 @@ void Engine::record(trace::UserId user, activeness::ActivityTypeId type,
   if (type >= catalog_.size())
     throw std::out_of_range("Engine::record: unregistered activity type");
   const double weight = catalog_.spec(type).weight;
-  pending_activities_.emplace_back(user, type,
-                                   activeness::Activity{t, weight * impact});
-  store_.reset();
-  last_eval_time_.reset();
+  // Streaming insert: keeps the store's aggregates live and marks exactly
+  // this user dirty, so the next evaluate() re-ranks only them.
+  ensure_store().append(user, type, activeness::Activity{t, weight * impact});
 }
 
 void Engine::ingest_jobs(const trace::JobLog& jobs,
                          activeness::ActivityTypeId type, double weight) {
-  for (const auto& job : jobs.records()) {
-    if (job.user == trace::kInvalidUser || job.user >= registry_.size())
-      continue;
-    pending_activities_.emplace_back(
-        job.user, type,
-        activeness::Activity{job.submit_time, weight * job.core_hours()});
-  }
-  store_.reset();
-  last_eval_time_.reset();
+  activeness::ingest_jobs(ensure_store(), type, weight, jobs);
 }
 
 void Engine::ingest_publications(const trace::PublicationLog& pubs,
                                  activeness::ActivityTypeId type,
                                  double weight) {
-  for (const auto& pub : pubs.records()) {
-    for (std::size_t i = 0; i < pub.authors.size(); ++i) {
-      const trace::UserId author = pub.authors[i];
-      if (author == trace::kInvalidUser || author >= registry_.size()) continue;
-      pending_activities_.emplace_back(
-          author, type,
-          activeness::Activity{pub.published,
-                               weight * pub.impact_for_author(i + 1)});
-    }
-  }
-  store_.reset();
-  last_eval_time_.reset();
+  activeness::ingest_publications(ensure_store(), type, weight, pubs);
 }
 
 void Engine::load_snapshot(const trace::Snapshot& snapshot) {
   vfs_.import_snapshot(snapshot);
 }
 
-const activeness::ActivityStore& Engine::store() {
-  if (!store_) {
-    activeness::ActivityStore built(registry_.size(), catalog_.size());
-    for (const auto& [user, type, activity] : pending_activities_) {
-      built.add(user, type, activity);
-    }
-    built.sort_all();
-    store_.emplace(std::move(built));
-  }
-  return *store_;
-}
-
 const activeness::RankStore& Engine::evaluate(util::TimePoint now) {
-  if (last_eval_time_ && *last_eval_time_ == now) return ranks_;
-  activeness::EvaluationParams params;
-  params.period_length_days = options_.lifetime_days;
-  params.now = now;
-  params.scheme = options_.scheme;
-  params.max_periods = options_.max_periods;
-  activeness::Evaluator evaluator(catalog_, params);
-  std::vector<activeness::UserActiveness> users =
-      evaluator.evaluate_all(store());
-  plan_ = activeness::build_scan_plan(users);
-  ranks_ = activeness::RankStore(std::move(users));
+  activeness::ActivityStore& store = ensure_store();
+  if (last_eval_time_ && *last_eval_time_ == now && !store.has_dirty()) {
+    return ranks_;
+  }
+  pipeline_->advance(store, now);
+  ranks_ = activeness::RankStore(pipeline_->users());
   last_eval_time_ = now;
   return ranks_;
 }
@@ -130,7 +110,7 @@ retention::PurgeReport Engine::purge(util::TimePoint now) {
           ? retention::purge_target_bytes(vfs_,
                                           options_.purge_target_utilization)
           : 0;
-  return policy.run(vfs_, now, target, plan_);
+  return policy.run(vfs_, now, target, pipeline_->plan());
 }
 
 retention::PurgeReport Engine::purge_flt(util::TimePoint now) {

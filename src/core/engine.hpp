@@ -20,9 +20,9 @@
 #include <memory>
 #include <optional>
 #include <string>
-#include <tuple>
 #include <vector>
 
+#include "activeness/incremental.hpp"
 #include "activeness/rank_store.hpp"
 #include "retention/activedr_policy.hpp"
 #include "retention/flt.hpp"
@@ -47,6 +47,10 @@ class Engine {
     activeness::ExponentScheme scheme =
         activeness::ExponentScheme::kPaperExponent;
     int max_periods = 0;
+    /// How evaluate() re-ranks at each trigger: delta-aware by default,
+    /// kFull pins the re-evaluate-everyone baseline (see
+    /// activeness/incremental.hpp).
+    activeness::EvalMode eval_mode = activeness::EvalMode::kAuto;
   };
 
   Engine(trace::UserRegistry registry, Options options);
@@ -103,15 +107,17 @@ class Engine {
   const Options& options() const { return options_; }
 
  private:
-  const activeness::ActivityStore& store();  ///< built lazily, cached
+  /// The persistent store, sized to the registry and the catalog's current
+  /// types (created on first use; later type registrations grow it in
+  /// place). Activities stream straight into it — there is no pending
+  /// buffer and no rebuild-on-record.
+  activeness::ActivityStore& ensure_store();
 
   trace::UserRegistry registry_;
   Options options_;
   activeness::ActivityCatalog catalog_;
-  std::vector<std::tuple<trace::UserId, activeness::ActivityTypeId,
-                         activeness::Activity>>
-      pending_activities_;
   std::optional<activeness::ActivityStore> store_;
+  std::optional<activeness::IncrementalEvaluator> pipeline_;
 
   fs::Vfs vfs_;
   retention::ExemptionList exemptions_;
@@ -119,7 +125,6 @@ class Engine {
 
   std::optional<util::TimePoint> last_eval_time_;
   activeness::RankStore ranks_;
-  activeness::ScanPlan plan_;
 };
 
 }  // namespace adr::core

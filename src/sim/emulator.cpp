@@ -11,55 +11,45 @@ namespace adr::sim {
 
 ActivenessTimeline::ActivenessTimeline(
     const activeness::ActivityCatalog& catalog,
-    activeness::ActivityStore store, activeness::EvaluationParams base_params)
-    : catalog_(&catalog), store_(std::move(store)), base_params_(base_params) {
+    activeness::ActivityStore store, activeness::EvaluationParams base_params,
+    activeness::EvalMode mode)
+    : catalog_(&catalog),
+      store_(std::move(store)),
+      pipeline_(catalog, base_params, mode) {
   store_.sort_all();
-  eval_span_ =
-      &obs::MetricsRegistry::global().span_histogram("evaluator.evaluate_all");
-  eval_baseline_seconds_ = eval_span_->sum_seconds();
-}
-
-double ActivenessTimeline::eval_seconds() const {
-  return eval_span_->sum_seconds() - eval_baseline_seconds_;
 }
 
 ActivenessTimeline ActivenessTimeline::for_scenario(
-    const synth::TitanScenario& scenario,
-    activeness::EvaluationParams params) {
+    const synth::TitanScenario& scenario, activeness::EvaluationParams params,
+    activeness::EvalMode mode) {
   static const activeness::ActivityCatalog catalog =
       activeness::ActivityCatalog::paper_default();
   activeness::ActivityStore store(scenario.registry.size(), catalog.size());
   activeness::ingest_jobs(store, 0, 1.0, scenario.jobs);
   activeness::ingest_publications(store, 1, 1.0, scenario.pubs);
-  return ActivenessTimeline(catalog, std::move(store), params);
+  return ActivenessTimeline(catalog, std::move(store), params, mode);
 }
 
 const activeness::ScanPlan& ActivenessTimeline::plan_at(util::TimePoint t) {
-  auto it = evals_.find(t);
-  if (it != evals_.end()) return it->second.plan;
-
-  activeness::EvaluationParams params = base_params_;
-  params.now = t;
-  activeness::Evaluator evaluator(*catalog_, params);
-  std::vector<activeness::UserActiveness> users = evaluator.evaluate_all(store_);
-
-  Eval eval;
-  eval.group_of.resize(store_.user_count(),
-                       activeness::UserGroup::kBothInactive);
-  for (const auto& ua : users) {
-    eval.group_of[ua.user] = activeness::classify(ua);
+  if (pipeline_.evaluated() && t == pipeline_.last_now()) {
+    return pipeline_.plan();
   }
-  eval.plan = activeness::build_scan_plan(users);
-
-  return evals_.emplace(t, std::move(eval)).first->second.plan;
+  last_advance_ = pipeline_.advance(store_, t);
+  // Record the group table for attribution at later instants — unless the
+  // latest table at or before t already says the same thing.
+  const auto it = group_history_.upper_bound(t);
+  const bool unchanged = it != group_history_.begin() &&
+                         std::prev(it)->second == pipeline_.groups();
+  if (!unchanged) group_history_[t] = pipeline_.groups();
+  return pipeline_.plan();
 }
 
 const std::vector<activeness::UserGroup>* ActivenessTimeline::group_lookup_at(
     util::TimePoint t) const {
-  auto it = evals_.upper_bound(t);
-  if (it == evals_.begin()) return nullptr;
+  auto it = group_history_.upper_bound(t);
+  if (it == group_history_.begin()) return nullptr;
   --it;
-  return &it->second.group_of;
+  return &it->second;
 }
 
 activeness::UserGroup ActivenessTimeline::group_at(trace::UserId user,

@@ -7,11 +7,12 @@
 // purge-trigger interval. Both policies are driven through the same loop so
 // their miss series are directly comparable.
 //
-// ActivenessTimeline centralizes user evaluation during replay: at each
-// trigger it evaluates all users over the activities recorded up to that
-// instant (and caches the result). ActiveDR consumes the scan plan; both
-// policies' metrics attribute users to the same classification, so the
-// per-group figures line up the way the paper's do.
+// ActivenessTimeline centralizes user evaluation during replay: each purge
+// trigger advances an incremental evaluation pipeline to that instant (see
+// activeness/incremental.hpp — only users whose rank can have changed are
+// re-ranked). ActiveDR consumes the scan plan; both policies' metrics
+// attribute users to the same classification, so the per-group figures line
+// up the way the paper's do.
 
 #include <map>
 #include <memory>
@@ -19,6 +20,7 @@
 #include <vector>
 
 #include "activeness/classifier.hpp"
+#include "activeness/incremental.hpp"
 #include "obs/metrics.hpp"
 #include "fs/archive.hpp"
 #include "retention/activedr_policy.hpp"
@@ -30,14 +32,23 @@
 
 namespace adr::sim {
 
-/// Cached re-evaluation of user activeness at arbitrary replay instants.
+/// Re-evaluation of user activeness at successive replay instants, advanced
+/// in place by an IncrementalEvaluator. Only the *latest* scan plan is held
+/// (repeated plan_at with the same t returns the same object); group
+/// attribution history is a compact per-trigger group table, deduplicated
+/// across triggers whose classification did not change — the timeline's
+/// memory is bounded by the number of *distinct* classifications, not by
+/// trigger count, and never retains old plans.
 class ActivenessTimeline {
  public:
   ActivenessTimeline(const activeness::ActivityCatalog& catalog,
                      activeness::ActivityStore store,
-                     activeness::EvaluationParams base_params);
+                     activeness::EvaluationParams base_params,
+                     activeness::EvalMode mode = activeness::EvalMode::kAuto);
 
-  /// Scan plan evaluated at `t` (computed on first request, then cached).
+  /// Scan plan evaluated at `t`. The returned reference stays valid until
+  /// the next plan_at call with a different `t` (which advances the
+  /// pipeline in place).
   const activeness::ScanPlan& plan_at(util::TimePoint t);
 
   /// Group of `user` per the latest evaluation at or before `t`
@@ -52,30 +63,36 @@ class ActivenessTimeline {
       util::TimePoint t) const;
 
   std::size_t user_count() const { return store_.user_count(); }
-  /// Wall time spent in evaluate_all since this timeline was built (Fig.
-  /// 12b probe) — read from the metrics registry's
-  /// "evaluator.evaluate_all" span rather than a bespoke timer.
-  double eval_seconds() const;
+  /// Wall time this timeline spent evaluating (Fig. 12b probe). Per
+  /// instance: two concurrent timelines each report only their own work.
+  double eval_seconds() const { return pipeline_.seconds(); }
+
+  activeness::EvalMode eval_mode() const { return pipeline_.mode(); }
+  /// Distinct group tables retained for historical attribution — the
+  /// timeline's memory bound (evaluations whose classification matched the
+  /// previous one are deduplicated away, and plans are never retained).
+  std::size_t group_history_size() const { return group_history_.size(); }
+  /// What the most recent plan_at advance did (delta sizes, skip counts).
+  const activeness::AdvanceStats& last_advance() const {
+    return last_advance_;
+  }
 
   /// Build a timeline for a Titan scenario with the paper's two activity
   /// types (job submissions as operations, publications as outcomes).
-  static ActivenessTimeline for_scenario(const synth::TitanScenario& scenario,
-                                         activeness::EvaluationParams params);
+  static ActivenessTimeline for_scenario(
+      const synth::TitanScenario& scenario,
+      activeness::EvaluationParams params,
+      activeness::EvalMode mode = activeness::EvalMode::kAuto);
 
  private:
-  struct Eval {
-    activeness::ScanPlan plan;
-    std::vector<activeness::UserGroup> group_of;  // dense by user id
-  };
-
   const activeness::ActivityCatalog* catalog_;
   activeness::ActivityStore store_;
-  activeness::EvaluationParams base_params_;
-  std::map<util::TimePoint, Eval> evals_;
-  /// Registry span backing eval_seconds(), and its sum when this timeline
-  /// was constructed (the span is process-global; the baseline scopes it).
-  obs::Histogram* eval_span_ = nullptr;
-  double eval_baseline_seconds_ = 0.0;
+  activeness::IncrementalEvaluator pipeline_;
+  /// Group tables by evaluation instant; consecutive identical tables
+  /// collapse into the earliest entry (lookups still resolve correctly —
+  /// the collapsed entry has the same contents).
+  std::map<util::TimePoint, std::vector<activeness::UserGroup>> group_history_;
+  activeness::AdvanceStats last_advance_;
 };
 
 /// Policy adapter the replay loop drives.

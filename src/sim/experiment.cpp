@@ -40,7 +40,8 @@ retention::ExemptionList build_exemptions(const ExperimentConfig& config) {
 ComparisonResult run_comparison(const synth::TitanScenario& scenario,
                                 const ExperimentConfig& config) {
   ActivenessTimeline timeline =
-      ActivenessTimeline::for_scenario(scenario, evaluation_params(config));
+      ActivenessTimeline::for_scenario(scenario, evaluation_params(config),
+                                       config.eval_mode);
   Emulator emulator(scenario, emulator_config(config), timeline);
 
   ComparisonResult result;
@@ -64,7 +65,8 @@ ComparisonResult run_comparison(const synth::TitanScenario& scenario,
 EmulationResult run_flt_strict(const synth::TitanScenario& scenario,
                                const ExperimentConfig& config) {
   ActivenessTimeline timeline =
-      ActivenessTimeline::for_scenario(scenario, evaluation_params(config));
+      ActivenessTimeline::for_scenario(scenario, evaluation_params(config),
+                                       config.eval_mode);
   EmulatorConfig emu = emulator_config(config);
   emu.purge_target_utilization = 0.0;  // strict: purge every expired file
   Emulator emulator(scenario, emu, timeline);
@@ -128,7 +130,8 @@ SnapshotRetentionResult run_snapshot_retention(
   const fs::Vfs state = build_state_at(scenario, as_of);
 
   ActivenessTimeline timeline =
-      ActivenessTimeline::for_scenario(scenario, evaluation_params(config));
+      ActivenessTimeline::for_scenario(scenario, evaluation_params(config),
+                                       config.eval_mode);
   const activeness::ScanPlan& plan = timeline.plan_at(as_of);
 
   SnapshotRetentionResult result;
@@ -164,7 +167,8 @@ SnapshotRetentionResult run_snapshot_retention(
 EmulationResult run_activedr(const synth::TitanScenario& scenario,
                              const ExperimentConfig& config) {
   ActivenessTimeline timeline =
-      ActivenessTimeline::for_scenario(scenario, evaluation_params(config));
+      ActivenessTimeline::for_scenario(scenario, evaluation_params(config),
+                                       config.eval_mode);
   Emulator emulator(scenario, emulator_config(config), timeline);
   ActiveDrDriver adr(activedr_config(config), scenario.registry, timeline);
   adr.set_exemptions(build_exemptions(config));

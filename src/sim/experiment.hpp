@@ -31,6 +31,10 @@ struct ExperimentConfig {
       activeness::ExponentScheme::kPaperExponent;
   activeness::StaleHandling stale = activeness::StaleHandling::kClampOldest;
   int max_periods = 0;
+  /// How the timeline re-evaluates at each trigger (delta-aware by default;
+  /// kFull pins the re-rank-everyone baseline). Full and incremental are
+  /// result-identical — this is a performance knob.
+  activeness::EvalMode eval_mode = activeness::EvalMode::kAuto;
 
   /// Optional reserved paths (purge exemption) applied to ActiveDR runs.
   std::vector<std::string> exempt_paths;

@@ -113,6 +113,21 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
   obs::TimerSpan span("threadpool.parallel_for");
   const std::size_t n = end - begin;
   const std::size_t parties = workers_.size() + 1;
+  // Tiny auto-grained ranges: waking the workers (queue locks, condvar
+  // signals, the help-drain wait loop) costs hundreds of microseconds —
+  // far more than running a few dozen iterations inline. This keeps
+  // delta-sized work (e.g. an incremental re-evaluation of a handful of
+  // users) from paying full-fan-out dispatch latency. An explicit grain is
+  // a deliberate chunking request (parallel_shards needs one chunk per
+  // party), so only the grain = auto path short-circuits.
+  constexpr std::size_t kInlineCutoff = 64;
+  if (workers_.empty() || (grain == 0 && n <= kInlineCutoff)) {
+    pf_calls().add();
+    pf_chunks().add();
+    for (std::size_t i = begin; i < end; ++i) fn(i);
+    pf_items().add(n);
+    return;
+  }
   if (grain == 0) {
     grain = std::max<std::size_t>(1, n / (parties * 8));
   }

@@ -1,0 +1,289 @@
+// The tentpole guarantee of the incremental pipeline: full and incremental
+// evaluation are *identical* — same ranks, same classifications, same scan
+// plan order — across randomized populations, trigger cadences, streaming
+// appends, and both stale-handling policies. Plus the delta bookkeeping:
+// only users whose rank can have changed are re-evaluated.
+
+#include "activeness/incremental.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace adr::activeness {
+namespace {
+
+constexpr util::TimePoint kT0 = 1'700'000'000;
+constexpr util::Duration kDay = 86'400;
+
+void expect_same_rank(const Rank& a, const Rank& b, const char* what) {
+  EXPECT_EQ(a.has_data, b.has_data) << what;
+  EXPECT_EQ(a.zero, b.zero) << what;
+  EXPECT_EQ(a.log_phi, b.log_phi) << what;
+}
+
+void expect_same_activeness(const UserActiveness& a, const UserActiveness& b) {
+  EXPECT_EQ(a.user, b.user);
+  expect_same_rank(a.op, b.op, "op");
+  expect_same_rank(a.oc, b.oc, "oc");
+  EXPECT_EQ(a.last_activity, b.last_activity);
+}
+
+void expect_same_plan(const ScanPlan& a, const ScanPlan& b) {
+  for (std::size_t g = 0; g < kGroupCount; ++g) {
+    ASSERT_EQ(a.groups[g].size(), b.groups[g].size()) << "group " << g;
+    for (std::size_t i = 0; i < a.groups[g].size(); ++i) {
+      EXPECT_EQ(a.groups[g][i].user, b.groups[g][i].user)
+          << "group " << g << " position " << i;
+      expect_same_activeness(a.groups[g][i], b.groups[g][i]);
+    }
+  }
+}
+
+/// A random population: most users sparse (many end up at Φ = 0 or fresh),
+/// a few dense enough to hold a positive rank.
+ActivityStore random_store(std::uint64_t seed, std::size_t users) {
+  ActivityStore store(users, 2);
+  util::Rng rng(seed);
+  for (trace::UserId u = 0; u < users; ++u) {
+    const double archetype = rng.uniform();
+    if (archetype < 0.15) continue;  // fresh: no activity at all
+    const bool dense = archetype > 0.8;
+    const int events = dense ? static_cast<int>(rng.uniform_int(30, 80))
+                             : static_cast<int>(rng.uniform_int(1, 6));
+    for (int e = 0; e < events; ++e) {
+      const util::TimePoint ts =
+          kT0 - static_cast<util::Duration>(rng.uniform(0, 700) * kDay);
+      const ActivityTypeId type = rng.uniform() < 0.7 ? 0 : 1;
+      store.add(u, type, Activity{ts, rng.uniform(0.1, 50.0)});
+    }
+  }
+  store.sort_all();
+  return store;
+}
+
+EvaluationParams params_for(int period_days, StaleHandling stale,
+                            ExponentScheme scheme, int max_periods = 0) {
+  EvaluationParams p;
+  p.period_length_days = period_days;
+  p.stale = stale;
+  p.scheme = scheme;
+  p.max_periods = max_periods;
+  return p;
+}
+
+TEST(EvalMode, ParseAndFormat) {
+  EvalMode mode = EvalMode::kFull;
+  EXPECT_TRUE(parse_eval_mode("auto", mode));
+  EXPECT_EQ(mode, EvalMode::kAuto);
+  EXPECT_TRUE(parse_eval_mode("full", mode));
+  EXPECT_EQ(mode, EvalMode::kFull);
+  EXPECT_TRUE(parse_eval_mode("incremental", mode));
+  EXPECT_EQ(mode, EvalMode::kIncremental);
+  EXPECT_FALSE(parse_eval_mode("turbo", mode));
+  EXPECT_STREQ(to_string(EvalMode::kAuto), "auto");
+  EXPECT_STREQ(to_string(EvalMode::kFull), "full");
+  EXPECT_STREQ(to_string(EvalMode::kIncremental), "incremental");
+}
+
+TEST(IncrementalEvaluator, MatchesFullAcrossRandomizedTriggerSweeps) {
+  const ActivityCatalog catalog = ActivityCatalog::paper_default();
+  for (const std::uint64_t seed : {11ull, 22ull, 33ull}) {
+    for (const StaleHandling stale :
+         {StaleHandling::kClampOldest, StaleHandling::kDrop}) {
+      const EvaluationParams params =
+          params_for(90, stale, ExponentScheme::kPaperExponent,
+                     stale == StaleHandling::kDrop ? 4 : 0);
+      ActivityStore store_full = random_store(seed, 120);
+      ActivityStore store_inc = random_store(seed, 120);
+      IncrementalEvaluator full(catalog, params, EvalMode::kFull);
+      IncrementalEvaluator inc(catalog, params, EvalMode::kIncremental);
+      util::Rng cadence(seed ^ 0xfeed);
+      util::TimePoint t = kT0 - 400 * kDay;
+      for (int trigger = 0; trigger < 12; ++trigger) {
+        t += static_cast<util::Duration>(cadence.uniform_int(3, 40)) * kDay;
+        full.advance(store_full, t);
+        const AdvanceStats stats = inc.advance(store_inc, t);
+        ASSERT_EQ(full.users().size(), inc.users().size());
+        for (std::size_t u = 0; u < full.users().size(); ++u) {
+          expect_same_activeness(full.users()[u], inc.users()[u]);
+          EXPECT_EQ(full.groups()[u], inc.groups()[u]);
+        }
+        expect_same_plan(full.plan(), inc.plan());
+        if (trigger > 0) {
+          EXPECT_FALSE(stats.full_rebuild)
+              << "forward advance must stay incremental";
+        }
+      }
+    }
+  }
+}
+
+TEST(IncrementalEvaluator, StreamingAppendsMatchFullEvaluation) {
+  const ActivityCatalog catalog = ActivityCatalog::paper_default();
+  const EvaluationParams params = params_for(
+      30, StaleHandling::kClampOldest, ExponentScheme::kPaperExponent);
+  ActivityStore live(60, 2);  // starts empty; events stream in
+  ActivityStore mirror(60, 2);
+  IncrementalEvaluator inc(catalog, params, EvalMode::kIncremental);
+  util::Rng rng(77);
+  util::TimePoint t = kT0;
+  for (int trigger = 0; trigger < 10; ++trigger) {
+    // A burst of appends with timestamps at or before the next trigger.
+    const util::TimePoint next = t + 7 * kDay;
+    const int burst = static_cast<int>(rng.uniform_int(0, 25));
+    for (int e = 0; e < burst; ++e) {
+      const auto user = static_cast<trace::UserId>(rng.uniform_int(0, 59));
+      const ActivityTypeId type = rng.uniform() < 0.6 ? 0 : 1;
+      const Activity activity{
+          t + static_cast<util::Duration>(rng.uniform_int(0, 7 * kDay)),
+          rng.uniform(0.5, 20.0)};
+      live.append(user, type, activity);
+      mirror.add(user, type, activity);
+    }
+    t = next;
+    inc.advance(live, t);
+
+    // Reference: a from-scratch full evaluation over the same events.
+    ActivityStore reference(60, 2);
+    for (trace::UserId u = 0; u < 60; ++u) {
+      for (ActivityTypeId ty = 0; ty < 2; ++ty) {
+        for (const Activity& a : mirror.stream(u, ty)) {
+          reference.add(u, ty, a);
+        }
+      }
+    }
+    IncrementalEvaluator full(catalog, params, EvalMode::kFull);
+    full.advance(reference, t);
+    expect_same_plan(full.plan(), inc.plan());
+  }
+}
+
+TEST(IncrementalEvaluator, ReevaluatesOnlyTheDirtyUser) {
+  const ActivityCatalog catalog = ActivityCatalog::paper_default();
+  const EvaluationParams params = params_for(
+      90, StaleHandling::kClampOldest, ExponentScheme::kPaperExponent);
+  ActivityStore store(10, 2);
+  // user 0: two activities long ago -> rank 0 (empty newest periods),
+  // last_activity far behind every trigger. Everyone else: fresh.
+  store.add(0, 0, Activity{kT0 - 600 * kDay, 5.0});
+  store.add(0, 0, Activity{kT0 - 580 * kDay, 5.0});
+  store.sort_all();
+
+  IncrementalEvaluator inc(catalog, params, EvalMode::kIncremental);
+  const AdvanceStats first = inc.advance(store, kT0);
+  EXPECT_TRUE(first.full_rebuild);
+
+  // One streamed event for user 3; nobody else can have changed.
+  store.append(3, 1, Activity{kT0 + kDay, 2.0});
+  const AdvanceStats second = inc.advance(store, kT0 + 2 * kDay);
+  EXPECT_FALSE(second.full_rebuild);
+  EXPECT_EQ(second.users_dirty, 1u);
+  EXPECT_EQ(second.users_reevaluated, 1u);
+  EXPECT_EQ(second.users_skipped, 9u);
+  EXPECT_TRUE(inc.users()[3].oc.has_data);
+
+  // Quiet interval: nothing is dirty, nobody needs a re-rank.
+  const AdvanceStats third = inc.advance(store, kT0 + 30 * kDay);
+  EXPECT_EQ(third.users_dirty, 0u);
+  // user 3's single recent activity holds a positive rank, so it cannot be
+  // skipped (m grows with t_c); everyone else can.
+  EXPECT_EQ(third.users_reevaluated, 1u);
+  EXPECT_EQ(third.users_skipped, 9u);
+}
+
+TEST(IncrementalEvaluator, BackwardsTimeForcesFullRebuild) {
+  const ActivityCatalog catalog = ActivityCatalog::paper_default();
+  const EvaluationParams params = params_for(
+      30, StaleHandling::kClampOldest, ExponentScheme::kPaperExponent);
+  ActivityStore store = random_store(5, 50);
+  ActivityStore reference_store = random_store(5, 50);
+  IncrementalEvaluator inc(catalog, params, EvalMode::kIncremental);
+  inc.advance(store, kT0);
+  const AdvanceStats back = inc.advance(store, kT0 - 100 * kDay);
+  EXPECT_TRUE(back.full_rebuild);
+
+  IncrementalEvaluator full(catalog, params, EvalMode::kFull);
+  full.advance(reference_store, kT0 - 100 * kDay);
+  expect_same_plan(full.plan(), inc.plan());
+}
+
+TEST(IncrementalEvaluator, PlanPatchingMovesUsersAcrossGroups) {
+  const ActivityCatalog catalog = ActivityCatalog::paper_default();
+  const EvaluationParams params = params_for(
+      30, StaleHandling::kClampOldest, ExponentScheme::kPaperExponent);
+  // Random background population, except user 7 who starts fresh (so the
+  // burst below provably flips their group).
+  ActivityStore store(80, 2);
+  ActivityStore mirror(80, 2);
+  util::Rng rng(9);
+  for (trace::UserId u = 0; u < 80; ++u) {
+    if (u == 7) continue;
+    const int events = static_cast<int>(rng.uniform_int(0, 8));
+    for (int e = 0; e < events; ++e) {
+      const Activity a{
+          kT0 - static_cast<util::Duration>(rng.uniform(0, 700) * kDay),
+          rng.uniform(0.1, 50.0)};
+      const ActivityTypeId type = rng.uniform() < 0.7 ? 0 : 1;
+      store.add(u, type, a);
+      mirror.add(u, type, a);
+    }
+  }
+  store.sort_all();
+  IncrementalEvaluator inc(catalog, params, EvalMode::kIncremental);
+  inc.advance(store, kT0);
+  EXPECT_EQ(inc.group_of(7), UserGroup::kBothInactive);  // fresh
+
+  // A dense recent burst flips user 7 to operation-active.
+  std::vector<Activity> burst;
+  for (int e = 0; e < 40; ++e) {
+    burst.push_back(Activity{kT0 + e * (kDay / 2), 10.0 + e});
+  }
+  for (const Activity& a : burst) {
+    store.append(7, 0, a);
+    mirror.add(7, 0, a);
+  }
+  const AdvanceStats stats = inc.advance(store, kT0 + 25 * kDay);
+  EXPECT_FALSE(stats.full_rebuild);
+  EXPECT_TRUE(inc.users()[7].op.active());
+  EXPECT_EQ(inc.group_of(7), UserGroup::kOperationActiveOnly);
+
+  IncrementalEvaluator full(catalog, params, EvalMode::kFull);
+  full.advance(mirror, kT0 + 25 * kDay);
+  expect_same_plan(full.plan(), inc.plan());
+}
+
+TEST(IncrementalEvaluator, AutoModeBehavesIncrementally) {
+  const ActivityCatalog catalog = ActivityCatalog::paper_default();
+  const EvaluationParams params = params_for(
+      90, StaleHandling::kClampOldest, ExponentScheme::kPaperExponent);
+  ActivityStore store = random_store(3, 40);
+  IncrementalEvaluator pipeline(catalog, params);  // default: kAuto
+  EXPECT_EQ(pipeline.mode(), EvalMode::kAuto);
+  const AdvanceStats first = pipeline.advance(store, kT0);
+  EXPECT_TRUE(first.full_rebuild);
+  const AdvanceStats second = pipeline.advance(store, kT0 + 7 * kDay);
+  EXPECT_FALSE(second.full_rebuild);
+  EXPECT_GT(second.users_skipped, 0u);
+}
+
+TEST(IncrementalEvaluator, SecondsAccumulatePerInstance) {
+  const ActivityCatalog catalog = ActivityCatalog::paper_default();
+  const EvaluationParams params = params_for(
+      90, StaleHandling::kClampOldest, ExponentScheme::kPaperExponent);
+  ActivityStore a = random_store(1, 60);
+  ActivityStore b = random_store(2, 60);
+  IncrementalEvaluator first(catalog, params);
+  IncrementalEvaluator second(catalog, params);
+  first.advance(a, kT0);
+  EXPECT_GT(first.seconds(), 0.0);
+  EXPECT_EQ(second.seconds(), 0.0);  // untouched instance: no bleed-through
+  second.advance(b, kT0);
+  EXPECT_GT(second.seconds(), 0.0);
+}
+
+}  // namespace
+}  // namespace adr::activeness

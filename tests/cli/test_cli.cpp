@@ -182,6 +182,57 @@ TEST_F(CliTest, PurgeRejectsUnknownScanMode) {
   EXPECT_NE(r.err.find("unknown --scan-mode"), std::string::npos);
 }
 
+TEST_F(CliTest, PurgeRejectsUnknownEvalMode) {
+  const CliResult r =
+      run({"purge", "--snapshot", path("snapshot.csv").c_str(), "--users",
+           path("users.csv").c_str(), "--now", "2016-06-01", "--policy",
+           "flt", "--eval-mode", "psychic"});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("unknown --eval-mode"), std::string::npos);
+}
+
+TEST_F(CliTest, EvaluateModesProduceIdenticalRanks) {
+  // The same evaluation under --eval-mode full and incremental must write
+  // byte-identical rank stores.
+  std::string contents[2];
+  int i = 0;
+  for (const char* mode : {"full", "incremental"}) {
+    const std::string ranks = path(std::string("ranks_") + mode + ".csv");
+    const CliResult r =
+        run({"evaluate", "--users", path("users.csv").c_str(), "--jobs",
+             path("jobs.csv").c_str(), "--pubs", path("pubs.csv").c_str(),
+             "--now", "2016-01-01", "--eval-mode", mode, "--out",
+             ranks.c_str()});
+    ASSERT_EQ(r.code, 0) << r.err;
+    std::ifstream in(ranks);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    contents[i++] = buffer.str();
+  }
+  EXPECT_FALSE(contents[0].empty());
+  EXPECT_EQ(contents[0], contents[1]);
+}
+
+TEST_F(CliTest, PurgeActiveDrEvaluatesInlineFromLogs) {
+  // No --ranks: the purge command evaluates activeness itself from the
+  // job/publication logs before scanning.
+  const CliResult r =
+      run({"purge", "--snapshot", path("snapshot.csv").c_str(), "--users",
+           path("users.csv").c_str(), "--jobs", path("jobs.csv").c_str(),
+           "--pubs", path("pubs.csv").c_str(), "--now", "2016-01-01",
+           "--eval-mode", "incremental", "--target", "0.5", "--dry-run"});
+  EXPECT_TRUE(r.code == 0 || r.code == 2) << r.err;
+  EXPECT_NE(r.out.find("Purge report"), std::string::npos);
+}
+
+TEST_F(CliTest, PurgeActiveDrWithoutRanksOrJobsFails) {
+  const CliResult r =
+      run({"purge", "--snapshot", path("snapshot.csv").c_str(), "--users",
+           path("users.csv").c_str(), "--now", "2016-01-01"});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("needs --ranks or --jobs"), std::string::npos);
+}
+
 TEST_F(CliTest, PurgeRejectsUnknownPolicy) {
   const CliResult r =
       run({"purge", "--snapshot", path("snapshot.csv").c_str(), "--users",

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "obs/metrics.hpp"
+
 namespace adr::core {
 namespace {
 
@@ -169,6 +171,61 @@ TEST_F(EngineTest, EvaluationCachedUntilNewActivity) {
   engine_.record(0, op_, kNow - util::days(2), 1.0);
   const auto& r3 = engine_.evaluate(kNow);
   EXPECT_TRUE(r3.get(0).op.has_data);
+}
+
+TEST_F(EngineTest, IncrementalEvaluationTouchesOnlyTheDirtyUser) {
+  // user0: stale history whose rank is provably pinned at zero (empty
+  // newest periods, pigeonhole); users 1-3 fresh.
+  engine_.record(0, op_, kNow - util::days(600), 5.0);
+  engine_.record(0, op_, kNow - util::days(580), 5.0);
+  engine_.evaluate(kNow);
+
+  const auto before = obs::MetricsRegistry::global().snapshot();
+  engine_.record(2, oc_, kNow + util::days(1), 3.0);
+  engine_.evaluate(kNow + util::days(2));
+  const auto after = obs::MetricsRegistry::global().snapshot();
+
+  // Exactly one user re-ranked — the evaluator never even looked at the
+  // other three (their streams were untouched and their cached evaluation
+  // is provably unchanged).
+  EXPECT_EQ(after.counters.at("incremental.users_reevaluated") -
+                before.counters.at("incremental.users_reevaluated"),
+            1u);
+  EXPECT_EQ(after.counters.at("evaluator.users_evaluated") -
+                before.counters.at("evaluator.users_evaluated"),
+            1u);
+  EXPECT_EQ(after.counters.at("incremental.users_skipped") -
+                before.counters.at("incremental.users_skipped"),
+            3u);
+  EXPECT_TRUE(engine_.activeness_of(2).oc.has_data);
+}
+
+TEST_F(EngineTest, FullEvalModeMatchesIncremental) {
+  Engine::Options full_options;
+  full_options.eval_mode = activeness::EvalMode::kFull;
+  Engine full_engine(trace::UserRegistry::with_synthetic_users(4),
+                     full_options);
+  const auto fop = full_engine.register_operation_type("job_submission");
+
+  for (int p = 0; p < 3; ++p) {
+    for (int k = 0; k < 3; ++k) {
+      const util::TimePoint ts = kNow - util::days(90 * p + 10 + k * 20);
+      const double impact = p == 0 ? 200.0 : 100.0;
+      engine_.record(0, op_, ts, impact);
+      full_engine.record(0, fop, ts, impact);
+    }
+  }
+  for (const util::TimePoint t : {kNow, kNow + util::days(7)}) {
+    engine_.evaluate(t);
+    full_engine.evaluate(t);
+    for (trace::UserId u = 0; u < 4; ++u) {
+      const auto a = engine_.activeness_of(u);
+      const auto b = full_engine.activeness_of(u);
+      EXPECT_EQ(a.op.sort_key(), b.op.sort_key());
+      EXPECT_EQ(a.oc.sort_key(), b.oc.sort_key());
+      EXPECT_EQ(a.last_activity, b.last_activity);
+    }
+  }
 }
 
 }  // namespace

@@ -8,7 +8,10 @@
 # Fails when:
 #   * the two scan modes select different victim sets (correctness), or
 #   * the indexed/walk speedup drops below MIN_SPEEDUP (default 3.0), or
-#   * indexed_seconds regresses more than TOLERANCE x the baseline.
+#   * indexed_seconds regresses more than TOLERANCE x the baseline, or
+#   * full and incremental eval modes produce different ranks/plans, or
+#   * the incremental eval-phase speedup over full re-evaluation drops
+#     below MIN_EVAL_SPEEDUP (default 3.0).
 #
 # Usage: tools/run_bench.sh [extra bench flags, e.g. --users 600 --seed 42]
 
@@ -19,6 +22,7 @@ BUILD_DIR="${BUILD_DIR:-$REPO_ROOT/bench-build}"
 BASELINE="$REPO_ROOT/bench/baselines/BENCH_fig12.json"
 OUT_JSON="$BUILD_DIR/BENCH_fig12.json"
 MIN_SPEEDUP="${MIN_SPEEDUP:-3.0}"
+MIN_EVAL_SPEEDUP="${MIN_EVAL_SPEEDUP:-3.0}"
 TOLERANCE="${TOLERANCE:-1.5}"
 
 cmake -S "$REPO_ROOT" -B "$BUILD_DIR" -DCMAKE_BUILD_TYPE=Release >/dev/null
@@ -29,11 +33,12 @@ cmake --build "$BUILD_DIR" --target bench_fig12_performance -j "$(nproc)"
 # environment (benchmark still runs, but it is cheap at bench scale).
 "$BUILD_DIR/bench/bench_fig12_performance" --bench-json "$OUT_JSON" "$@"
 
-python3 - "$OUT_JSON" "$BASELINE" "$MIN_SPEEDUP" "$TOLERANCE" <<'PY'
+python3 - "$OUT_JSON" "$BASELINE" "$MIN_SPEEDUP" "$TOLERANCE" "$MIN_EVAL_SPEEDUP" <<'PY'
 import json, sys
 
-out_path, base_path, min_speedup, tolerance = sys.argv[1:5]
+out_path, base_path, min_speedup, tolerance, min_eval_speedup = sys.argv[1:6]
 min_speedup, tolerance = float(min_speedup), float(tolerance)
+min_eval_speedup = float(min_eval_speedup)
 out = json.load(open(out_path))
 base = json.load(open(base_path))
 
@@ -43,6 +48,13 @@ if not out["victim_sets_identical"]:
 if out["speedup"] < min_speedup:
     failures.append(
         f"indexed speedup {out['speedup']:.2f}x below floor {min_speedup}x")
+if not out["eval_ranks_identical"]:
+    failures.append(
+        "full and incremental eval modes produced DIFFERENT ranks/plans")
+if out["eval_speedup"] < min_eval_speedup:
+    failures.append(
+        f"incremental eval speedup {out['eval_speedup']:.2f}x below floor "
+        f"{min_eval_speedup}x")
 
 # Cross-run comparisons only make sense on the baseline's scenario.
 same_scenario = all(out[k] == base[k] for k in ("users", "seed", "files"))
@@ -60,6 +72,14 @@ if same_scenario:
             f"indexed scan regressed: {out['indexed_seconds']:.4f}s vs "
             f"baseline {base['indexed_seconds']:.4f}s "
             f"(tolerance {tolerance}x)")
+    if "eval_incremental_seconds" in base and (
+            out["eval_incremental_seconds"]
+            > base["eval_incremental_seconds"] * tolerance):
+        failures.append(
+            f"incremental eval regressed: "
+            f"{out['eval_incremental_seconds']:.4f}s vs baseline "
+            f"{base['eval_incremental_seconds']:.4f}s "
+            f"(tolerance {tolerance}x)")
 else:
     print(f"note: scenario differs from baseline "
           f"({out['users']} users / seed {out['seed']} vs "
@@ -68,6 +88,9 @@ else:
 print(f"walk {out['walk_seconds']:.4f}s, indexed "
       f"{out['indexed_seconds']:.4f}s, speedup {out['speedup']:.2f}x, "
       f"{out['victims']} victims")
+print(f"eval full {out['eval_full_seconds']:.4f}s, incremental "
+      f"{out['eval_incremental_seconds']:.4f}s, speedup "
+      f"{out['eval_speedup']:.2f}x over {out['eval_triggers']} triggers")
 if failures:
     for f in failures:
         print("FAIL:", f, file=sys.stderr)
