@@ -3,10 +3,12 @@
 #include <algorithm>
 #include <fstream>
 #include <limits>
+#include <sstream>
 #include <stdexcept>
 
 #include "obs/metrics.hpp"
 #include "util/csv.hpp"
+#include "util/io.hpp"
 
 namespace adr::activeness {
 
@@ -263,37 +265,54 @@ void ingest_publications(ActivityStore& store, ActivityTypeId type,
 }
 
 std::size_t ingest_activities_csv(ActivityStore& store, ActivityTypeId type,
-                                  double weight, const std::string& path) {
-  std::ifstream in(path);
-  if (!in) throw std::runtime_error("ingest_activities_csv: cannot open " + path);
+                                  double weight, const std::string& path,
+                                  const util::ParseOptions& opts) {
+  std::istringstream in(util::io::load_verified(path));
   util::CsvReader reader(in);
   if (!reader.read_header())
     throw std::runtime_error("ingest_activities_csv: empty file " + path);
+  const bool permissive = opts.policy == util::ParsePolicy::kPermissive;
+  util::RowQuarantine quarantine(path, opts.quarantine_path);
   std::size_t ingested = 0;
   while (auto row = reader.next()) {
-    if (row->size() != 3)
-      throw std::runtime_error("ingest_activities_csv: malformed row in " +
-                               path);
-    const auto user = static_cast<trace::UserId>(std::stoul((*row)[0]));
-    if (user >= store.user_count()) continue;
-    store.add(user, type,
-              Activity{std::stoll((*row)[1]), weight * std::stod((*row)[2])});
-    ++ingested;
+    const util::RowContext ctx{&path, reader.line()};
+    try {
+      if (row->size() != 3) {
+        throw util::ParseError("ingest_activities_csv: " + path + ":" +
+                               std::to_string(reader.line()) +
+                               ": expected 3 columns, got " +
+                               std::to_string(row->size()));
+      }
+      const auto user =
+          static_cast<trace::UserId>(util::parse_u32((*row)[0], ctx, "user"));
+      const auto timestamp = util::parse_i64((*row)[1], ctx, "timestamp");
+      const double impact = util::parse_f64((*row)[2], ctx, "impact");
+      if (user >= store.user_count()) continue;
+      store.add(user, type, Activity{timestamp, weight * impact});
+      ++ingested;
+      if (opts.stats) ++opts.stats->rows_ok;
+    } catch (const util::ParseError& e) {
+      if (!permissive) throw;
+      quarantine.add(reader.line(), util::RowQuarantine::kMalformed, e.what(),
+                     reader.raw());
+    }
   }
+  quarantine.finish(opts.stats);
   return ingested;
 }
 
 void save_activities_csv(const std::string& path,
                          const std::vector<std::pair<trace::UserId, Activity>>&
                              activities) {
-  std::ofstream out(path);
-  if (!out) throw std::runtime_error("save_activities_csv: cannot write " + path);
-  util::CsvWriter w(out);
+  util::io::AtomicWriter writer(path,
+                                {.fsync = util::io::default_fsync()});
+  util::CsvWriter w(writer.stream());
   w.write_row({"user", "timestamp", "impact"});
   for (const auto& [user, activity] : activities) {
     w.write_row({std::to_string(user), std::to_string(activity.timestamp),
                  std::to_string(activity.impact)});
   }
+  writer.commit();
 }
 
 }  // namespace adr::activeness

@@ -14,6 +14,7 @@
 #include "trace/job_log.hpp"
 #include "trace/publication_log.hpp"
 #include "trace/types.hpp"
+#include "util/parse.hpp"
 #include "util/time.hpp"
 
 namespace adr::activeness {
@@ -173,9 +174,12 @@ void ingest_publications(ActivityStore& store, ActivityTypeId type,
 /// promise that *any* trackable activity with a timestamp and a quantifiable
 /// impact can drive the evaluation (data transfers, shell logins, workflow
 /// completions, ... exported by site tooling). Rows whose user is outside
-/// the store are skipped. Returns the number of activities ingested.
+/// the store are skipped. Returns the number of activities ingested. The
+/// file's CRC footer is verified when present and the ParsePolicy governs
+/// malformed-row handling, same as the trace loaders.
 std::size_t ingest_activities_csv(ActivityStore& store, ActivityTypeId type,
-                                  double weight, const std::string& path);
+                                  double weight, const std::string& path,
+                                  const util::ParseOptions& opts = {});
 
 /// Write activities back out in the same format (round-trip for tests and
 /// for sites that post-process activity streams).

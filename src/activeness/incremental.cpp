@@ -66,6 +66,18 @@ obs::Counter& users_skipped_counter() {
   return c;
 }
 
+obs::Counter& auto_fallbacks_counter() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::global().counter("incremental.auto_fallbacks");
+  return c;
+}
+
+obs::Counter& auto_recoveries_counter() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::global().counter("incremental.auto_recoveries");
+  return c;
+}
+
 }  // namespace
 
 IncrementalEvaluator::IncrementalEvaluator(const ActivityCatalog& catalog,
@@ -173,11 +185,39 @@ AdvanceStats IncrementalEvaluator::advance(ActivityStore& store,
 
   if (!store.finalized()) store.sort_all();
 
-  const bool delta = mode_ != EvalMode::kFull && evaluated_ &&
-                     now >= last_now_ && users_.size() == store.user_count();
+  const bool resolved_full =
+      mode_ == EvalMode::kFull || (mode_ == EvalMode::kAuto && auto_full_);
+  const bool continuous = evaluated_ && now >= last_now_ &&
+                          users_.size() == store.user_count();
+  const bool delta = !resolved_full && continuous;
   if (!delta) {
-    // Everything is re-evaluated; the dirty set is stale by definition.
-    store.take_dirty();
+    if (mode_ == EvalMode::kAuto && auto_full_ && continuous) {
+      // Running full under auto: keep measuring the delta candidate fraction
+      // (dirty set + chrono window — cheap, no skip-rule checks) so the
+      // pipeline can recover once the storm passes. The dirty set is
+      // consumed here; the rebuild below re-evaluates everyone anyway.
+      candidate_flags_.assign(users_.size(), 0);
+      for (const trace::UserId u : store.take_dirty()) {
+        if (u < candidate_flags_.size()) candidate_flags_[u] = 1;
+      }
+      for (const auto& [ts, u] : store.chrono_window(last_now_, now)) {
+        candidate_flags_[u] = 1;
+      }
+      for (const std::uint8_t f : candidate_flags_) stats.users_dirty += f;
+      if (stats.users_dirty * 4 < users_.size()) {
+        if (++calm_streak_ >= kRecoverAfter) {
+          auto_full_ = false;
+          calm_streak_ = 0;
+          hot_streak_ = 0;
+          auto_recoveries_counter().add();
+        }
+      } else {
+        calm_streak_ = 0;
+      }
+    } else {
+      // Everything is re-evaluated; the dirty set is stale by definition.
+      store.take_dirty();
+    }
     rebuild(store, now);
     stats.full_rebuild = true;
     stats.users_reevaluated = users_.size();
@@ -219,6 +259,22 @@ AdvanceStats IncrementalEvaluator::advance(ActivityStore& store,
     }
     stats.users_reevaluated = reeval_.size();
     stats.users_skipped = users_.size() - reeval_.size();
+
+    if (mode_ == EvalMode::kAuto && !users_.empty()) {
+      // Hysteresis: at/above the rebuild threshold the delta machinery buys
+      // nothing — after kFallbackAfter such triggers in a row, resolve auto
+      // to full until the candidate fraction calms down again.
+      if (reeval_.size() * 2 >= users_.size()) {
+        if (++hot_streak_ >= kFallbackAfter) {
+          auto_full_ = true;
+          hot_streak_ = 0;
+          calm_streak_ = 0;
+          auto_fallbacks_counter().add();
+        }
+      } else {
+        hot_streak_ = 0;
+      }
+    }
 
     updated_.resize(reeval_.size());
     util::global_pool().parallel_for(0, reeval_.size(), [&](std::size_t i) {
@@ -274,6 +330,7 @@ AdvanceStats IncrementalEvaluator::advance(ActivityStore& store,
 
   evaluated_ = true;
   last_now_ = now;
+  stats.auto_full = auto_full_;
 
   advances_counter().add();
   users_dirty_counter().add(stats.users_dirty);

@@ -63,6 +63,7 @@ bool parse_eval_mode(const std::string& text, EvalMode& out);
 /// What one advance() did — surfaced for tests and the obs counters.
 struct AdvanceStats {
   bool full_rebuild = false;      ///< first advance / backwards time / kFull
+  bool auto_full = false;         ///< kAuto currently resolved to full
   std::size_t users_dirty = 0;    ///< delta candidates (appends + window)
   std::size_t users_reevaluated = 0;
   std::size_t users_skipped = 0;  ///< cached evaluation provably unchanged
@@ -93,6 +94,19 @@ class IncrementalEvaluator {
   util::TimePoint last_now() const { return last_now_; }
   EvalMode mode() const { return mode_; }
 
+  /// kAuto hysteresis (ROADMAP: auto-mode fallback). When the delta fraction
+  /// stays at or above the rebuild threshold (re-evals ≥ half the users, the
+  /// same cutoff the splice already uses) for kFallbackAfter consecutive
+  /// triggers, the per-user delta bookkeeping is pure overhead: auto resolves
+  /// to full rebuilds until the workload calms down — the candidate fraction
+  /// (still measured cheaply while running full) dropping below a quarter of
+  /// the users for kRecoverAfter consecutive triggers flips it back. The two
+  /// thresholds are deliberately far apart so a workload hovering near the
+  /// boundary cannot make the mode oscillate.
+  static constexpr int kFallbackAfter = 3;
+  static constexpr int kRecoverAfter = 3;
+  bool auto_full() const { return auto_full_; }
+
   /// Wall time spent evaluating inside this pipeline instance (advance()
   /// only) — per-instance, unlike the process-global registry spans, so two
   /// concurrent pipelines never bleed into each other's Fig. 12b numbers.
@@ -115,6 +129,9 @@ class IncrementalEvaluator {
 
   bool evaluated_ = false;
   util::TimePoint last_now_ = 0;
+  bool auto_full_ = false;  // kAuto currently resolved to full rebuilds
+  int hot_streak_ = 0;      // consecutive triggers at/above rebuild threshold
+  int calm_streak_ = 0;     // consecutive calm triggers while auto_full_
   std::vector<UserActiveness> users_;  // dense by user id
   std::vector<UserGroup> groups_;      // dense by user id
   /// Users whose skip was established by durable (t_c-monotone)

@@ -1,9 +1,12 @@
 #include "activeness/rank_store.hpp"
 
-#include <fstream>
+#include <sstream>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
 #include "util/csv.hpp"
+#include "util/io.hpp"
+#include "util/parse.hpp"
 
 namespace adr::activeness {
 
@@ -54,9 +57,9 @@ std::array<std::size_t, kGroupCount> RankStore::group_counts() const {
 }
 
 void RankStore::save_csv(const std::string& path) const {
-  std::ofstream out(path);
-  if (!out) throw std::runtime_error("RankStore: cannot write " + path);
-  util::CsvWriter w(out);
+  util::io::AtomicWriter writer(path,
+                                {.fsync = util::io::default_fsync()});
+  util::CsvWriter w(writer.stream());
   w.write_row({"user", "op_has_data", "op_zero", "op_log_phi", "oc_has_data",
                "oc_zero", "oc_log_phi", "last_activity"});
   for (const auto& ua : users_) {
@@ -67,30 +70,72 @@ void RankStore::save_csv(const std::string& path) const {
                  std::to_string(static_cast<double>(ua.oc.log_phi)),
                  std::to_string(ua.last_activity)});
   }
+  writer.commit();
 }
 
-RankStore RankStore::load_csv(const std::string& path) {
-  std::ifstream in(path);
-  if (!in) throw std::runtime_error("RankStore: cannot open " + path);
+namespace {
+
+RankStore parse_store(const std::string& content, const std::string& path) {
+  std::istringstream in(content);
   util::CsvReader reader(in);
   if (!reader.read_header())
     throw std::runtime_error("RankStore: empty file " + path);
   std::vector<UserActiveness> users;
   while (auto row = reader.next()) {
-    if (row->size() != 8)
-      throw std::runtime_error("RankStore: malformed row in " + path);
+    const util::RowContext ctx{&path, reader.line()};
+    if (row->size() != 8) {
+      throw util::ParseError("RankStore: " + path + ":" +
+                             std::to_string(reader.line()) +
+                             ": expected 8 columns, got " +
+                             std::to_string(row->size()));
+    }
     UserActiveness ua;
-    ua.user = static_cast<trace::UserId>(std::stoul((*row)[0]));
+    ua.user = static_cast<trace::UserId>(util::parse_u32((*row)[0], ctx, "user"));
     ua.op.has_data = (*row)[1] == "1";
     ua.op.zero = (*row)[2] == "1";
-    ua.op.log_phi = std::stold((*row)[3]);
+    ua.op.log_phi = util::parse_f64((*row)[3], ctx, "op_log_phi");
     ua.oc.has_data = (*row)[4] == "1";
     ua.oc.zero = (*row)[5] == "1";
-    ua.oc.log_phi = std::stold((*row)[6]);
-    ua.last_activity = std::stoll((*row)[7]);
+    ua.oc.log_phi = util::parse_f64((*row)[6], ctx, "oc_log_phi");
+    ua.last_activity = util::parse_i64((*row)[7], ctx, "last_activity");
     users.push_back(ua);
   }
   return RankStore(std::move(users));
+}
+
+}  // namespace
+
+RankStore RankStore::load_csv(const std::string& path) {
+  return parse_store(util::io::load_verified(path), path);
+}
+
+RankStoreLoadResult RankStore::try_load_csv(const std::string& path) {
+  RankStoreLoadResult result;
+  util::io::Artifact artifact;
+  try {
+    artifact = util::io::read_artifact(path);
+  } catch (const std::exception& e) {
+    result.error = e.what();  // missing / unreadable: nothing to quarantine
+    return result;
+  }
+  if (artifact.state == util::io::ArtifactState::kCorrupt) {
+    result.error = artifact.error;
+    result.quarantined_to = util::io::quarantine(path, artifact.error);
+    return result;
+  }
+  try {
+    result.store = parse_store(artifact.content, path);
+    result.ok = true;
+  } catch (const std::exception& e) {
+    // CRC-clean but semantically unparseable (legacy damage, hand edits):
+    // still refuse to act on it, and move it out of the way.
+    result.error = e.what();
+    result.quarantined_to = util::io::quarantine(path, e.what());
+    static obs::Counter& failures =
+        obs::MetricsRegistry::global().counter("rank_store.load_failures");
+    failures.add();
+  }
+  return result;
 }
 
 }  // namespace adr::activeness

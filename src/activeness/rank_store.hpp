@@ -11,6 +11,8 @@
 
 namespace adr::activeness {
 
+struct RankStoreLoadResult;
+
 class RankStore {
  public:
   RankStore() = default;
@@ -31,14 +33,30 @@ class RankStore {
 
   /// CSV persistence
   /// (header: user,op_has_data,op_zero,op_log_phi,oc_has_data,oc_zero,oc_log_phi).
+  /// save_csv is atomic (tmp + rename + CRC footer); load_csv verifies the
+  /// footer and throws on corruption *after* quarantining the file.
   void save_csv(const std::string& path) const;
   static RankStore load_csv(const std::string& path);
+
+  /// Non-throwing load for callers that can degrade (re-evaluate from traces
+  /// instead of trusting a damaged store). A corrupt or unparseable store is
+  /// quarantined to `<path>.corrupt[.N]` and reported in the result, never
+  /// acted on.
+  static RankStoreLoadResult try_load_csv(const std::string& path);
 
  private:
   void reindex();
 
   std::vector<UserActiveness> users_;            // packed
   std::vector<std::size_t> index_;               // user id -> packed slot + 1
+};
+
+/// Outcome of RankStore::try_load_csv.
+struct RankStoreLoadResult {
+  bool ok = false;
+  RankStore store;
+  std::string error;           // why the load failed ("" when ok)
+  std::string quarantined_to;  // where the bad file went ("" if none)
 };
 
 }  // namespace adr::activeness

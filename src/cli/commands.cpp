@@ -14,6 +14,9 @@
 #include "retention/ledger.hpp"
 #include "sim/experiment.hpp"
 #include "util/config.hpp"
+#include "util/fault.hpp"
+#include "util/io.hpp"
+#include "util/parse.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
 
@@ -85,6 +88,21 @@ global options:
   --metrics-out FILE
             After the command finishes, dump the process metrics registry
             (counters, gauges, latency histograms, timer spans) as JSON.
+  --parse-policy strict|permissive
+            How trace/activity loaders treat bad input rows. strict (the
+            default) aborts with a file:line:column error on the first bad
+            row; permissive quarantines malformed, out-of-order, and
+            duplicate rows to a `<input>.quarantine` sidecar CSV and keeps
+            going, printing a summary at the end.
+  --fsync   fsync artifacts (and their directory) inside every atomic
+            write before the rename — full crash durability, not just
+            crash atomicity.
+  --fault-spec SPEC [--fault-seed N]
+            Arm the deterministic fault injector for this run (testing the
+            durability layer). SPEC is ';'-separated `point:action[@N][?P]`
+            directives — see src/util/fault.hpp for the registered points.
+            An injected crash exits with code 9, leaving the filesystem as
+            the crash left it.
 )";
 
 util::TimePoint require_date(const util::Config& config, const char* key) {
@@ -113,6 +131,31 @@ activeness::EvalMode eval_mode_flag(const util::Config& config) {
   }
   return mode;
 }
+
+// --parse-policy plus the shared LoadStats accumulator behind it. Every
+// loader in a command threads the same options so the end-of-run summary
+// covers the whole ingest.
+struct IngestOptions {
+  util::LoadStats stats;
+  util::ParseOptions opts;
+
+  explicit IngestOptions(const util::Config& config) {
+    const std::string name = config.get_string("parse-policy", "strict");
+    if (!util::parse_parse_policy(name, opts.policy)) {
+      throw std::runtime_error("unknown --parse-policy: " + name +
+                               " (expected strict or permissive)");
+    }
+    opts.stats = &stats;
+  }
+
+  void report(std::ostream& out) const {
+    if (stats.quarantined() == 0) return;
+    out << "Permissive ingest: quarantined " << stats.quarantined()
+        << " rows (" << stats.malformed << " malformed, "
+        << stats.out_of_order << " out-of-order, " << stats.duplicates
+        << " duplicate); rows preserved in *.quarantine sidecars\n";
+  }
+};
 
 // ---- synth ---------------------------------------------------------------
 
@@ -192,9 +235,11 @@ std::vector<std::string> split_list(const std::string& csv) {
 }
 
 int cmd_evaluate(const util::Config& config, std::ostream& out) {
+  IngestOptions ingest(config);
   const auto registry =
-      trace::UserRegistry::load_csv(require_str(config, "users"));
-  const auto jobs = trace::JobLog::load_csv(require_str(config, "jobs"));
+      trace::UserRegistry::load_csv(require_str(config, "users"), ingest.opts);
+  const auto jobs =
+      trace::JobLog::load_csv(require_str(config, "jobs"), ingest.opts);
   const util::TimePoint now = require_date(config, "now");
 
   // Catalog: the paper's two types plus one extra type per activity CSV.
@@ -215,15 +260,16 @@ int cmd_evaluate(const util::Config& config, std::ostream& out) {
   activeness::ActivityStore store(registry.size(), catalog.size());
   activeness::ingest_jobs(store, 0, 1.0, jobs);
   if (const auto pubs_path = config.get("pubs")) {
-    const auto pubs = trace::PublicationLog::load_csv(*pubs_path);
+    const auto pubs = trace::PublicationLog::load_csv(*pubs_path, ingest.opts);
     activeness::ingest_publications(store, 1, 1.0, pubs);
   }
   for (const auto& [type, file] : extra) {
     const std::size_t n =
-        activeness::ingest_activities_csv(store, type, 1.0, file);
+        activeness::ingest_activities_csv(store, type, 1.0, file, ingest.opts);
     out << "Ingested " << n << " activities from " << file << "\n";
   }
   store.sort_all();
+  ingest.report(out);
 
   activeness::EvaluationParams params;
   params.period_length_days =
@@ -255,10 +301,11 @@ int cmd_classify(const util::Config& config, std::ostream& out) {
 // ---- purge -----------------------------------------------------------------
 
 int cmd_purge(const util::Config& config, std::ostream& out) {
+  IngestOptions ingest(config);
   const auto snapshot =
-      trace::Snapshot::load_csv(require_str(config, "snapshot"));
+      trace::Snapshot::load_csv(require_str(config, "snapshot"), ingest.opts);
   const auto registry =
-      trace::UserRegistry::load_csv(require_str(config, "users"));
+      trace::UserRegistry::load_csv(require_str(config, "users"), ingest.opts);
   const util::TimePoint now = require_date(config, "now");
   const int lifetime = static_cast<int>(config.get_int("lifetime", 90));
   const double retain_fraction = config.get_double("target", 0.5);
@@ -300,25 +347,51 @@ int cmd_purge(const util::Config& config, std::ostream& out) {
     report = policy.run(vfs, now, target);
   } else if (policy_name == "activedr") {
     activeness::RankStore ranks;
+    bool have_ranks = false;
     if (const auto ranks_path = config.get("ranks")) {
-      ranks = activeness::RankStore::load_csv(*ranks_path);
-    } else if (config.contains("jobs")) {
+      // A damaged store must never order a purge: try_load_csv quarantines
+      // corrupt/unparseable files, and when the trace inputs are also on the
+      // command line the run degrades to a full inline re-evaluation — the
+      // §10 recovery path — instead of failing the retention window.
+      auto loaded = activeness::RankStore::try_load_csv(*ranks_path);
+      if (loaded.ok) {
+        ranks = std::move(loaded.store);
+        have_ranks = true;
+      } else if (config.contains("jobs")) {
+        out << "WARNING: rank store " << *ranks_path << " unusable ("
+            << loaded.error << ")";
+        if (!loaded.quarantined_to.empty()) {
+          out << "; quarantined to " << loaded.quarantined_to;
+        }
+        out << "; falling back to inline re-evaluation from traces\n";
+      } else {
+        throw std::runtime_error("rank store " + *ranks_path + " unusable (" +
+                                 loaded.error +
+                                 ") and no --jobs to re-evaluate from");
+      }
+    }
+    if (!have_ranks && config.contains("jobs")) {
       // Inline evaluation at --now through the incremental pipeline — the
-      // single-binary path for sites that don't persist rank stores.
-      const auto jobs = trace::JobLog::load_csv(require_str(config, "jobs"));
+      // single-binary path for sites that don't persist rank stores, and the
+      // fallback when a persisted store failed verification.
+      const auto jobs =
+          trace::JobLog::load_csv(require_str(config, "jobs"), ingest.opts);
       const activeness::ActivityCatalog catalog =
           activeness::ActivityCatalog::paper_default();
       activeness::ActivityStore store(registry.size(), catalog.size());
       activeness::ingest_jobs(store, 0, 1.0, jobs);
       if (const auto pubs_path = config.get("pubs")) {
-        const auto pubs = trace::PublicationLog::load_csv(*pubs_path);
+        const auto pubs =
+            trace::PublicationLog::load_csv(*pubs_path, ingest.opts);
         activeness::ingest_publications(store, 1, 1.0, pubs);
       }
       activeness::IncrementalEvaluator pipeline(
           catalog, activeness::EvaluationParams{lifetime}, eval_mode);
       pipeline.advance(store, now);
       ranks = activeness::RankStore(pipeline.users());
-    } else {
+      have_ranks = true;
+    }
+    if (!have_ranks) {
       throw std::runtime_error(
           "activedr policy needs --ranks or --jobs (for inline evaluation)");
     }
@@ -338,6 +411,7 @@ int cmd_purge(const util::Config& config, std::ostream& out) {
                              " (expected activedr or flt)");
   }
 
+  ingest.report(out);
   report.print(out);
   if (report.dry_run) {
     out << "DRY RUN: nothing was deleted; " << report.victim_paths.size()
@@ -379,10 +453,14 @@ int cmd_purge(const util::Config& config, std::ostream& out) {
 
 // ---- replay ----------------------------------------------------------------
 
-synth::TitanScenario load_bundle(const std::string& dir);
+synth::TitanScenario load_bundle(const std::string& dir,
+                                 const util::ParseOptions& opts);
 
 int cmd_replay(const util::Config& config, std::ostream& out) {
-  const synth::TitanScenario scenario = load_bundle(require_str(config, "dir"));
+  IngestOptions ingest(config);
+  const synth::TitanScenario scenario =
+      load_bundle(require_str(config, "dir"), ingest.opts);
+  ingest.report(out);
 
   sim::ExperimentConfig experiment;
   experiment.lifetime_days = static_cast<int>(config.get_int("lifetime", 90));
@@ -428,14 +506,15 @@ int cmd_replay(const util::Config& config, std::ostream& out) {
 
 // ---- compare ----------------------------------------------------------------
 
-synth::TitanScenario load_bundle(const std::string& dir) {
+synth::TitanScenario load_bundle(const std::string& dir,
+                                 const util::ParseOptions& opts) {
   const util::Config bundle = util::Config::from_file(dir + "/scenario.conf");
   synth::TitanScenario scenario;
-  scenario.registry = trace::UserRegistry::load_csv(dir + "/users.csv");
-  scenario.jobs = trace::JobLog::load_csv(dir + "/jobs.csv");
-  scenario.pubs = trace::PublicationLog::load_csv(dir + "/pubs.csv");
-  scenario.replay = trace::AppLog::load_csv(dir + "/applog.csv");
-  scenario.snapshot = trace::Snapshot::load_csv(dir + "/snapshot.csv");
+  scenario.registry = trace::UserRegistry::load_csv(dir + "/users.csv", opts);
+  scenario.jobs = trace::JobLog::load_csv(dir + "/jobs.csv", opts);
+  scenario.pubs = trace::PublicationLog::load_csv(dir + "/pubs.csv", opts);
+  scenario.replay = trace::AppLog::load_csv(dir + "/applog.csv", opts);
+  scenario.snapshot = trace::Snapshot::load_csv(dir + "/snapshot.csv", opts);
   scenario.sim_begin = bundle.get_int("sim_begin", 0);
   scenario.sim_end = bundle.get_int("sim_end", 0);
   scenario.capacity_bytes =
@@ -447,7 +526,10 @@ synth::TitanScenario load_bundle(const std::string& dir) {
 }
 
 int cmd_compare(const util::Config& config, std::ostream& out) {
-  const synth::TitanScenario scenario = load_bundle(require_str(config, "dir"));
+  IngestOptions ingest(config);
+  const synth::TitanScenario scenario =
+      load_bundle(require_str(config, "dir"), ingest.opts);
+  ingest.report(out);
   const util::TimePoint as_of = require_date(config, "as-of");
   if (as_of <= scenario.sim_begin || as_of >= scenario.sim_end) {
     throw std::runtime_error("--as-of must fall inside the bundle's replay "
@@ -498,8 +580,10 @@ int cmd_compare(const util::Config& config, std::ostream& out) {
 // ---- info ------------------------------------------------------------------
 
 int cmd_info(const util::Config& config, std::ostream& out) {
+  IngestOptions ingest(config);
   const auto snapshot =
-      trace::Snapshot::load_csv(require_str(config, "snapshot"));
+      trace::Snapshot::load_csv(require_str(config, "snapshot"), ingest.opts);
+  ingest.report(out);
 
   std::map<trace::UserId, std::uint64_t> bytes_by_user;
   util::OnlineStats sizes;
@@ -569,6 +653,24 @@ int run_cli(int argc, const char* const* argv, std::ostream& out,
   }
   const std::string command = argv[1];
   const util::Config config = util::Config::from_args(argc - 1, argv + 1);
+
+  // Global durability/testing knobs, applied before any command IO. Both are
+  // process-wide state, restored on exit so in-process callers (tests) don't
+  // leak configuration into each other.
+  bool fault_armed = false;
+  if (const auto spec = config.get("fault-spec")) {
+    try {
+      util::FaultInjector::global().configure(
+          *spec, static_cast<std::uint64_t>(config.get_int("fault-seed", 0)));
+      fault_armed = true;
+    } catch (const std::invalid_argument& e) {
+      err << "activedr: bad --fault-spec: " << e.what() << "\n";
+      return 64;
+    }
+  }
+  const bool prior_fsync = util::io::default_fsync();
+  if (config.get_bool("fsync", false)) util::io::set_default_fsync(true);
+
   int rc = 64;
   try {
     if (command == "synth") rc = cmd_synth(config, out);
@@ -585,11 +687,18 @@ int run_cli(int argc, const char* const* argv, std::ostream& out,
       err << "unknown command: " << command << "\n\n" << kUsage;
       rc = 64;
     }
+  } catch (const util::CrashInjected& e) {
+    // Simulated hard crash: report and stop *without* cleanup, leaving the
+    // filesystem exactly as the crash left it for recovery testing.
+    err << "activedr " << command << ": " << e.what() << "\n";
+    rc = 9;
   } catch (const std::exception& e) {
     err << "activedr " << command << ": " << e.what() << "\n";
     rc = 1;
   }
   maybe_dump_metrics(config, err);
+  if (fault_armed) util::FaultInjector::global().clear();
+  util::io::set_default_fsync(prior_fsync);
   return rc;
 }
 

@@ -2,9 +2,14 @@
 
 #include <filesystem>
 #include <fstream>
+#include <sstream>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+#include "util/logging.hpp"
 #include "util/csv.hpp"
+#include "util/fault.hpp"
+#include "util/parse.hpp"
 
 namespace adr::retention {
 
@@ -45,10 +50,33 @@ LedgerRow LedgerRow::from_report(const PurgeReport& report) {
 PurgeLedger::PurgeLedger(std::string path) : path_(std::move(path)) {}
 
 void PurgeLedger::append(const PurgeReport& report) {
+  auto& inj = util::FaultInjector::global();
   const bool fresh = !std::filesystem::exists(path_);
+  if (inj.armed() && inj.should_fail("io.append.open")) {
+    throw std::runtime_error("PurgeLedger: cannot write " + path_ +
+                             " (injected)");
+  }
+  // Self-heal a torn tail from an earlier crashed append: if the file does
+  // not end in a newline, the partial row is still the last physical line,
+  // and appending onto it would corrupt this row too. Start a fresh line —
+  // load() already drops the torn fragment.
+  bool needs_newline = false;
+  if (!fresh) {
+    std::ifstream tail(path_, std::ios::binary | std::ios::ate);
+    if (tail && tail.tellg() > 0) {
+      tail.seekg(-1, std::ios::end);
+      needs_newline = tail.get() != '\n';
+    }
+  }
   std::ofstream out(path_, std::ios::app);
   if (!out) throw std::runtime_error("PurgeLedger: cannot write " + path_);
-  util::CsvWriter w(out);
+  if (needs_newline) out.put('\n');
+
+  // Render the full append into memory first so the fault injector can carve
+  // off an arbitrary byte prefix — exactly what a crashed or ENOSPC'd append
+  // leaves behind for load() to salvage.
+  std::ostringstream pending;
+  util::CsvWriter w(pending);
   if (fresh) w.write_row(header());
 
   const LedgerRow row = LedgerRow::from_report(report);
@@ -67,35 +95,93 @@ void PurgeLedger::append(const PurgeReport& report) {
     cells.push_back(std::to_string(row.group_users_affected[g]));
   }
   w.write_row(cells);
+
+  const std::string payload = pending.str();
+  std::size_t allowed = payload.size();
+  bool injected_failure = false;
+  bool enospc = false;
+  if (inj.armed()) {
+    const auto d = inj.on_write("io.append.write", 0, payload.size());
+    if (d.fail || d.allow < payload.size()) {
+      allowed = d.allow;
+      injected_failure = true;
+      enospc = d.enospc;
+    }
+  }
+  out.write(payload.data(), static_cast<std::streamsize>(allowed));
+  out.flush();
+  if (injected_failure) {
+    throw std::runtime_error("PurgeLedger: short write to " + path_ +
+                             (enospc ? " (injected ENOSPC)"
+                                     : " (injected short write)"));
+  }
+  if (!out) throw std::runtime_error("PurgeLedger: write failed for " + path_);
 }
 
-std::vector<LedgerRow> PurgeLedger::load() const {
+std::vector<LedgerRow> PurgeLedger::load(SalvageReport* report) const {
   std::vector<LedgerRow> rows;
+  SalvageReport local;
+  SalvageReport& sr = report ? *report : local;
   std::ifstream in(path_);
   if (!in) return rows;
   util::CsvReader reader(in);
   if (!reader.read_header()) return rows;
   const std::size_t expected = header().size();
+
+  // Parse greedily; remember where damage was so a malformed *final* row can
+  // be classified as a torn tail (crash mid-append) rather than corruption.
+  std::size_t total_rows = 0;
+  std::size_t last_bad_row = 0;  // 1-based index into data rows, 0 = none
   while (auto csv_row = reader.next()) {
-    if (csv_row->size() != expected) {
-      throw std::runtime_error("PurgeLedger: malformed row in " + path_);
+    ++total_rows;
+    try {
+      if (csv_row->size() != expected) {
+        throw util::ParseError("expected " + std::to_string(expected) +
+                               " columns, got " +
+                               std::to_string(csv_row->size()));
+      }
+      const util::RowContext ctx{&path_, reader.line()};
+      LedgerRow row;
+      std::size_t i = 0;
+      row.when = util::parse_i64((*csv_row)[i++], ctx, "when");
+      row.policy = (*csv_row)[i++];
+      row.target_purge_bytes =
+          util::parse_u64((*csv_row)[i++], ctx, "target_bytes");
+      row.purged_bytes = util::parse_u64((*csv_row)[i++], ctx, "purged_bytes");
+      row.purged_files = util::parse_u64((*csv_row)[i++], ctx, "purged_files");
+      row.target_reached = (*csv_row)[i++] == "1";
+      row.retrospective_passes_used =
+          util::parse_i32((*csv_row)[i++], ctx, "retro_passes");
+      row.exempted_files =
+          util::parse_u64((*csv_row)[i++], ctx, "exempted_files");
+      for (std::size_t g = 0; g < activeness::kGroupCount; ++g) {
+        row.group_purged_bytes[g] = util::parse_u64((*csv_row)[i++], ctx, "gb");
+        row.group_purged_files[g] = util::parse_u64((*csv_row)[i++], ctx, "gf");
+        row.group_users_affected[g] =
+            util::parse_u64((*csv_row)[i++], ctx, "gu");
+      }
+      rows.push_back(std::move(row));
+      ++sr.rows_loaded;
+    } catch (const util::ParseError& e) {
+      ++sr.rows_dropped;
+      last_bad_row = total_rows;
+      sr.notes.push_back(path_ + ":" + std::to_string(reader.line()) + ": " +
+                         e.what());
     }
-    LedgerRow row;
-    std::size_t i = 0;
-    row.when = std::stoll((*csv_row)[i++]);
-    row.policy = (*csv_row)[i++];
-    row.target_purge_bytes = std::stoull((*csv_row)[i++]);
-    row.purged_bytes = std::stoull((*csv_row)[i++]);
-    row.purged_files = std::stoull((*csv_row)[i++]);
-    row.target_reached = (*csv_row)[i++] == "1";
-    row.retrospective_passes_used = std::stoi((*csv_row)[i++]);
-    row.exempted_files = std::stoull((*csv_row)[i++]);
-    for (std::size_t g = 0; g < activeness::kGroupCount; ++g) {
-      row.group_purged_bytes[g] = std::stoull((*csv_row)[i++]);
-      row.group_purged_files[g] = std::stoull((*csv_row)[i++]);
-      row.group_users_affected[g] = std::stoull((*csv_row)[i++]);
+  }
+  if (sr.rows_dropped > 0) {
+    sr.torn_tail = last_bad_row == total_rows;
+    static obs::Counter& salvaged =
+        obs::MetricsRegistry::global().counter("ledger.salvaged_rows");
+    salvaged.add(sr.rows_loaded);
+    if (sr.torn_tail) {
+      static obs::Counter& torn =
+          obs::MetricsRegistry::global().counter("ledger.torn_tails");
+      torn.add();
     }
-    rows.push_back(std::move(row));
+    ADR_WARN << "PurgeLedger: salvaged " << sr.rows_loaded << " rows from "
+             << path_ << ", dropped " << sr.rows_dropped
+             << (sr.torn_tail ? " (torn tail)" : "");
   }
   return rows;
 }

@@ -32,16 +32,34 @@ struct LedgerRow {
   static LedgerRow from_report(const PurgeReport& report);
 };
 
+/// What PurgeLedger::load() recovered from a damaged file. An append-only
+/// ledger cannot carry a whole-file CRC footer (every append would invalidate
+/// it), so a crash mid-append legitimately leaves a truncated final row;
+/// load() salvages every intact row and reports — never throws on — the
+/// damage (DESIGN.md §10.2).
+struct SalvageReport {
+  std::size_t rows_loaded = 0;   // intact rows recovered
+  std::size_t rows_dropped = 0;  // malformed rows skipped (incl. torn tail)
+  bool torn_tail = false;        // the *final* row was truncated mid-write
+  std::vector<std::string> notes;  // one human-readable line per dropped row
+
+  bool damaged() const { return rows_dropped > 0; }
+};
+
 class PurgeLedger {
  public:
   /// Bind to a CSV file. The file need not exist yet.
   explicit PurgeLedger(std::string path);
 
   /// Append one report (creates the file with a header on first use).
+  /// Fault points: io.append.open, io.append.write.
   void append(const PurgeReport& report);
 
-  /// All rows currently on disk (empty if the file does not exist).
-  std::vector<LedgerRow> load() const;
+  /// All intact rows currently on disk (empty if the file does not exist).
+  /// Malformed rows — a torn tail from a crashed append, or interior
+  /// damage — are dropped and tallied in `report` (and in the
+  /// ledger.salvaged_rows / ledger.torn_tails counters), not thrown.
+  std::vector<LedgerRow> load(SalvageReport* report = nullptr) const;
 
   const std::string& path() const { return path_; }
 

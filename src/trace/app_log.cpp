@@ -1,10 +1,12 @@
 #include "trace/app_log.hpp"
 
 #include <algorithm>
-#include <fstream>
+#include <sstream>
 #include <stdexcept>
 
 #include "util/csv.hpp"
+#include "util/io.hpp"
+#include "util/parse.hpp"
 
 namespace adr::trace {
 
@@ -37,36 +39,77 @@ std::pair<std::size_t, std::size_t> AppLog::range(util::TimePoint begin,
 }
 
 void AppLog::save_csv(const std::string& path) const {
-  std::ofstream out(path);
-  if (!out) throw std::runtime_error("AppLog: cannot write " + path);
-  util::CsvWriter w(out);
+  util::io::AtomicWriter writer(path,
+                                {.fsync = util::io::default_fsync()});
+  util::CsvWriter w(writer.stream());
   w.write_row({"user", "timestamp", "op", "path", "size", "stripes"});
   for (const auto& e : entries_) {
     w.write_row({std::to_string(e.user), std::to_string(e.timestamp),
                  e.op == trace::FileOp::kCreate ? "create" : "access", e.path,
                  std::to_string(e.size_bytes), std::to_string(e.stripe_count)});
   }
+  writer.commit();
 }
 
-AppLog AppLog::load_csv(const std::string& path) {
-  std::ifstream in(path);
-  if (!in) throw std::runtime_error("AppLog: cannot open " + path);
+AppLog AppLog::load_csv(const std::string& path,
+                        const util::ParseOptions& opts) {
+  std::istringstream in(util::io::load_verified(path));
   util::CsvReader reader(in);
   if (!reader.read_header())
     throw std::runtime_error("AppLog: empty file " + path);
   AppLog log;
+  const bool permissive = opts.policy == util::ParsePolicy::kPermissive;
+  util::RowQuarantine quarantine(path, opts.quarantine_path);
+  std::string prev_raw;
+  util::TimePoint prev_time = 0;
+  bool first = true;
   while (auto row = reader.next()) {
-    if (row->size() != 6)
-      throw std::runtime_error("AppLog: malformed row in " + path);
-    AppLogEntry e;
-    e.user = static_cast<UserId>(std::stoul((*row)[0]));
-    e.timestamp = std::stoll((*row)[1]);
-    e.op = (*row)[2] == "create" ? FileOp::kCreate : FileOp::kAccess;
-    e.path = (*row)[3];
-    e.size_bytes = std::stoull((*row)[4]);
-    e.stripe_count = std::stoi((*row)[5]);
-    log.add(std::move(e));
+    const util::RowContext ctx{&path, reader.line()};
+    try {
+      if (row->size() != 6) {
+        throw util::ParseError("AppLog: " + path + ":" +
+                               std::to_string(reader.line()) + ": expected 6 "
+                               "columns, got " + std::to_string(row->size()));
+      }
+      AppLogEntry e;
+      e.user = static_cast<UserId>(util::parse_u32((*row)[0], ctx, "user"));
+      e.timestamp = util::parse_i64((*row)[1], ctx, "timestamp");
+      if ((*row)[2] != "create" && (*row)[2] != "access") {
+        throw util::ParseError(ctx.describe("op") +
+                               ": expected create or access, got '" +
+                               (*row)[2] + "'");
+      }
+      e.op = (*row)[2] == "create" ? FileOp::kCreate : FileOp::kAccess;
+      e.path = (*row)[3];
+      e.size_bytes = util::parse_u64((*row)[4], ctx, "size");
+      e.stripe_count = util::parse_i32((*row)[5], ctx, "stripes");
+      if (permissive) {
+        // Site exports double-log lines often enough that adjacent exact
+        // duplicates are quarantined; identical ops far apart are legal.
+        if (!first && reader.raw() == prev_raw) {
+          quarantine.add(reader.line(), util::RowQuarantine::kDuplicate,
+                         "identical to previous row", reader.raw());
+          continue;
+        }
+        if (!first && e.timestamp < prev_time) {
+          quarantine.add(reader.line(), util::RowQuarantine::kOutOfOrder,
+                         "timestamp regressed below previous row",
+                         reader.raw());
+          continue;
+        }
+      }
+      prev_time = e.timestamp;
+      prev_raw = reader.raw();
+      first = false;
+      log.add(std::move(e));
+      if (opts.stats) ++opts.stats->rows_ok;
+    } catch (const util::ParseError& e) {
+      if (!permissive) throw;
+      quarantine.add(reader.line(), util::RowQuarantine::kMalformed, e.what(),
+                     reader.raw());
+    }
   }
+  quarantine.finish(opts.stats);
   return log;
 }
 

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "trace/types.hpp"
+#include "util/parse.hpp"
 
 namespace adr::trace {
 
@@ -29,7 +30,8 @@ class AppLog {
 
   /// CSV persistence (header: user,timestamp,path).
   void save_csv(const std::string& path) const;
-  static AppLog load_csv(const std::string& path);
+  static AppLog load_csv(const std::string& path,
+                         const util::ParseOptions& opts = {});
 
  private:
   std::vector<AppLogEntry> entries_;

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "trace/types.hpp"
+#include "util/parse.hpp"
 
 namespace adr::trace {
 
@@ -29,8 +30,13 @@ class JobLog {
   std::vector<JobRecord> slice(util::TimePoint begin, util::TimePoint end) const;
 
   /// CSV persistence (header: job_id,user,submit_time,duration_s,cores).
+  /// save_csv is atomic (tmp + rename) with a CRC footer; load_csv verifies
+  /// the footer (quarantining a corrupt file) and applies the ParsePolicy:
+  /// strict throws a contextual ParseError on the first bad row, permissive
+  /// quarantines malformed/out-of-order/duplicate rows to a sidecar.
   void save_csv(const std::string& path) const;
-  static JobLog load_csv(const std::string& path);
+  static JobLog load_csv(const std::string& path,
+                         const util::ParseOptions& opts = {});
 
  private:
   std::vector<JobRecord> records_;

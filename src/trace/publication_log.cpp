@@ -1,11 +1,13 @@
 #include "trace/publication_log.hpp"
 
 #include <algorithm>
-#include <fstream>
 #include <sstream>
 #include <stdexcept>
+#include <unordered_set>
 
 #include "util/csv.hpp"
+#include "util/io.hpp"
+#include "util/parse.hpp"
 
 namespace adr::trace {
 
@@ -21,9 +23,9 @@ void PublicationLog::sort_by_time() {
 }
 
 void PublicationLog::save_csv(const std::string& path) const {
-  std::ofstream out(path);
-  if (!out) throw std::runtime_error("PublicationLog: cannot write " + path);
-  util::CsvWriter w(out);
+  util::io::AtomicWriter writer(path,
+                                {.fsync = util::io::default_fsync()});
+  util::CsvWriter w(writer.stream());
   w.write_row({"pub_id", "published", "citations", "authors"});
   for (const auto& r : records_) {
     std::string authors;
@@ -34,29 +36,66 @@ void PublicationLog::save_csv(const std::string& path) const {
     w.write_row({std::to_string(r.pub_id), std::to_string(r.published),
                  std::to_string(r.citations), authors});
   }
+  writer.commit();
 }
 
-PublicationLog PublicationLog::load_csv(const std::string& path) {
-  std::ifstream in(path);
-  if (!in) throw std::runtime_error("PublicationLog: cannot open " + path);
+PublicationLog PublicationLog::load_csv(const std::string& path,
+                                        const util::ParseOptions& opts) {
+  std::istringstream in(util::io::load_verified(path));
   util::CsvReader reader(in);
   if (!reader.read_header())
     throw std::runtime_error("PublicationLog: empty file " + path);
   PublicationLog log;
+  const bool permissive = opts.policy == util::ParsePolicy::kPermissive;
+  util::RowQuarantine quarantine(path, opts.quarantine_path);
+  std::unordered_set<std::uint64_t> seen_ids;
+  util::TimePoint prev_time = 0;
+  bool first = true;
   while (auto row = reader.next()) {
-    if (row->size() != 4)
-      throw std::runtime_error("PublicationLog: malformed row in " + path);
-    PublicationRecord r;
-    r.pub_id = std::stoull((*row)[0]);
-    r.published = std::stoll((*row)[1]);
-    r.citations = std::stoi((*row)[2]);
-    std::istringstream authors((*row)[3]);
-    std::string tok;
-    while (std::getline(authors, tok, ';')) {
-      if (!tok.empty()) r.authors.push_back(static_cast<UserId>(std::stoul(tok)));
+    const util::RowContext ctx{&path, reader.line()};
+    try {
+      if (row->size() != 4) {
+        throw util::ParseError(
+            "PublicationLog: " + path + ":" + std::to_string(reader.line()) +
+            ": expected 4 columns, got " + std::to_string(row->size()));
+      }
+      PublicationRecord r;
+      r.pub_id = util::parse_u64((*row)[0], ctx, "pub_id");
+      r.published = util::parse_i64((*row)[1], ctx, "published");
+      r.citations = util::parse_i32((*row)[2], ctx, "citations");
+      std::istringstream authors((*row)[3]);
+      std::string tok;
+      while (std::getline(authors, tok, ';')) {
+        if (!tok.empty()) {
+          r.authors.push_back(
+              static_cast<UserId>(util::parse_u32(tok, ctx, "authors")));
+        }
+      }
+      if (permissive) {
+        if (r.pub_id != 0 && !seen_ids.insert(r.pub_id).second) {
+          quarantine.add(reader.line(), util::RowQuarantine::kDuplicate,
+                         "pub_id " + (*row)[0] + " already seen",
+                         reader.raw());
+          continue;
+        }
+        if (!first && r.published < prev_time) {
+          quarantine.add(reader.line(), util::RowQuarantine::kOutOfOrder,
+                         "published regressed below previous row",
+                         reader.raw());
+          continue;
+        }
+      }
+      prev_time = r.published;
+      first = false;
+      log.add(std::move(r));
+      if (opts.stats) ++opts.stats->rows_ok;
+    } catch (const util::ParseError& e) {
+      if (!permissive) throw;
+      quarantine.add(reader.line(), util::RowQuarantine::kMalformed, e.what(),
+                     reader.raw());
     }
-    log.add(std::move(r));
   }
+  quarantine.finish(opts.stats);
   return log;
 }
 

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "trace/types.hpp"
+#include "util/parse.hpp"
 
 namespace adr::trace {
 
@@ -22,7 +23,8 @@ class PublicationLog {
   /// CSV persistence. Authors are encoded as ';'-separated user ids in one
   /// quoted field (header: pub_id,published,citations,authors).
   void save_csv(const std::string& path) const;
-  static PublicationLog load_csv(const std::string& path);
+  static PublicationLog load_csv(const std::string& path,
+                                 const util::ParseOptions& opts = {});
 
  private:
   std::vector<PublicationRecord> records_;

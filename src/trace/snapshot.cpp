@@ -3,11 +3,13 @@
 #include <algorithm>
 #include <cstdio>
 #include <filesystem>
-#include <fstream>
+#include <sstream>
 #include <stdexcept>
+#include <unordered_set>
 
 #include "util/csv.hpp"
 #include "util/gzfile.hpp"
+#include "util/io.hpp"
 
 namespace adr::trace {
 
@@ -22,15 +24,17 @@ std::vector<std::string> entry_row(const SnapshotEntry& e) {
 }
 
 SnapshotEntry parse_row(const std::vector<std::string>& row,
-                        const std::string& source) {
-  if (row.size() != 5)
-    throw std::runtime_error("Snapshot: malformed row in " + source);
+                        const util::RowContext& ctx) {
+  if (row.size() != 5) {
+    throw util::ParseError(ctx.describe("row") + ": expected 5 columns, got " +
+                           std::to_string(row.size()));
+  }
   SnapshotEntry e;
   e.path = row[0];
-  e.owner = static_cast<UserId>(std::stoul(row[1]));
-  e.stripe_count = std::stoi(row[2]);
-  e.size_bytes = std::stoull(row[3]);
-  e.atime = std::stoll(row[4]);
+  e.owner = static_cast<UserId>(util::parse_u32(row[1], ctx, "owner"));
+  e.stripe_count = util::parse_i32(row[2], ctx, "stripes");
+  e.size_bytes = util::parse_u64(row[3], ctx, "size");
+  e.atime = util::parse_i64(row[4], ctx, "atime");
   return e;
 }
 
@@ -46,43 +50,68 @@ std::uint64_t Snapshot::total_bytes() const {
 
 void Snapshot::save_csv(const std::string& path) const {
   if (util::has_gz_suffix(path)) {
-    util::GzWriter out(path);
-    out.write_line(util::csv_join(kHeader));
-    for (const auto& e : entries_) out.write_line(util::csv_join(entry_row(e)));
-    out.close();
+    // Gzip artifacts cannot stream through AtomicWriter (the CRC must cover
+    // the *uncompressed* payload, and the footer lives inside the gzip
+    // stream), so the atomic protocol is inlined: write `<path>.tmp`,
+    // accumulate the payload CRC at the call site, append the footer as the
+    // final compressed line, then rename via io::commit_tmp.
+    const std::string tmp = path + ".tmp";
+    util::io::Crc32 crc;
+    std::uint64_t bytes = 0;
+    {
+      util::GzWriter out(tmp);
+      const auto put = [&](const std::string& line) {
+        crc.update(line);
+        crc.update("\n", 1);
+        bytes += line.size() + 1;
+        out.write_line(line);
+      };
+      put(util::csv_join(kHeader));
+      for (const auto& e : entries_) put(util::csv_join(entry_row(e)));
+      out.write_line(util::io::make_footer(crc.value(), bytes));
+      out.close();
+    }
+    util::io::commit_tmp(tmp, path, util::io::default_fsync());
     return;
   }
-  std::ofstream out(path);
-  if (!out) throw std::runtime_error("Snapshot: cannot write " + path);
-  util::CsvWriter w(out);
+  util::io::AtomicWriter writer(path,
+                                {.fsync = util::io::default_fsync()});
+  util::CsvWriter w(writer.stream());
   w.write_row(kHeader);
   for (const auto& e : entries_) w.write_row(entry_row(e));
+  writer.commit();
 }
 
-Snapshot Snapshot::load_csv(const std::string& path) {
-  Snapshot snap;
-  if (util::has_gz_suffix(path)) {
-    util::GzReader in(path);
-    bool header = true;
-    while (auto line = in.next_line()) {
-      if (line->empty()) continue;
-      if (header) {
-        header = false;
-        continue;
-      }
-      snap.add(parse_row(util::csv_split(*line), path));
-    }
-    if (header) throw std::runtime_error("Snapshot: empty file " + path);
-    return snap;
-  }
-  std::ifstream in(path);
-  if (!in) throw std::runtime_error("Snapshot: cannot open " + path);
+Snapshot Snapshot::load_csv(const std::string& path,
+                            const util::ParseOptions& opts) {
+  // load_verified is gzip-transparent, so plain and .gz snapshots share one
+  // verified-read path.
+  std::istringstream in(util::io::load_verified(path));
   util::CsvReader reader(in);
   if (!reader.read_header())
     throw std::runtime_error("Snapshot: empty file " + path);
+  Snapshot snap;
+  const bool permissive = opts.policy == util::ParsePolicy::kPermissive;
+  util::RowQuarantine quarantine(path, opts.quarantine_path);
+  std::unordered_set<std::string> seen_paths;
   while (auto row = reader.next()) {
-    snap.add(parse_row(*row, path));
+    const util::RowContext ctx{&path, reader.line()};
+    try {
+      SnapshotEntry e = parse_row(*row, ctx);
+      if (permissive && !seen_paths.insert(e.path).second) {
+        quarantine.add(reader.line(), util::RowQuarantine::kDuplicate,
+                       "path '" + e.path + "' already seen", reader.raw());
+        continue;
+      }
+      snap.add(std::move(e));
+      if (opts.stats) ++opts.stats->rows_ok;
+    } catch (const util::ParseError& e) {
+      if (!permissive) throw;
+      quarantine.add(reader.line(), util::RowQuarantine::kMalformed, e.what(),
+                     reader.raw());
+    }
   }
+  quarantine.finish(opts.stats);
   return snap;
 }
 
@@ -119,7 +148,9 @@ std::vector<std::string> sharded_snapshot_files(const std::string& dir) {
   for (const auto& entry : std::filesystem::directory_iterator(dir)) {
     const std::string name = entry.path().filename().string();
     if (name.rfind("snapshot_", 0) == 0 &&
-        name.find(".csv") != std::string::npos) {
+        name.find(".csv") != std::string::npos &&
+        name.find(".tmp") == std::string::npos &&
+        name.find(".corrupt") == std::string::npos) {
       files.push_back(entry.path().string());
     }
   }

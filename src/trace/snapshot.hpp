@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "trace/types.hpp"
+#include "util/parse.hpp"
 
 namespace adr::trace {
 
@@ -25,7 +26,8 @@ class Snapshot {
   /// CSV persistence (header: path,owner,stripes,size,atime). Paths ending
   /// in ".gz" are written/read gzip-compressed, like the Spider snapshots.
   void save_csv(const std::string& path) const;
-  static Snapshot load_csv(const std::string& path);
+  static Snapshot load_csv(const std::string& path,
+                           const util::ParseOptions& opts = {});
 
  private:
   std::vector<SnapshotEntry> entries_;

@@ -1,10 +1,12 @@
 #include "trace/user_registry.hpp"
 
 #include <cstdio>
-#include <fstream>
+#include <sstream>
 #include <stdexcept>
 
 #include "util/csv.hpp"
+#include "util/io.hpp"
+#include "util/parse.hpp"
 
 namespace adr::trace {
 
@@ -43,30 +45,58 @@ std::string UserRegistry::home_dir(UserId id) const {
 }
 
 void UserRegistry::save_csv(const std::string& path) const {
-  std::ofstream out(path);
-  if (!out) throw std::runtime_error("UserRegistry: cannot write " + path);
-  util::CsvWriter w(out);
+  util::io::AtomicWriter writer(path,
+                                {.fsync = util::io::default_fsync()});
+  util::CsvWriter w(writer.stream());
   w.write_row({"user", "name"});
   for (std::size_t i = 0; i < names_.size(); ++i) {
     w.write_row({std::to_string(i), names_[i]});
   }
+  writer.commit();
 }
 
-UserRegistry UserRegistry::load_csv(const std::string& path) {
-  std::ifstream in(path);
-  if (!in) throw std::runtime_error("UserRegistry: cannot open " + path);
+UserRegistry UserRegistry::load_csv(const std::string& path,
+                                    const util::ParseOptions& opts) {
+  std::istringstream in(util::io::load_verified(path));
   util::CsvReader reader(in);
   if (!reader.read_header())
     throw std::runtime_error("UserRegistry: empty file " + path);
   UserRegistry reg;
+  const bool permissive = opts.policy == util::ParsePolicy::kPermissive;
+  util::RowQuarantine quarantine(path, opts.quarantine_path);
   while (auto row = reader.next()) {
-    if (row->size() != 2)
-      throw std::runtime_error("UserRegistry: malformed row in " + path);
-    const UserId expected = static_cast<UserId>(std::stoul((*row)[0]));
-    const UserId got = reg.add((*row)[1]);
-    if (expected != got)
-      throw std::runtime_error("UserRegistry: non-dense ids in " + path);
+    const util::RowContext ctx{&path, reader.line()};
+    try {
+      if (row->size() != 2) {
+        throw util::ParseError(
+            "UserRegistry: " + path + ":" + std::to_string(reader.line()) +
+            ": expected 2 columns, got " + std::to_string(row->size()));
+      }
+      const UserId expected =
+          static_cast<UserId>(util::parse_u32((*row)[0], ctx, "user"));
+      if ((*row)[1].empty()) {
+        throw util::ParseError(ctx.describe("name") + ": empty user name");
+      }
+      if (permissive && reg.find((*row)[1]) != kInvalidUser) {
+        quarantine.add(reader.line(), util::RowQuarantine::kDuplicate,
+                       "name '" + (*row)[1] + "' already registered",
+                       reader.raw());
+        continue;
+      }
+      if (expected != reg.size()) {
+        throw util::ParseError(ctx.describe("user") + ": non-dense id " +
+                               (*row)[0] + " (expected " +
+                               std::to_string(reg.size()) + ")");
+      }
+      reg.add((*row)[1]);
+      if (opts.stats) ++opts.stats->rows_ok;
+    } catch (const util::ParseError& e) {
+      if (!permissive) throw;
+      quarantine.add(reader.line(), util::RowQuarantine::kMalformed, e.what(),
+                     reader.raw());
+    }
   }
+  quarantine.finish(opts.stats);
   return reg;
 }
 

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "trace/types.hpp"
+#include "util/parse.hpp"
 
 namespace adr::trace {
 
@@ -31,7 +32,8 @@ class UserRegistry {
 
   /// CSV persistence (header: user,name).
   void save_csv(const std::string& path) const;
-  static UserRegistry load_csv(const std::string& path);
+  static UserRegistry load_csv(const std::string& path,
+                               const util::ParseOptions& opts = {});
 
  private:
   std::vector<std::string> names_;

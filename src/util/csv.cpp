@@ -4,6 +4,8 @@
 #include <istream>
 #include <ostream>
 
+#include "util/fault.hpp"
+
 namespace adr::util {
 
 std::vector<std::string> csv_split(const std::string& line, char sep) {
@@ -72,7 +74,11 @@ bool CsvReader::read_header() {
 std::optional<std::vector<std::string>> CsvReader::next() {
   std::string line;
   while (std::getline(in_, line)) {
+    ++line_;
     if (line.empty() || line == "\r") continue;
+    if (line[0] == '#') continue;  // metadata (e.g. the #ADRCRC footer)
+    raw_ = line;
+    if (!raw_.empty() && raw_.back() == '\r') raw_.pop_back();
     return csv_split(line, sep_);
   }
   return std::nullopt;
@@ -87,6 +93,8 @@ std::size_t CsvReader::column(const std::string& name) const {
 CsvWriter::CsvWriter(std::ostream& out, char sep) : out_(out), sep_(sep) {}
 
 void CsvWriter::write_row(const std::vector<std::string>& fields) {
+  auto& inj = FaultInjector::global();
+  if (inj.armed()) inj.crash_point("csv.row");
   out_ << csv_join(fields, sep_) << '\n';
 }
 

@@ -20,8 +20,9 @@ std::vector<std::string> csv_split(const std::string& line, char sep = ',');
 /// Join fields into one CSV line, quoting any field that needs it.
 std::string csv_join(const std::vector<std::string>& fields, char sep = ',');
 
-/// Streaming reader over an istream. Skips blank lines; `header()` is the
-/// first row when read_header() was requested.
+/// Streaming reader over an istream. Skips blank lines and `#`-prefixed
+/// metadata lines (the io::AtomicWriter CRC footer); `header()` is the first
+/// row when read_header() was requested.
 class CsvReader {
  public:
   explicit CsvReader(std::istream& in, char sep = ',');
@@ -37,15 +38,22 @@ class CsvReader {
   /// Column index for a header name, or npos.
   std::size_t column(const std::string& name) const;
 
+  /// 1-based physical line number of the most recently returned row, and
+  /// its raw text — context for ParseError messages and quarantine sidecars.
+  std::size_t line() const { return line_; }
+  const std::string& raw() const { return raw_; }
+
   static constexpr std::size_t npos = static_cast<std::size_t>(-1);
 
  private:
   std::istream& in_;
   char sep_;
   std::vector<std::string> header_;
+  std::size_t line_ = 0;
+  std::string raw_;
 };
 
-/// Streaming writer.
+/// Streaming writer. Fault point: csv.row (crash before the Nth row).
 class CsvWriter {
  public:
   explicit CsvWriter(std::ostream& out, char sep = ',');

@@ -1,0 +1,160 @@
+#include "util/fault.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "util/rng.hpp"
+
+namespace adr::util {
+
+namespace {
+
+FaultInjector::Action parse_action(const std::string& text,
+                                   const std::string& directive) {
+  if (text == "fail") return FaultInjector::Action::kFail;
+  if (text == "crash") return FaultInjector::Action::kCrash;
+  if (text == "short") return FaultInjector::Action::kShortWrite;
+  if (text == "enospc") return FaultInjector::Action::kEnospc;
+  throw std::invalid_argument("fault spec: unknown action '" + text +
+                              "' in '" + directive +
+                              "' (expected fail, crash, short, or enospc)");
+}
+
+std::uint64_t parse_uint(const std::string& text,
+                         const std::string& directive) {
+  if (text.empty() ||
+      text.find_first_not_of("0123456789") != std::string::npos) {
+    throw std::invalid_argument("fault spec: bad number '" + text + "' in '" +
+                                directive + "'");
+  }
+  return std::strtoull(text.c_str(), nullptr, 10);
+}
+
+}  // namespace
+
+FaultInjector& FaultInjector::global() {
+  static FaultInjector injector;
+  return injector;
+}
+
+void FaultInjector::configure(const std::string& spec, std::uint64_t seed) {
+  std::vector<Directive> parsed;
+  std::size_t begin = 0;
+  while (begin <= spec.size()) {
+    const std::size_t end = std::min(spec.find(';', begin), spec.size());
+    std::string item = spec.substr(begin, end - begin);
+    begin = end + 1;
+    // Trim surrounding whitespace so multi-line specs read naturally.
+    const std::size_t first = item.find_first_not_of(" \t\n");
+    if (first == std::string::npos) continue;
+    item = item.substr(first, item.find_last_not_of(" \t\n") - first + 1);
+
+    Directive d;
+    const std::size_t qmark = item.find('?');
+    if (qmark != std::string::npos) {
+      const std::string prob = item.substr(qmark + 1);
+      char* tail = nullptr;
+      d.probability = std::strtod(prob.c_str(), &tail);
+      if (prob.empty() || *tail != '\0' || d.probability < 0.0 ||
+          d.probability > 1.0) {
+        throw std::invalid_argument("fault spec: bad probability '" + prob +
+                                    "' in '" + item + "'");
+      }
+      item = item.substr(0, qmark);
+    }
+    const std::size_t at = item.find('@');
+    std::string body = item;
+    if (at != std::string::npos) {
+      d.arg = parse_uint(item.substr(at + 1), item);
+      body = item.substr(0, at);
+    }
+    const std::size_t colon = body.rfind(':');
+    if (colon == std::string::npos || colon == 0) {
+      throw std::invalid_argument("fault spec: expected point:action, got '" +
+                                  item + "'");
+    }
+    d.point = body.substr(0, colon);
+    d.action = parse_action(body.substr(colon + 1), item);
+    if ((d.action == Action::kFail || d.action == Action::kCrash) &&
+        d.arg == 0) {
+      throw std::invalid_argument("fault spec: hit count must be >= 1 in '" +
+                                  item + "'");
+    }
+    parsed.push_back(std::move(d));
+  }
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  directives_ = std::move(parsed);
+  rng_state_ = seed;
+  crashed_.store(false, std::memory_order_relaxed);
+  armed_.store(!directives_.empty(), std::memory_order_relaxed);
+}
+
+void FaultInjector::clear() { configure(""); }
+
+bool FaultInjector::roll(Directive& d) {
+  if (d.probability >= 1.0) return true;
+  // splitmix64 gives a deterministic per-hit stream from the configure seed.
+  const double u = static_cast<double>(splitmix64(rng_state_) >> 11) *
+                   (1.0 / 9007199254740992.0);
+  return u < d.probability;
+}
+
+void FaultInjector::crash_point(const char* point) {
+  if (!armed()) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& d : directives_) {
+    if (d.action != Action::kCrash || d.point != point) continue;
+    if (++d.hits < d.arg || !roll(d)) continue;
+    d.fired = true;
+    crashed_.store(true, std::memory_order_relaxed);
+    throw CrashInjected(d.point);
+  }
+}
+
+bool FaultInjector::should_fail(const char* point) {
+  if (!armed()) return false;
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& d : directives_) {
+    if (d.action != Action::kFail || d.point != point) continue;
+    if (++d.hits < d.arg || !roll(d)) continue;
+    d.fired = true;
+    return true;
+  }
+  return false;
+}
+
+FaultInjector::WriteDecision FaultInjector::on_write(const char* point,
+                                                     std::uint64_t offset,
+                                                     std::size_t n) {
+  WriteDecision decision{n, false, false};
+  if (!armed()) return decision;
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& d : directives_) {
+    if ((d.action != Action::kShortWrite && d.action != Action::kEnospc) ||
+        d.point != point) {
+      continue;
+    }
+    if (offset + n <= d.arg) continue;  // still under the byte budget
+    // The probability gate is rolled once, when the budget is first
+    // crossed, then latched — a short write that fired keeps failing.
+    if (d.rolled == 0) d.rolled = roll(d) ? 1 : -1;
+    if (d.rolled < 0) continue;
+    d.fired = true;
+    const std::uint64_t room = d.arg > offset ? d.arg - offset : 0;
+    decision.allow = std::min<std::size_t>(decision.allow,
+                                           static_cast<std::size_t>(room));
+    decision.fail = true;
+    decision.enospc = decision.enospc || d.action == Action::kEnospc;
+  }
+  return decision;
+}
+
+std::size_t FaultInjector::fired_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t n = 0;
+  for (const auto& d : directives_) n += d.fired ? 1 : 0;
+  return n;
+}
+
+}  // namespace adr::util

@@ -1,0 +1,133 @@
+#pragma once
+// Deterministic fault injection for the durability layer (DESIGN.md §10).
+//
+// A retention engine's persistence code is only trustworthy if it can be
+// crashed on purpose: every artifact writer (util::io::AtomicWriter,
+// GzWriter, CsvWriter, the ledger's append stream) consults the process-wide
+// FaultInjector at named *points*, and a test (or an operator, via the CLI's
+// --fault-spec) arms directives against those points. All triggering is
+// deterministic: hit counters and byte offsets are exact, and probabilistic
+// directives draw from a seeded xoshiro stream so a failing run replays
+// byte-for-byte from its spec + seed.
+//
+// Spec grammar (';'-separated directives):
+//
+//   directive := point ':' action ['@' N] ['?' P]
+//   action    := fail | crash | short | enospc
+//
+//   point:fail        fail every matching call from the Nth on (open
+//                     refused, close error); N defaults to 1.
+//   point:crash       throw CrashInjected at the Nth matching call. Writers
+//                     treat a fired crash as a real crash: temp files and
+//                     partial appends are left on disk exactly as they were.
+//   point:short@N     writes through the point stop after byte N (the write
+//                     that crosses N is truncated, then the stream fails).
+//   point:enospc@N    like short@N but surfaced as an out-of-space error.
+//   ...?P             arm the directive with probability P per hit, drawn
+//                     from the seeded stream (deterministic given the seed).
+//
+// Registered points (kept in sync with DESIGN.md §10):
+//   io.atomic.open         AtomicWriter: temp-file open               (fail)
+//   io.atomic.write        AtomicWriter: payload bytes        (short/enospc)
+//   io.atomic.pre_commit   AtomicWriter: before the CRC footer       (crash)
+//   io.atomic.pre_rename   AtomicWriter: temp durable, before rename (crash)
+//   io.atomic.post_rename  AtomicWriter: after rename                (crash)
+//   io.append.open         PurgeLedger: append-stream open            (fail)
+//   io.append.write        PurgeLedger: appended bytes        (short/enospc)
+//   csv.row                CsvWriter: before writing the Nth row     (crash)
+//   gz.open                GzWriter: open                             (fail)
+//   gz.write               GzWriter: payload bytes            (short/enospc)
+//   gz.close               GzWriter: close/flush                      (fail)
+
+#include <cstdint>
+#include <mutex>
+#include <atomic>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace adr::util {
+
+/// Thrown when a `crash` directive fires. Simulates a hard crash in-process:
+/// callers must NOT clean up temp state when one of these is in flight (the
+/// writers check FaultInjector::crashed() in their destructors), so the
+/// filesystem is left exactly as a real crash would leave it.
+class CrashInjected : public std::runtime_error {
+ public:
+  explicit CrashInjected(const std::string& point)
+      : std::runtime_error("injected crash at " + point), point_(point) {}
+  const std::string& point() const { return point_; }
+
+ private:
+  std::string point_;
+};
+
+class FaultInjector {
+ public:
+  enum class Action { kFail, kCrash, kShortWrite, kEnospc };
+
+  struct Directive {
+    std::string point;
+    Action action = Action::kFail;
+    std::uint64_t arg = 1;    // hit index (fail/crash) or byte offset (writes)
+    double probability = 1.0; // per-hit arming chance, seeded stream
+    std::uint64_t hits = 0;   // calls seen (fail/crash points)
+    int rolled = 0;           // write points: 0 = pending, 1 = armed, -1 = no
+    bool fired = false;
+  };
+
+  /// What a write point may do with an n-byte write starting at `offset`.
+  struct WriteDecision {
+    std::size_t allow;  // bytes to pass through (== n when unconstrained)
+    bool fail = false;
+    bool enospc = false;
+  };
+
+  /// The process-wide injector every IO path consults. Unarmed checks are a
+  /// single relaxed atomic load, so leaving the hooks compiled in is free.
+  static FaultInjector& global();
+
+  FaultInjector() = default;
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  /// Replace all directives with `spec` (see grammar above). Throws
+  /// std::invalid_argument on a malformed spec. An empty spec disarms.
+  void configure(const std::string& spec, std::uint64_t seed = 0);
+  void clear();
+
+  bool armed() const noexcept {
+    return armed_.load(std::memory_order_relaxed);
+  }
+  /// True once any crash directive fired; writers leave temp state in place.
+  bool crashed() const noexcept {
+    return crashed_.load(std::memory_order_relaxed);
+  }
+
+  /// Crash point: throws CrashInjected when an armed crash directive for
+  /// `point` reaches its hit count.
+  void crash_point(const char* point);
+
+  /// Fail point: true when an armed fail directive for `point` reaches its
+  /// hit count (open refused, close reports an error, ...).
+  bool should_fail(const char* point);
+
+  /// Write point: how much of an n-byte write at `offset` goes through.
+  WriteDecision on_write(const char* point, std::uint64_t offset,
+                         std::size_t n);
+
+  /// Directives whose trigger fired at least once (for test assertions that
+  /// an armed fault was actually exercised).
+  std::size_t fired_count() const;
+
+ private:
+  bool roll(Directive& d);  // probability gate (locked by caller)
+
+  mutable std::mutex mutex_;
+  std::vector<Directive> directives_;
+  std::uint64_t rng_state_ = 0;  // splitmix64 stream for `?P` directives
+  std::atomic<bool> armed_{false};
+  std::atomic<bool> crashed_{false};
+};
+
+}  // namespace adr::util

@@ -2,15 +2,34 @@
 
 #include <zlib.h>
 
+#include <algorithm>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+#include "util/fault.hpp"
+#include "util/logging.hpp"
+
 namespace adr::util {
+
+namespace {
+
+obs::Counter& gz_close_failures_counter() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::global().counter("io.gz_close_failures");
+  return c;
+}
+
+}  // namespace
 
 bool has_gz_suffix(const std::string& path) {
   return path.size() >= 3 && path.compare(path.size() - 3, 3, ".gz") == 0;
 }
 
 GzWriter::GzWriter(const std::string& path) : path_(path) {
+  if (FaultInjector::global().should_fail("gz.open")) {
+    throw std::runtime_error("GzWriter: cannot open " + path +
+                             " (injected open failure)");
+  }
   file_ = gzopen(path.c_str(), "wb");
   if (!file_) throw std::runtime_error("GzWriter: cannot open " + path);
 }
@@ -18,27 +37,56 @@ GzWriter::GzWriter(const std::string& path) : path_(path) {
 GzWriter::~GzWriter() {
   try {
     close();
-  } catch (...) {
-    // Destructor must not throw; the explicit close() reports errors.
+  } catch (const std::exception& e) {
+    // Destructor must not throw, but a swallowed close is a swallowed flush:
+    // the file may be missing its tail. Make the loss observable.
+    gz_close_failures_counter().add();
+    ADR_WARN << "GzWriter: close failed in destructor for " << path_ << ": "
+             << e.what();
   }
 }
 
 void GzWriter::write_line(const std::string& line) {
   if (!file_) throw std::runtime_error("GzWriter: closed: " + path_);
   gzFile gz = static_cast<gzFile>(file_);
-  if (gzwrite(gz, line.data(), static_cast<unsigned>(line.size())) !=
-          static_cast<int>(line.size()) ||
-      gzputc(gz, '\n') != '\n') {
+  auto& inj = FaultInjector::global();
+  std::size_t allow = line.size() + 1;  // payload + '\n'
+  bool injected = false;
+  if (inj.armed()) {
+    const auto decision = inj.on_write("gz.write", bytes_, line.size() + 1);
+    if (decision.fail) {
+      injected = true;
+      allow = decision.allow;
+    }
+  }
+  const std::size_t body = std::min(allow, line.size());
+  if (body > 0 &&
+      gzwrite(gz, line.data(), static_cast<unsigned>(body)) !=
+          static_cast<int>(body)) {
     throw std::runtime_error("GzWriter: write failed: " + path_);
   }
+  bytes_ += body;
+  if (!injected) {
+    if (gzputc(gz, '\n') != '\n') {
+      throw std::runtime_error("GzWriter: write failed: " + path_);
+    }
+    ++bytes_;
+    return;
+  }
+  if (allow > line.size() && gzputc(gz, '\n') == '\n') ++bytes_;
+  throw std::runtime_error("GzWriter: write failed: " + path_ +
+                           " (injected short write)");
 }
 
 void GzWriter::close() {
   if (!file_) return;
   gzFile gz = static_cast<gzFile>(file_);
   file_ = nullptr;
-  if (gzclose(gz) != Z_OK) {
-    throw std::runtime_error("GzWriter: close failed: " + path_);
+  const bool injected = FaultInjector::global().should_fail("gz.close");
+  const int rc = gzclose(gz);  // always actually close; never leak the fd
+  if (rc != Z_OK || injected) {
+    throw std::runtime_error("GzWriter: close failed: " + path_ +
+                             (injected ? " (injected)" : ""));
   }
 }
 

@@ -5,6 +5,7 @@
 // the snapshot reader/writer uses these wrappers whenever a path ends in
 // ".gz" so trace bundles can be stored the way the paper's dataset was.
 
+#include <cstdint>
 #include <optional>
 #include <string>
 
@@ -14,7 +15,9 @@ namespace adr::util {
 bool has_gz_suffix(const std::string& path);
 
 /// Writes lines to a gzip-compressed file. Throws std::runtime_error on
-/// open/write failure. Flushes and closes on destruction.
+/// open/write failure. Flushes and closes on destruction; a close failure
+/// on that path is logged and counted (io.gz_close_failures), never thrown.
+/// Fault points: gz.open, gz.write, gz.close (util/fault.hpp).
 class GzWriter {
  public:
   explicit GzWriter(const std::string& path);
@@ -27,9 +30,13 @@ class GzWriter {
 
   void close();
 
+  /// Uncompressed payload bytes written so far (line bytes + newlines).
+  std::uint64_t bytes_written() const { return bytes_; }
+
  private:
   void* file_ = nullptr;  // gzFile, kept opaque to avoid leaking <zlib.h>
   std::string path_;
+  std::uint64_t bytes_ = 0;
 };
 
 /// Reads lines from a gzip-compressed file. Also accepts uncompressed input

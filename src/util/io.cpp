@@ -1,0 +1,320 @@
+#include "util/io.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+#include <zlib.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <ostream>
+#include <streambuf>
+
+#include "obs/metrics.hpp"
+#include "util/fault.hpp"
+#include "util/gzfile.hpp"
+#include "util/logging.hpp"
+
+namespace adr::util::io {
+
+namespace fsys = std::filesystem;
+
+void Crc32::update(const char* data, std::size_t n) {
+  crc_ = static_cast<std::uint32_t>(
+      ::crc32(crc_, reinterpret_cast<const Bytef*>(data),
+              static_cast<uInt>(n)));
+}
+
+std::string make_footer(std::uint32_t crc, std::uint64_t payload_bytes) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%s v%d crc32=%08x bytes=%llu",
+                kFooterPrefix, kFooterVersion, crc,
+                static_cast<unsigned long long>(payload_bytes));
+  return buf;
+}
+
+bool parse_footer(const std::string& line, std::uint32_t& crc,
+                  std::uint64_t& payload_bytes) {
+  int version = 0;
+  unsigned int parsed_crc = 0;
+  unsigned long long bytes = 0;
+  char tail = '\0';
+  const int n = std::sscanf(line.c_str(), "#ADRCRC v%d crc32=%8x bytes=%llu%c",
+                            &version, &parsed_crc, &bytes, &tail);
+  if (n != 3 || version != kFooterVersion) return false;
+  crc = parsed_crc;
+  payload_bytes = bytes;
+  return true;
+}
+
+namespace {
+
+obs::Counter& quarantined_counter() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::global().counter("io.quarantined");
+  return c;
+}
+
+bool g_default_fsync = false;
+
+void fsync_path(const std::string& path, bool directory) {
+  const int flags = directory ? O_RDONLY | O_DIRECTORY : O_RDONLY;
+  const int fd = ::open(path.c_str(), flags | O_CLOEXEC);
+  if (fd < 0) {
+    throw std::runtime_error("io: cannot open for fsync: " + path + ": " +
+                             std::strerror(errno));
+  }
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) {
+    throw std::runtime_error("io: fsync failed: " + path + ": " +
+                             std::strerror(errno));
+  }
+}
+
+/// Streambuf that forwards payload bytes to a destination buffer while
+/// tracking CRC/length and honouring short-write/ENOSPC fault directives.
+class FaultCrcBuf final : public std::streambuf {
+ public:
+  FaultCrcBuf(std::streambuf* dest, const char* point)
+      : dest_(dest), point_(point) {}
+
+  std::uint64_t bytes() const { return bytes_; }
+  std::uint32_t crc() const { return crc_.value(); }
+  bool failed() const { return failed_; }
+  bool enospc() const { return enospc_; }
+
+ protected:
+  int overflow(int ch) override {
+    if (traits_type::eq_int_type(ch, traits_type::eof())) return 0;
+    const char c = traits_type::to_char_type(ch);
+    return put(&c, 1) == 1 ? ch : traits_type::eof();
+  }
+
+  std::streamsize xsputn(const char* s, std::streamsize n) override {
+    return put(s, n);
+  }
+
+  int sync() override { return dest_->pubsync(); }
+
+ private:
+  std::streamsize put(const char* s, std::streamsize n) {
+    if (failed_) return 0;
+    std::size_t allow = static_cast<std::size_t>(n);
+    auto& inj = FaultInjector::global();
+    if (inj.armed()) {
+      const auto decision =
+          inj.on_write(point_, bytes_, static_cast<std::size_t>(n));
+      if (decision.fail) {
+        failed_ = true;
+        enospc_ = decision.enospc;
+        allow = decision.allow;
+      }
+    }
+    const std::streamsize written =
+        allow > 0 ? dest_->sputn(s, static_cast<std::streamsize>(allow)) : 0;
+    if (written > 0) {
+      crc_.update(s, static_cast<std::size_t>(written));
+      bytes_ += static_cast<std::uint64_t>(written);
+    }
+    if (written < static_cast<std::streamsize>(allow)) failed_ = true;
+    // Report the partial count so the ostream sets badbit at the fault.
+    return failed_ ? written : n;
+  }
+
+  std::streambuf* dest_;
+  const char* point_;
+  Crc32 crc_;
+  std::uint64_t bytes_ = 0;
+  bool failed_ = false;
+  bool enospc_ = false;
+};
+
+}  // namespace
+
+void set_default_fsync(bool on) { g_default_fsync = on; }
+bool default_fsync() { return g_default_fsync; }
+
+void commit_tmp(const std::string& tmp, const std::string& path, bool fsync) {
+  auto& inj = FaultInjector::global();
+  if (fsync) fsync_path(tmp, false);
+  inj.crash_point("io.atomic.pre_rename");
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    throw std::runtime_error("io: rename " + tmp + " -> " + path +
+                             " failed: " + std::strerror(errno));
+  }
+  inj.crash_point("io.atomic.post_rename");
+  if (fsync) {
+    const auto dir = fsys::path(path).parent_path();
+    fsync_path(dir.empty() ? "." : dir.string(), true);
+  }
+}
+
+struct AtomicWriter::Impl {
+  explicit Impl(const std::string& tmp)
+      : file(tmp, std::ios::binary | std::ios::trunc),
+        buf(file.rdbuf(), "io.atomic.write"),
+        payload(&buf) {}
+
+  std::ofstream file;
+  FaultCrcBuf buf;
+  std::ostream payload;
+  Options opts;
+  bool committed = false;
+};
+
+AtomicWriter::AtomicWriter(std::string path, Options opts)
+    : path_(std::move(path)), tmp_path_(path_ + ".tmp") {
+  if (FaultInjector::global().should_fail("io.atomic.open")) {
+    throw std::runtime_error("io: cannot open " + tmp_path_ +
+                             " (injected open failure)");
+  }
+  impl_ = std::make_unique<Impl>(tmp_path_);
+  impl_->opts = opts;
+  if (!impl_->file) {
+    throw std::runtime_error("io: cannot open " + tmp_path_ + ": " +
+                             std::strerror(errno));
+  }
+}
+
+AtomicWriter::~AtomicWriter() {
+  if (!impl_ || impl_->committed) return;
+  // A fault-injected crash must leave the temp file on disk, torn, exactly
+  // as a real crash would; every other unwind cleans up.
+  if (!FaultInjector::global().crashed()) abort();
+}
+
+std::ostream& AtomicWriter::stream() { return impl_->payload; }
+
+void AtomicWriter::write(const std::string& text) { impl_->payload << text; }
+
+void AtomicWriter::write_line(const std::string& line) {
+  impl_->payload << line << '\n';
+}
+
+std::uint64_t AtomicWriter::payload_bytes() const { return impl_->buf.bytes(); }
+std::uint32_t AtomicWriter::payload_crc() const { return impl_->buf.crc(); }
+
+void AtomicWriter::abort() {
+  if (!impl_) return;
+  impl_->file.close();
+  std::remove(tmp_path_.c_str());
+  impl_->committed = true;  // nothing further to do on destruction
+}
+
+void AtomicWriter::commit() {
+  auto& inj = FaultInjector::global();
+  impl_->payload.flush();
+  if (impl_->buf.failed() || !impl_->file) {
+    throw std::runtime_error(
+        "io: write failed: " + tmp_path_ +
+        (impl_->buf.enospc() ? ": no space left on device" : ""));
+  }
+  inj.crash_point("io.atomic.pre_commit");
+  if (impl_->opts.footer) {
+    // The footer goes straight to the file buffer: it describes the payload
+    // checksum, so it must not feed back into it.
+    impl_->file << make_footer(impl_->buf.crc(), impl_->buf.bytes()) << '\n';
+  }
+  impl_->file.flush();
+  if (!impl_->file) {
+    throw std::runtime_error("io: footer write failed: " + tmp_path_);
+  }
+  impl_->file.close();
+  commit_tmp(tmp_path_, path_, impl_->opts.fsync);
+  impl_->committed = true;
+}
+
+Artifact read_artifact(const std::string& path, ReadOptions opts) {
+  Artifact artifact;
+  std::string content;
+  if (has_gz_suffix(path)) {
+    GzReader in(path);  // throws if unopenable
+    while (auto line = in.next_line()) {
+      content += *line;
+      content.push_back('\n');
+    }
+  } else {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) throw std::runtime_error("io: cannot open " + path);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    content = buf.str();
+  }
+
+  // The footer, if any, is the last non-empty line.
+  std::size_t end = content.size();
+  while (end > 0 && content[end - 1] == '\n') --end;
+  const std::size_t line_start = content.rfind('\n', end ? end - 1 : 0);
+  const std::size_t begin = line_start == std::string::npos ? 0 : line_start + 1;
+  const std::string last = content.substr(begin, end - begin);
+
+  if (last.compare(0, sizeof(kFooterPrefix) - 1, kFooterPrefix) != 0) {
+    artifact.state = ArtifactState::kLegacy;
+    artifact.content = std::move(content);
+    if (opts.require_footer) {
+      artifact.state = ArtifactState::kCorrupt;
+      artifact.error = "missing required #ADRCRC footer";
+      artifact.content.clear();
+    }
+    return artifact;
+  }
+
+  std::uint32_t expect_crc = 0;
+  std::uint64_t expect_bytes = 0;
+  if (!parse_footer(last, expect_crc, expect_bytes)) {
+    artifact.state = ArtifactState::kCorrupt;
+    artifact.error = "unparseable #ADRCRC footer: " + last;
+    return artifact;
+  }
+  const std::string payload = content.substr(0, begin);
+  if (payload.size() != expect_bytes) {
+    artifact.state = ArtifactState::kCorrupt;
+    artifact.error = "payload length " + std::to_string(payload.size()) +
+                     " != footer bytes " + std::to_string(expect_bytes);
+    return artifact;
+  }
+  Crc32 crc;
+  crc.update(payload);
+  if (crc.value() != expect_crc) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "crc32 %08x != footer %08x", crc.value(),
+                  expect_crc);
+    artifact.state = ArtifactState::kCorrupt;
+    artifact.error = buf;
+    return artifact;
+  }
+  artifact.state = ArtifactState::kVerified;
+  artifact.content = std::move(payload);
+  return artifact;
+}
+
+std::string quarantine(const std::string& path, const std::string& reason) {
+  std::string target = path + ".corrupt";
+  for (int i = 1; fsys::exists(target); ++i) {
+    target = path + ".corrupt." + std::to_string(i);
+  }
+  quarantined_counter().add();
+  if (std::rename(path.c_str(), target.c_str()) != 0) {
+    ADR_WARN << "io: quarantine rename failed for " << path << " ("
+             << std::strerror(errno) << "); reason: " << reason;
+    return "";
+  }
+  ADR_WARN << "io: quarantined " << path << " -> " << target << ": " << reason;
+  return target;
+}
+
+std::string load_verified(const std::string& path, ReadOptions opts) {
+  Artifact artifact = read_artifact(path, opts);
+  if (artifact.state == ArtifactState::kCorrupt) {
+    const std::string where = quarantine(path, artifact.error);
+    throw ArtifactCorrupt("io: corrupt artifact " + path + " (" +
+                          artifact.error + ")" +
+                          (where.empty() ? "" : "; quarantined to " + where));
+  }
+  return std::move(artifact.content);
+}
+
+}  // namespace adr::util::io

@@ -1,0 +1,121 @@
+#pragma once
+// Checked numeric parsing and the trace-ingestion hardening policy
+// (DESIGN.md §10.3).
+//
+// Every trace loader used to reach for std::stoull and friends, which throw
+// an opaque std::invalid_argument ("stoull") that tells an operator nothing
+// about *which* of a hundred million rows was bad. The parse_* helpers here
+// are strict full-string from_chars parses that raise ParseError with
+// file:line and column context; ParsePolicy then decides what a loader does
+// with a bad row:
+//
+//   kStrict      (default) throw — one bad row aborts the ingest, with a
+//                message naming the file, line, and column.
+//   kPermissive  quarantine the row to a sidecar CSV (`<input>.quarantine`,
+//                columns line,reason,detail,row) and keep going. Out-of-order
+//                and duplicate rows are quarantined too, each under its own
+//                reason with a per-reason obs counter
+//                (ingest.quarantined.<reason>).
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <stdexcept>
+#include <string>
+
+namespace adr::util {
+
+class CsvWriter;
+
+/// Strict-parse failure, carrying human-usable location context.
+class ParseError : public std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+/// Where a value came from; feeds ParseError messages.
+struct RowContext {
+  const std::string* file = nullptr;  // source path (may be null)
+  std::size_t line = 0;               // 1-based physical line, 0 = unknown
+
+  std::string describe(const char* column) const;
+};
+
+/// Full-string checked parses: leading/trailing junk, empty fields, and
+/// out-of-range values all raise ParseError naming `column` at `ctx`.
+std::uint64_t parse_u64(const std::string& s, const RowContext& ctx,
+                        const char* column);
+std::int64_t parse_i64(const std::string& s, const RowContext& ctx,
+                       const char* column);
+std::uint32_t parse_u32(const std::string& s, const RowContext& ctx,
+                        const char* column);
+int parse_i32(const std::string& s, const RowContext& ctx, const char* column);
+double parse_f64(const std::string& s, const RowContext& ctx,
+                 const char* column);
+
+enum class ParsePolicy {
+  kStrict,      ///< malformed row -> ParseError (ingest aborts)
+  kPermissive,  ///< malformed/out-of-order/duplicate row -> sidecar
+};
+
+const char* to_string(ParsePolicy policy);
+/// Parses "strict" / "permissive"; returns false on anything else.
+bool parse_parse_policy(const std::string& text, ParsePolicy& out);
+
+/// What one load did; additive so bundle loaders can aggregate.
+struct LoadStats {
+  std::size_t rows_ok = 0;
+  std::size_t malformed = 0;
+  std::size_t out_of_order = 0;
+  std::size_t duplicates = 0;
+  std::string quarantine_path;  // set once a sidecar was actually written
+
+  std::size_t quarantined() const {
+    return malformed + out_of_order + duplicates;
+  }
+  LoadStats& operator+=(const LoadStats& other);
+};
+
+struct ParseOptions {
+  ParsePolicy policy = ParsePolicy::kStrict;
+  /// Sidecar target for permissive mode; defaults to `<input>.quarantine`.
+  std::string quarantine_path;
+  /// Optional accumulator (aggregated with +=, not overwritten).
+  LoadStats* stats = nullptr;
+};
+
+/// Sidecar writer for permissive mode. Lazily creates the file on the first
+/// quarantined row and bumps ingest.quarantined.<reason> per row.
+class RowQuarantine {
+ public:
+  RowQuarantine(std::string input_path, std::string sidecar_path);
+  ~RowQuarantine();
+
+  static constexpr const char* kMalformed = "malformed";
+  static constexpr const char* kOutOfOrder = "out_of_order";
+  static constexpr const char* kDuplicate = "duplicate";
+
+  void add(std::size_t line, const char* reason, const std::string& detail,
+           const std::string& raw_row);
+
+  std::size_t count() const { return count_; }
+  /// "" until the first row forced the sidecar into existence.
+  const std::string& sidecar_path() const {
+    return count_ ? sidecar_path_ : empty_;
+  }
+
+  /// Fold this sidecar's tallies into `stats`.
+  void finish(LoadStats* stats) const;
+
+ private:
+  std::string input_path_;
+  std::string sidecar_path_;
+  std::string empty_;
+  std::unique_ptr<std::ofstream> out_;
+  std::unique_ptr<CsvWriter> writer_;
+  std::size_t count_ = 0;
+  std::size_t malformed_ = 0;
+  std::size_t out_of_order_ = 0;
+  std::size_t duplicates_ = 0;
+};
+
+}  // namespace adr::util

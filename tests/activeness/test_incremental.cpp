@@ -270,6 +270,54 @@ TEST(IncrementalEvaluator, AutoModeBehavesIncrementally) {
   EXPECT_GT(second.users_skipped, 0u);
 }
 
+TEST(IncrementalEvaluator, AutoModeFallsBackUnderSustainedChurnThenRecovers) {
+  const ActivityCatalog catalog = ActivityCatalog::paper_default();
+  const EvaluationParams params = params_for(
+      90, StaleHandling::kClampOldest, ExponentScheme::kPaperExponent);
+  constexpr std::size_t kUsers = 8;
+  ActivityStore store(kUsers, 2);
+  for (trace::UserId u = 0; u < kUsers; ++u) {
+    store.add(u, 0, Activity{kT0 - 30 * kDay, 5.0});
+  }
+  store.sort_all();
+
+  IncrementalEvaluator pipeline(catalog, params);  // default: kAuto
+  util::TimePoint t = kT0;
+  AdvanceStats stats = pipeline.advance(store, t);
+  EXPECT_TRUE(stats.full_rebuild);
+  EXPECT_FALSE(stats.auto_full);
+
+  // Storm: touch 6 of 8 users every trigger, holding the delta set at the
+  // rebuild threshold for kFallbackAfter consecutive advances.
+  for (int i = 0; i < IncrementalEvaluator::kFallbackAfter; ++i) {
+    t += 7 * kDay;
+    for (trace::UserId u = 0; u < 6; ++u) {
+      store.append(u, 0, Activity{t - kDay, 3.0});
+    }
+    stats = pipeline.advance(store, t);
+    EXPECT_FALSE(stats.full_rebuild) << "delta path during hot streak " << i;
+  }
+  EXPECT_TRUE(stats.auto_full) << "hysteresis should have tripped";
+  EXPECT_TRUE(pipeline.auto_full());
+
+  // Resolved to full: advances rebuild while the storm lasts, and a calm
+  // streak (1 of 8 dirty, under the quarter threshold) flips it back.
+  for (int i = 0; i < IncrementalEvaluator::kRecoverAfter; ++i) {
+    t += 7 * kDay;
+    store.append(0, 0, Activity{t - kDay, 1.0});
+    stats = pipeline.advance(store, t);
+    EXPECT_TRUE(stats.full_rebuild) << "resolved full during calm streak " << i;
+    EXPECT_EQ(stats.users_dirty, 1u);
+  }
+  EXPECT_FALSE(stats.auto_full) << "calm streak should have recovered";
+  EXPECT_FALSE(pipeline.auto_full());
+
+  // Next trigger is back on the delta path.
+  t += 7 * kDay;
+  stats = pipeline.advance(store, t);
+  EXPECT_FALSE(stats.full_rebuild);
+}
+
 TEST(IncrementalEvaluator, SecondsAccumulatePerInstance) {
   const ActivityCatalog catalog = ActivityCatalog::paper_default();
   const EvaluationParams params = params_for(

@@ -362,6 +362,139 @@ TEST_F(CliTest, MetricsOutDumpsRegistryJson) {
   }
 }
 
+TEST_F(CliTest, BadFaultSpecIsUsageError) {
+  const CliResult r =
+      run({"evaluate", "--users", path("users.csv").c_str(), "--jobs",
+           path("jobs.csv").c_str(), "--now", "2016-01-01", "--fault-spec",
+           "nonsense"});
+  EXPECT_EQ(r.code, 64);
+  EXPECT_NE(r.err.find("bad --fault-spec"), std::string::npos);
+}
+
+TEST_F(CliTest, InjectedCrashExitsWithCrashCodeAndLeavesNoArtifact) {
+  const std::string ranks = path("ranks_crash.csv");
+  const CliResult r =
+      run({"evaluate", "--users", path("users.csv").c_str(), "--jobs",
+           path("jobs.csv").c_str(), "--now", "2016-01-01", "--out",
+           ranks.c_str(), "--fault-spec", "io.atomic.pre_rename:crash"});
+  EXPECT_EQ(r.code, 9);
+  EXPECT_NE(r.err.find("crash"), std::string::npos);
+  EXPECT_FALSE(fsys::exists(ranks));  // commit never happened
+
+  // Recovery is a plain rerun: no residue from the crash blocks it.
+  const CliResult retry =
+      run({"evaluate", "--users", path("users.csv").c_str(), "--jobs",
+           path("jobs.csv").c_str(), "--now", "2016-01-01", "--out",
+           ranks.c_str()});
+  EXPECT_EQ(retry.code, 0) << retry.err;
+  EXPECT_TRUE(fsys::exists(ranks));
+}
+
+TEST_F(CliTest, UnknownParsePolicyRejected) {
+  const CliResult r =
+      run({"evaluate", "--users", path("users.csv").c_str(), "--jobs",
+           path("jobs.csv").c_str(), "--now", "2016-01-01", "--parse-policy",
+           "lenient"});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("unknown --parse-policy"), std::string::npos);
+}
+
+TEST_F(CliTest, PermissiveParsePolicySurvivesBadRowsAndReports) {
+  // A jobs log with one malformed row: strict must fail with context,
+  // permissive must finish and report the quarantine.
+  const std::string bad_jobs = path("jobs_damaged.csv");
+  {
+    std::ifstream in(path("jobs.csv"));
+    std::ofstream out(bad_jobs);
+    std::string line;
+    int n = 0;
+    while (std::getline(in, line) && n < 40) {
+      out << line << "\n";
+      if (++n == 5) out << "9999,0,not-a-time,60,16\n";
+    }
+  }
+  const CliResult strict =
+      run({"evaluate", "--users", path("users.csv").c_str(), "--jobs",
+           bad_jobs.c_str(), "--now", "2016-01-01"});
+  EXPECT_EQ(strict.code, 1);
+  EXPECT_NE(strict.err.find("submit_time"), std::string::npos);
+
+  const CliResult permissive =
+      run({"evaluate", "--users", path("users.csv").c_str(), "--jobs",
+           bad_jobs.c_str(), "--now", "2016-01-01", "--parse-policy",
+           "permissive"});
+  ASSERT_EQ(permissive.code, 0) << permissive.err;
+  EXPECT_NE(permissive.out.find("Permissive ingest: quarantined"),
+            std::string::npos);
+  EXPECT_TRUE(fsys::exists(bad_jobs + ".quarantine"));
+}
+
+TEST_F(CliTest, CorruptRankStoreFallsBackAndMatchesCleanInlineRun) {
+  // The §10 acceptance path: a CRC-corrupted rank store is quarantined and
+  // the purge degrades to inline re-evaluation — with the same victims a
+  // clean inline run selects.
+  const std::string ranks = path("ranks_corruptible.csv");
+  ASSERT_EQ(run({"evaluate", "--users", path("users.csv").c_str(), "--jobs",
+                 path("jobs.csv").c_str(), "--pubs", path("pubs.csv").c_str(),
+                 "--now", "2016-01-01", "--out", ranks.c_str()})
+                .code,
+            0);
+
+  const std::string snapshot = path("snapshot.csv");
+  const std::string users = path("users.csv");
+  const std::string jobs = path("jobs.csv");
+  const std::string pubs = path("pubs.csv");
+  const auto purge = [&](const std::string& victims, bool with_ranks) {
+    std::vector<const char*> argv{
+        "activedr",  "purge",      "--snapshot", snapshot.c_str(),
+        "--users",   users.c_str(), "--jobs",    jobs.c_str(),
+        "--pubs",    pubs.c_str(),  "--now",     "2016-01-01",
+        "--target",  "0.5",         "--dry-run", "--victims",
+        victims.c_str()};
+    if (with_ranks) {
+      argv.push_back("--ranks");
+      argv.push_back(ranks.c_str());
+    }
+    std::ostringstream out, err;
+    const int code =
+        run_cli(static_cast<int>(argv.size()), argv.data(), out, err);
+    return CliResult{code, out.str(), err.str()};
+  };
+
+  const std::string clean_victims = path("victims_clean_inline.txt");
+  const CliResult clean = purge(clean_victims, /*with_ranks=*/false);
+  ASSERT_TRUE(clean.code == 0 || clean.code == 2) << clean.err;
+
+  // Flip one payload byte: the CRC footer must catch it.
+  {
+    std::fstream f(ranks, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekg(10);
+    char c = 0;
+    f.get(c);
+    f.seekp(10);
+    f.put(static_cast<char>(c ^ 0x01));
+  }
+  const std::string fallback_victims = path("victims_fallback.txt");
+  const CliResult fallback = purge(fallback_victims, /*with_ranks=*/true);
+  ASSERT_EQ(fallback.code, clean.code) << fallback.err;
+  EXPECT_NE(fallback.out.find("WARNING: rank store"), std::string::npos);
+  EXPECT_NE(fallback.out.find("falling back to inline re-evaluation"),
+            std::string::npos);
+  EXPECT_FALSE(fsys::exists(ranks));  // moved aside, not acted on
+  EXPECT_TRUE(fsys::exists(ranks + ".corrupt"));
+
+  const auto slurp_lines = [](const std::string& p) {
+    std::ifstream in(p);
+    std::vector<std::string> lines;
+    for (std::string line; std::getline(in, line);) lines.push_back(line);
+    return lines;
+  };
+  const auto clean_list = slurp_lines(clean_victims);
+  const auto fallback_list = slurp_lines(fallback_victims);
+  EXPECT_FALSE(clean_list.empty());
+  EXPECT_EQ(clean_list, fallback_list);  // identical purge output
+}
+
 TEST_F(CliTest, BadDateRejected) {
   const CliResult r =
       run({"evaluate", "--users", path("users.csv").c_str(), "--jobs",

@@ -1,0 +1,244 @@
+// Crash-recovery property harness (DESIGN.md §10.4): for every registered
+// fault-injection point, interrupt a save of artifact v2 over a committed v1
+// and assert that a reload sees exactly v1 or exactly v2 — never a hybrid,
+// never a torn file accepted as valid.
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "retention/ledger.hpp"
+#include "trace/job_log.hpp"
+#include "trace/snapshot.hpp"
+#include "util/fault.hpp"
+#include "util/io.hpp"
+
+namespace adr {
+namespace {
+
+namespace fsys = std::filesystem;
+
+class CrashRecovery : public ::testing::Test {
+ protected:
+  // Per-process: ctest -j runs each discovered test in its own process, and
+  // concurrent processes must not race on one scratch directory.
+  std::string dir_ = ::testing::TempDir() + "/adr_crash_recovery_" +
+                     std::to_string(::getpid());
+  void SetUp() override {
+    util::FaultInjector::global().clear();
+    fsys::remove_all(dir_);
+    fsys::create_directories(dir_);
+  }
+  void TearDown() override {
+    util::FaultInjector::global().clear();
+    fsys::remove_all(dir_);
+  }
+};
+
+trace::JobLog make_jobs(int version, std::size_t rows) {
+  trace::JobLog log;
+  for (std::size_t i = 0; i < rows; ++i) {
+    trace::JobRecord r;
+    r.job_id = static_cast<std::uint64_t>(version) * 1000 + i;
+    r.user = static_cast<trace::UserId>(i % 7);
+    r.submit_time = static_cast<util::TimePoint>(100 * version + 10 * i);
+    r.duration_seconds = 60;
+    r.cores = static_cast<int>(1 + i);
+    log.add(r);
+  }
+  return log;
+}
+
+std::string signature(const trace::JobLog& log) {
+  std::string sig;
+  for (const auto& r : log.records()) {
+    sig += std::to_string(r.job_id) + "@" + std::to_string(r.submit_time) + ";";
+  }
+  return sig;
+}
+
+trace::Snapshot make_snapshot(int version, std::size_t files) {
+  trace::Snapshot snap;
+  for (std::size_t i = 0; i < files; ++i) {
+    trace::SnapshotEntry e;
+    e.path = "/scratch/u" + std::to_string(i) + "/v" + std::to_string(version);
+    e.owner = static_cast<trace::UserId>(i % 5);
+    e.stripe_count = 4;
+    e.size_bytes = 1000 * (i + 1);
+    e.atime = static_cast<util::TimePoint>(50 * version + i);
+    snap.add(e);
+  }
+  return snap;
+}
+
+std::string signature(const trace::Snapshot& snap) {
+  std::string sig;
+  for (const auto& e : snap.entries()) {
+    sig += e.path + "@" + std::to_string(e.atime) + ";";
+  }
+  return sig;
+}
+
+// The property: after an interrupted v2 save, the artifact reloads as exactly
+// pre-write (v1) or exactly post-write (v2).
+TEST_F(CrashRecovery, EveryAtomicFaultPointLeavesOldOrNewNeverHybrid) {
+  const std::vector<std::string> specs = {
+      "io.atomic.open:fail",
+      "io.atomic.write:short@1",
+      "io.atomic.write:short@40",
+      "io.atomic.write:enospc@25",
+      "io.atomic.pre_commit:crash",
+      "io.atomic.pre_rename:crash",
+      "io.atomic.post_rename:crash",
+      "csv.row:crash@1",
+      "csv.row:crash@3",
+  };
+  const trace::JobLog v1 = make_jobs(1, 6);
+  const trace::JobLog v2 = make_jobs(2, 9);
+  const std::string want_v1 = signature(v1);
+  const std::string want_v2 = signature(v2);
+  auto& inj = util::FaultInjector::global();
+
+  for (const auto& spec : specs) {
+    const std::string path = dir_ + "/jobs.csv";
+    fsys::remove(path);
+    fsys::remove(path + ".tmp");
+    v1.save_csv(path);
+
+    inj.configure(spec);
+    bool interrupted = false;
+    try {
+      v2.save_csv(path);
+    } catch (const std::exception&) {
+      interrupted = true;
+    }
+    EXPECT_GE(inj.fired_count(), 1u) << spec << ": fault never exercised";
+    EXPECT_TRUE(interrupted) << spec;
+    inj.clear();
+
+    // Recovery: the target must verify and equal one of the two versions.
+    const auto artifact = util::io::read_artifact(path);
+    EXPECT_NE(artifact.state, util::io::ArtifactState::kCorrupt)
+        << spec << ": torn target visible after interrupted save";
+    const std::string got = signature(trace::JobLog::load_csv(path));
+    EXPECT_TRUE(got == want_v1 || got == want_v2)
+        << spec << ": hybrid state " << got;
+    if (spec == "io.atomic.post_rename:crash") {
+      EXPECT_EQ(got, want_v2) << spec << ": rename already happened";
+    } else {
+      EXPECT_EQ(got, want_v1) << spec << ": commit never completed";
+    }
+  }
+}
+
+TEST_F(CrashRecovery, GzSnapshotFaultPointsLeaveOldOrNew) {
+  const std::vector<std::string> specs = {
+      "gz.open:fail",
+      "gz.write:short@1",
+      "gz.write:enospc@30",
+      "gz.close:fail",
+      "io.atomic.pre_rename:crash",
+      "io.atomic.post_rename:crash",
+  };
+  const trace::Snapshot v1 = make_snapshot(1, 5);
+  const trace::Snapshot v2 = make_snapshot(2, 8);
+  const std::string want_v1 = signature(v1);
+  const std::string want_v2 = signature(v2);
+  auto& inj = util::FaultInjector::global();
+
+  for (const auto& spec : specs) {
+    const std::string path = dir_ + "/snapshot.csv.gz";
+    fsys::remove(path);
+    fsys::remove(path + ".tmp");
+    v1.save_csv(path);
+
+    inj.configure(spec);
+    bool interrupted = false;
+    try {
+      v2.save_csv(path);
+    } catch (const std::exception&) {
+      interrupted = true;
+    }
+    EXPECT_TRUE(interrupted) << spec;
+    inj.clear();
+
+    const auto artifact = util::io::read_artifact(path);
+    EXPECT_NE(artifact.state, util::io::ArtifactState::kCorrupt) << spec;
+    const std::string got = signature(trace::Snapshot::load_csv(path));
+    EXPECT_TRUE(got == want_v1 || got == want_v2)
+        << spec << ": hybrid state " << got;
+    if (spec == "io.atomic.post_rename:crash") {
+      EXPECT_EQ(got, want_v2) << spec;
+    } else {
+      EXPECT_EQ(got, want_v1) << spec;
+    }
+  }
+}
+
+TEST_F(CrashRecovery, CrashedAppendSalvagesToPreWriteState) {
+  const std::string path = dir_ + "/ledger.csv";
+  retention::PurgeLedger ledger(path);
+  retention::PurgeReport report;
+  report.policy = "ActiveDR-90d";
+  report.when = 111;
+  report.purged_bytes = 42;
+  ledger.append(report);
+  const auto before = ledger.load();
+  ASSERT_EQ(before.size(), 1u);
+
+  auto& inj = util::FaultInjector::global();
+  for (const char* spec :
+       {"io.append.open:fail", "io.append.write:short@5",
+        "io.append.write:enospc@20"}) {
+    inj.configure(spec);
+    retention::PurgeReport next;
+    next.policy = "ActiveDR-90d";
+    next.when = 222;
+    EXPECT_THROW(ledger.append(next), std::runtime_error) << spec;
+    inj.clear();
+
+    // A torn appended row is dropped by salvage; the pre-append rows and
+    // every later successful append must still read back.
+    retention::SalvageReport salvage;
+    const auto rows = ledger.load(&salvage);
+    ASSERT_EQ(rows.size(), 1u) << spec;
+    EXPECT_EQ(rows[0].when, 111) << spec;
+    EXPECT_FALSE(salvage.rows_dropped > 0 && !salvage.torn_tail) << spec;
+  }
+
+  // The ledger stays appendable after salvage.
+  retention::PurgeReport final_report;
+  final_report.policy = "ActiveDR-90d";
+  final_report.when = 333;
+  ledger.append(final_report);
+  retention::SalvageReport salvage;
+  const auto rows = ledger.load(&salvage);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[1].when, 333);
+}
+
+TEST_F(CrashRecovery, CrashMidSaveThenRetryConverges) {
+  // The operational recovery loop: crash, notice, rerun the save. The retry
+  // must land v2 with no residue from the crashed attempt corrupting it.
+  const std::string path = dir_ + "/jobs.csv";
+  const trace::JobLog v1 = make_jobs(1, 4);
+  const trace::JobLog v2 = make_jobs(2, 4);
+  v1.save_csv(path);
+
+  auto& inj = util::FaultInjector::global();
+  inj.configure("io.atomic.pre_rename:crash");
+  EXPECT_THROW(v2.save_csv(path), util::CrashInjected);
+  EXPECT_TRUE(fsys::exists(path + ".tmp"));  // crash left the temp behind
+  inj.clear();
+
+  v2.save_csv(path);  // retry overwrites the stale temp and commits
+  EXPECT_EQ(signature(trace::JobLog::load_csv(path)), signature(v2));
+  EXPECT_FALSE(fsys::exists(path + ".tmp"));
+}
+
+}  // namespace
+}  // namespace adr

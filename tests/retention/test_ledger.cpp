@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <cstdio>
 #include <fstream>
 
@@ -26,7 +28,8 @@ PurgeReport sample_report(util::TimePoint when, std::uint64_t purged) {
 
 class LedgerTest : public ::testing::Test {
  protected:
-  std::string path_ = ::testing::TempDir() + "/adr_ledger.csv";
+  std::string path_ = ::testing::TempDir() + "/adr_ledger_" +
+                      std::to_string(::getpid()) + ".csv";
   void SetUp() override { std::remove(path_.c_str()); }
   void TearDown() override { std::remove(path_.c_str()); }
 };
@@ -72,17 +75,63 @@ TEST_F(LedgerTest, AppendAcrossInstances) {
   }
 }
 
-TEST_F(LedgerTest, MalformedRowThrows) {
+TEST_F(LedgerTest, TruncatedFinalRowIsSalvagedNotThrown) {
+  // A crash mid-append legitimately truncates the last row; load() must
+  // recover every intact row and *report* the torn tail, never throw.
+  {
+    PurgeLedger ledger(path_);
+    ledger.append(sample_report(1, 11));
+    ledger.append(sample_report(2, 22));
+  }
+  {
+    std::ofstream out(path_, std::ios::app);
+    out << "3,ActiveDR-90d,333";  // torn: no newline, most columns missing
+  }
+  const PurgeLedger ledger(path_);
+  SalvageReport salvage;
+  const auto rows = ledger.load(&salvage);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0].purged_bytes, 11u);
+  EXPECT_EQ(rows[1].purged_bytes, 22u);
+  EXPECT_EQ(salvage.rows_loaded, 2u);
+  EXPECT_EQ(salvage.rows_dropped, 1u);
+  EXPECT_TRUE(salvage.torn_tail);
+  EXPECT_TRUE(salvage.damaged());
+  ASSERT_EQ(salvage.notes.size(), 1u);
+}
+
+TEST_F(LedgerTest, InteriorDamageIsDroppedWithoutTornTail) {
+  {
+    PurgeLedger ledger(path_);
+    ledger.append(sample_report(1, 11));
+  }
+  {
+    std::ofstream out(path_, std::ios::app);
+    out << "not,a,valid,row\n";
+  }
+  {
+    PurgeLedger ledger(path_);
+    ledger.append(sample_report(2, 22));
+  }
+  const PurgeLedger ledger(path_);
+  SalvageReport salvage;
+  const auto rows = ledger.load(&salvage);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(salvage.rows_dropped, 1u);
+  EXPECT_FALSE(salvage.torn_tail);  // damage was not the final row
+}
+
+TEST_F(LedgerTest, CleanFileReportsNoDamage) {
   {
     PurgeLedger ledger(path_);
     ledger.append(sample_report(1, 1));
   }
-  {
-    std::ofstream out(path_, std::ios::app);
-    out << "short,row\n";
-  }
   const PurgeLedger ledger(path_);
-  EXPECT_THROW(ledger.load(), std::runtime_error);
+  SalvageReport salvage;
+  EXPECT_EQ(ledger.load(&salvage).size(), 1u);
+  EXPECT_FALSE(salvage.damaged());
+  EXPECT_FALSE(salvage.torn_tail);
+  EXPECT_EQ(salvage.rows_loaded, 1u);
 }
 
 TEST(LedgerRowTest, FromReportCopiesEverything) {

@@ -1,0 +1,251 @@
+#include "util/io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "util/fault.hpp"
+#include "util/gzfile.hpp"
+
+namespace adr::util::io {
+namespace {
+
+namespace fsys = std::filesystem;
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return {std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>()};
+}
+
+class AtomicIoTest : public ::testing::Test {
+ protected:
+  // Per-process: ctest -j runs each discovered test in its own process, and
+  // concurrent processes must not race on one scratch directory.
+  std::string dir_ = ::testing::TempDir() + "/adr_io_test_" +
+                     std::to_string(::getpid());
+  std::string path_ = dir_ + "/artifact.csv";
+  void SetUp() override {
+    FaultInjector::global().clear();
+    fsys::remove_all(dir_);
+    fsys::create_directories(dir_);
+  }
+  void TearDown() override {
+    FaultInjector::global().clear();
+    fsys::remove_all(dir_);
+  }
+};
+
+TEST_F(AtomicIoTest, CommitWritesFooterAndRoundTrips) {
+  {
+    AtomicWriter writer(path_);
+    writer.write_line("a,b,c");
+    writer.write_line("1,2,3");
+    writer.commit();
+  }
+  const std::string raw = slurp(path_);
+  EXPECT_NE(raw.find(kFooterPrefix), std::string::npos);
+
+  const Artifact artifact = read_artifact(path_);
+  EXPECT_EQ(artifact.state, ArtifactState::kVerified);
+  EXPECT_EQ(artifact.content, "a,b,c\n1,2,3\n");  // footer stripped
+  EXPECT_EQ(load_verified(path_), "a,b,c\n1,2,3\n");
+}
+
+TEST_F(AtomicIoTest, UncommittedWriterLeavesNoTrace) {
+  {
+    AtomicWriter writer(path_);
+    writer.write_line("doomed");
+  }
+  EXPECT_FALSE(fsys::exists(path_));
+  EXPECT_FALSE(fsys::exists(path_ + ".tmp"));
+}
+
+TEST_F(AtomicIoTest, CommitReplacesExistingAtomically) {
+  {
+    AtomicWriter writer(path_);
+    writer.write_line("v1");
+    writer.commit();
+  }
+  {
+    AtomicWriter writer(path_);
+    writer.write_line("v2");
+    writer.commit();
+  }
+  EXPECT_EQ(load_verified(path_), "v2\n");
+}
+
+TEST_F(AtomicIoTest, LegacyFileWithoutFooterLoads) {
+  {
+    std::ofstream out(path_);
+    out << "hand,written\nfixture,row\n";
+  }
+  const Artifact artifact = read_artifact(path_);
+  EXPECT_EQ(artifact.state, ArtifactState::kLegacy);
+  EXPECT_EQ(artifact.content, "hand,written\nfixture,row\n");
+  EXPECT_NO_THROW(load_verified(path_));
+
+  ReadOptions strict;
+  strict.require_footer = true;
+  EXPECT_EQ(read_artifact(path_, strict).state, ArtifactState::kCorrupt);
+}
+
+TEST_F(AtomicIoTest, FlippedByteFailsCrcAndQuarantines) {
+  {
+    AtomicWriter writer(path_);
+    writer.write_line("payload,line,one");
+    writer.commit();
+  }
+  std::string raw = slurp(path_);
+  raw[2] ^= 0x01;  // bit rot inside the payload
+  {
+    std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+    out << raw;
+  }
+  EXPECT_EQ(read_artifact(path_).state, ArtifactState::kCorrupt);
+  EXPECT_THROW(load_verified(path_), ArtifactCorrupt);
+  EXPECT_FALSE(fsys::exists(path_));  // moved aside, not acted on
+  EXPECT_TRUE(fsys::exists(path_ + ".corrupt"));
+}
+
+TEST_F(AtomicIoTest, TruncatedFileFailsVerification) {
+  {
+    AtomicWriter writer(path_);
+    for (int i = 0; i < 100; ++i) writer.write_line("row," + std::to_string(i));
+    writer.commit();
+  }
+  const std::string raw = slurp(path_);
+  {
+    std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+    out << raw.substr(0, raw.size() / 2);  // torn mid-file
+  }
+  // Torn halfway: the footer is gone too, so it parses as legacy — but a
+  // tear that keeps the footer (drops payload) must be caught by `bytes=`.
+  {
+    AtomicWriter writer(path_);
+    writer.write_line("abcdefgh");
+    writer.write_line("ijklmnop");
+    writer.commit();
+  }
+  const std::string full = slurp(path_);
+  const std::size_t footer_at = full.rfind(kFooterPrefix);
+  const std::string torn =
+      full.substr(0, 9) + full.substr(footer_at);  // one payload line missing
+  {
+    std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+    out << torn;
+  }
+  EXPECT_EQ(read_artifact(path_).state, ArtifactState::kCorrupt);
+}
+
+TEST_F(AtomicIoTest, QuarantinePicksFreeSuffix) {
+  const auto write_corrupt = [&] {
+    AtomicWriter writer(path_);
+    writer.write_line("x");
+    writer.commit();
+    std::string raw = slurp(path_);
+    raw[0] ^= 0x01;
+    std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+    out << raw;
+  };
+  write_corrupt();
+  EXPECT_THROW(load_verified(path_), ArtifactCorrupt);
+  write_corrupt();
+  EXPECT_THROW(load_verified(path_), ArtifactCorrupt);
+  EXPECT_TRUE(fsys::exists(path_ + ".corrupt"));
+  EXPECT_TRUE(fsys::exists(path_ + ".corrupt.1"));
+}
+
+TEST_F(AtomicIoTest, GzArtifactCarriesFooterInsideStream) {
+  const std::string gz = dir_ + "/artifact.csv.gz";
+  const std::string tmp = gz + ".tmp";
+  Crc32 crc;
+  std::uint64_t bytes = 0;
+  {
+    GzWriter out(tmp);
+    const std::string line = "a,b\n";
+    crc.update(line);
+    bytes += line.size();
+    out.write_line("a,b");
+    out.write_line(make_footer(crc.value(), bytes));
+    out.close();
+  }
+  commit_tmp(tmp, gz, false);
+  const Artifact artifact = read_artifact(gz);
+  EXPECT_EQ(artifact.state, ArtifactState::kVerified);
+  EXPECT_EQ(artifact.content, "a,b\n");
+}
+
+TEST_F(AtomicIoTest, FooterParsesItsOwnOutput) {
+  Crc32 crc;
+  crc.update("hello");
+  const std::string footer = make_footer(crc.value(), 5);
+  std::uint32_t parsed_crc = 0;
+  std::uint64_t parsed_bytes = 0;
+  ASSERT_TRUE(parse_footer(footer, parsed_crc, parsed_bytes));
+  EXPECT_EQ(parsed_crc, crc.value());
+  EXPECT_EQ(parsed_bytes, 5u);
+  EXPECT_FALSE(parse_footer("#ADRCRC vX nonsense", parsed_crc, parsed_bytes));
+  EXPECT_FALSE(parse_footer("1,2,3", parsed_crc, parsed_bytes));
+}
+
+// ---- fault injection through the writer ------------------------------------
+
+TEST_F(AtomicIoTest, InjectedOpenFailureThrows) {
+  FaultInjector::global().configure("io.atomic.open:fail");
+  EXPECT_THROW(AtomicWriter writer(path_), std::runtime_error);
+  EXPECT_FALSE(fsys::exists(path_ + ".tmp"));
+}
+
+TEST_F(AtomicIoTest, InjectedEnospcFailsCommitAndPreservesTarget) {
+  {
+    AtomicWriter writer(path_);
+    writer.write_line("old,intact");
+    writer.commit();
+  }
+  FaultInjector::global().configure("io.atomic.write:enospc@6");
+  {
+    EXPECT_THROW(
+        [&] {
+          AtomicWriter writer(path_);
+          writer.write_line("new,version,that,will,not,fit");
+          writer.commit();
+        }(),
+        std::runtime_error);
+  }
+  FaultInjector::global().clear();
+  EXPECT_EQ(load_verified(path_), "old,intact\n");  // target untouched
+}
+
+TEST_F(AtomicIoTest, InjectedCrashLeavesTmpBehind) {
+  FaultInjector::global().configure("io.atomic.pre_rename:crash");
+  try {
+    AtomicWriter writer(path_);
+    writer.write_line("half,done");
+    writer.commit();
+    FAIL() << "expected CrashInjected";
+  } catch (const CrashInjected&) {
+  }
+  // A real crash leaves the temp file; the writer must not tidy it away.
+  EXPECT_TRUE(fsys::exists(path_ + ".tmp"));
+  EXPECT_FALSE(fsys::exists(path_));
+}
+
+TEST_F(AtomicIoTest, PostRenameCrashStillCommits) {
+  FaultInjector::global().configure("io.atomic.post_rename:crash");
+  try {
+    AtomicWriter writer(path_);
+    writer.write_line("made,it");
+    writer.commit();
+    FAIL() << "expected CrashInjected";
+  } catch (const CrashInjected&) {
+  }
+  FaultInjector::global().clear();
+  EXPECT_EQ(load_verified(path_), "made,it\n");  // rename happened first
+}
+
+}  // namespace
+}  // namespace adr::util::io

@@ -1,0 +1,111 @@
+#include "util/parse.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+namespace adr::util {
+namespace {
+
+const std::string kFile = "jobs.csv";
+const RowContext kCtx{&kFile, 7};
+
+TEST(CheckedParse, AcceptsCleanNumbers) {
+  EXPECT_EQ(parse_u64("18446744073709551615", kCtx, "c"),
+            18446744073709551615ull);
+  EXPECT_EQ(parse_i64("-42", kCtx, "c"), -42);
+  EXPECT_EQ(parse_u32("4294967295", kCtx, "c"), 4294967295u);
+  EXPECT_EQ(parse_i32("-7", kCtx, "c"), -7);
+  EXPECT_DOUBLE_EQ(parse_f64("2.5e3", kCtx, "c"), 2500.0);
+}
+
+TEST(CheckedParse, RejectsJunk) {
+  EXPECT_THROW(parse_u64("", kCtx, "c"), ParseError);
+  EXPECT_THROW(parse_u64("12x", kCtx, "c"), ParseError);      // trailing junk
+  EXPECT_THROW(parse_u64(" 12", kCtx, "c"), ParseError);      // leading space
+  EXPECT_THROW(parse_u64("-1", kCtx, "c"), ParseError);       // sign mismatch
+  EXPECT_THROW(parse_i64("1e3", kCtx, "c"), ParseError);      // not an int
+  EXPECT_THROW(parse_u32("4294967296", kCtx, "c"), ParseError);  // overflow
+  EXPECT_THROW(parse_f64("nope", kCtx, "c"), ParseError);
+  EXPECT_THROW(parse_f64("1.5zz", kCtx, "c"), ParseError);
+}
+
+TEST(CheckedParse, ErrorsNameFileLineAndColumn) {
+  try {
+    parse_u64("bogus", kCtx, "submit_time");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("jobs.csv"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("7"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("submit_time"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("bogus"), std::string::npos) << msg;
+  }
+}
+
+TEST(CheckedParse, ParseErrorIsARuntimeError) {
+  // Existing strict-mode callers catch std::runtime_error; keep that true.
+  EXPECT_THROW(parse_u64("x", kCtx, "c"), std::runtime_error);
+}
+
+TEST(ParsePolicyTest, RoundTripsNames) {
+  ParsePolicy policy = ParsePolicy::kStrict;
+  EXPECT_TRUE(parse_parse_policy("permissive", policy));
+  EXPECT_EQ(policy, ParsePolicy::kPermissive);
+  EXPECT_TRUE(parse_parse_policy("strict", policy));
+  EXPECT_EQ(policy, ParsePolicy::kStrict);
+  EXPECT_FALSE(parse_parse_policy("lenient", policy));
+  EXPECT_STREQ(to_string(ParsePolicy::kStrict), "strict");
+  EXPECT_STREQ(to_string(ParsePolicy::kPermissive), "permissive");
+}
+
+TEST(LoadStatsTest, AccumulatesAcrossLoads) {
+  LoadStats a;
+  a.rows_ok = 10;
+  a.malformed = 1;
+  LoadStats b;
+  b.rows_ok = 5;
+  b.out_of_order = 2;
+  b.duplicates = 3;
+  b.quarantine_path = "x.quarantine";
+  a += b;
+  EXPECT_EQ(a.rows_ok, 15u);
+  EXPECT_EQ(a.malformed, 1u);
+  EXPECT_EQ(a.out_of_order, 2u);
+  EXPECT_EQ(a.duplicates, 3u);
+  EXPECT_EQ(a.quarantined(), 6u);
+  EXPECT_EQ(a.quarantine_path, "x.quarantine");
+}
+
+TEST(RowQuarantineTest, WritesSidecarLazily) {
+  const std::string input = ::testing::TempDir() + "/adr_q_input.csv";
+  const std::string sidecar = input + ".quarantine";
+  std::remove(sidecar.c_str());
+  {
+    RowQuarantine q(input, "");
+    EXPECT_EQ(q.count(), 0u);
+    EXPECT_EQ(q.sidecar_path(), "");
+    q.add(3, RowQuarantine::kMalformed, "bad number", "1,2,x");
+    q.add(9, RowQuarantine::kDuplicate, "seen before", "1,2,3");
+    EXPECT_EQ(q.count(), 2u);
+    EXPECT_EQ(q.sidecar_path(), sidecar);
+    LoadStats stats;
+    q.finish(&stats);
+    EXPECT_EQ(stats.malformed, 1u);
+    EXPECT_EQ(stats.duplicates, 1u);
+    EXPECT_EQ(stats.quarantine_path, sidecar);
+  }
+  std::ifstream in(sidecar);
+  ASSERT_TRUE(in.good());
+  std::string line;
+  std::getline(in, line);
+  EXPECT_NE(line.find("line"), std::string::npos);  // header
+  std::getline(in, line);
+  EXPECT_NE(line.find("malformed"), std::string::npos);
+  EXPECT_NE(line.find("bad number"), std::string::npos);
+  std::remove(sidecar.c_str());
+}
+
+}  // namespace
+}  // namespace adr::util
