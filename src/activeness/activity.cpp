@@ -45,12 +45,34 @@ ActivityStore::ActivityStore(std::size_t user_count, std::size_t type_count)
       streams_(user_count * type_count),
       prefix_(user_count * type_count),
       gap_prefix_(user_count * type_count),
-      dirty_flags_(user_count, 0) {}
+      dirty_flags_(user_count, 0),
+      shard_map_(user_count, 1),
+      dirty_lists_(1) {}
 
 void ActivityStore::mark_dirty(trace::UserId user) {
   if (dirty_flags_[user]) return;
   dirty_flags_[user] = 1;
-  dirty_list_.push_back(user);
+  dirty_lists_[shard_map_.shard_of(user)].push_back(user);
+}
+
+void ActivityStore::set_dirty_shards(std::size_t shards) {
+  if (shards == 0) shards = 1;
+  if (shards == shard_map_.shards()) return;
+  shard_map_ = ShardMap(users_, shards);
+  std::vector<std::vector<trace::UserId>> lists(shards);
+  for (auto& old : dirty_lists_) {
+    for (const trace::UserId u : old) {
+      lists[shard_map_.shard_of(u)].push_back(u);
+    }
+  }
+  dirty_lists_ = std::move(lists);
+}
+
+bool ActivityStore::has_dirty() const {
+  for (const auto& list : dirty_lists_) {
+    if (!list.empty()) return true;
+  }
+  return false;
 }
 
 void ActivityStore::add(trace::UserId user, ActivityTypeId type,
@@ -199,8 +221,20 @@ std::span<const util::Duration> ActivityStore::max_gap_prefix(
 }
 
 std::vector<trace::UserId> ActivityStore::take_dirty() {
-  std::vector<trace::UserId> out = std::move(dirty_list_);
-  dirty_list_.clear();
+  std::vector<trace::UserId> out = std::move(dirty_lists_[0]);
+  dirty_lists_[0].clear();
+  for (std::size_t s = 1; s < dirty_lists_.size(); ++s) {
+    out.insert(out.end(), dirty_lists_[s].begin(), dirty_lists_[s].end());
+    dirty_lists_[s].clear();
+  }
+  for (const trace::UserId u : out) dirty_flags_[u] = 0;
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<trace::UserId> ActivityStore::take_dirty(std::size_t shard) {
+  std::vector<trace::UserId> out = std::move(dirty_lists_[shard]);
+  dirty_lists_[shard].clear();
   for (const trace::UserId u : out) dirty_flags_[u] = 0;
   std::sort(out.begin(), out.end());
   return out;

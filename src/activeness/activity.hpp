@@ -57,6 +57,39 @@ class ActivityCatalog {
   std::vector<ActivityTypeSpec> specs_;
 };
 
+/// Contiguous partition of the dense user-id space [0, users) into `shards`
+/// near-equal ranges: shard s owns [s·U/S, (s+1)·U/S). The mapping is a pure
+/// function of (users, shards) — every component that agrees on those two
+/// numbers agrees on the partition, which is what lets the store's dirty
+/// routing, the per-shard evaluators, and the plan merge all line up without
+/// exchanging any state. Ranges may be empty when S > U.
+class ShardMap {
+ public:
+  ShardMap() = default;
+  ShardMap(std::size_t users, std::size_t shards)
+      : users_(users), shards_(shards == 0 ? 1 : shards) {}
+
+  std::size_t shards() const { return shards_; }
+  std::size_t users() const { return users_; }
+
+  /// First user of shard s (== end of shard s-1; ranges are contiguous).
+  trace::UserId begin(std::size_t shard) const {
+    return static_cast<trace::UserId>(shard * users_ / shards_);
+  }
+  trace::UserId end(std::size_t shard) const { return begin(shard + 1); }
+
+  /// Inverse of begin/end: the unique s with begin(s) <= user < end(s).
+  std::size_t shard_of(trace::UserId user) const {
+    return (static_cast<std::size_t>(user + 1) * shards_ - 1) / users_;
+  }
+
+  bool operator==(const ShardMap&) const = default;
+
+ private:
+  std::size_t users_ = 0;
+  std::size_t shards_ = 1;
+};
+
 /// Per-user, per-type activity streams. Dense over users for cache-friendly
 /// parallel evaluation.
 ///
@@ -116,10 +149,34 @@ class ActivityStore {
   bool finalized() const { return finalized_; }
 
   // -- dirty tracking (single consumer: the incremental evaluator) --------
-  bool has_dirty() const { return !dirty_list_.empty(); }
+  //
+  // Dirty users are routed into per-shard queues at mark time (ShardMap over
+  // this store's user count; one shard by default, so the global API below
+  // behaves exactly as before sharding existed). A ShardedEvaluator
+  // configures S > 1 so an advance can ask "does shard s have work?" without
+  // scanning other shards' queues.
+  //
+  // Thread-safety: take_dirty(shard) / has_dirty(shard) for *distinct*
+  // shards touch disjoint state (each shard's own queue, and dirty-flag
+  // bytes of users only that shard owns), so per-shard drains may run
+  // concurrently — the one concurrency the sharded advance needs. Everything
+  // else (appends, sort_all, set_dirty_shards, the global take_dirty)
+  // remains single-threaded, as before.
+
+  /// Re-bucket dirty routing into `shards` queues (pending entries are
+  /// preserved). No-op when the count is unchanged.
+  void set_dirty_shards(std::size_t shards);
+  const ShardMap& dirty_shard_map() const { return shard_map_; }
+
+  bool has_dirty() const;
+  bool has_dirty(std::size_t shard) const {
+    return !dirty_lists_[shard].empty();
+  }
   /// Users touched by append()/add()/sort_all() since the last take_dirty(),
-  /// sorted ascending; clears the dirty set.
+  /// sorted ascending; clears the dirty set (all shards).
   std::vector<trace::UserId> take_dirty();
+  /// Drain one shard's dirty queue, sorted ascending.
+  std::vector<trace::UserId> take_dirty(std::size_t shard);
 
   /// Users with at least one activity in (begin, end], sorted ascending —
   /// resolved against the chronological index, O(log n + hits).
@@ -157,7 +214,8 @@ class ActivityStore {
   bool finalized_ = false;
 
   std::vector<std::uint8_t> dirty_flags_;  // dense by user
-  std::vector<trace::UserId> dirty_list_;
+  ShardMap shard_map_;                     // dirty routing (1 shard default)
+  std::vector<std::vector<trace::UserId>> dirty_lists_;  // one per shard
 };
 
 /// Ingest a job log: each job submission becomes one operation activity with

@@ -89,6 +89,30 @@ IncrementalEvaluator::IncrementalEvaluator(const ActivityCatalog& catalog,
       op_types_(catalog.types_in(ActivityCategory::kOperation)),
       oc_types_(catalog.types_in(ActivityCategory::kOutcome)) {}
 
+IncrementalEvaluator::IncrementalEvaluator(const ActivityCatalog& catalog,
+                                           EvaluationParams base_params,
+                                           EvalMode mode,
+                                           trace::UserId range_begin,
+                                           trace::UserId range_end,
+                                           std::size_t dirty_shard)
+    : IncrementalEvaluator(catalog, base_params, mode) {
+  range_begin_ = range_begin;
+  range_end_ = range_end;
+  ranged_ = true;
+  dirty_shard_ = dirty_shard;
+}
+
+std::size_t IncrementalEvaluator::range_size(const ActivityStore& store) const {
+  return ranged_ ? static_cast<std::size_t>(range_end_ - range_begin_)
+                 : store.user_count();
+}
+
+std::vector<trace::UserId> IncrementalEvaluator::drain_dirty(
+    ActivityStore& store) const {
+  return dirty_shard_ == kGlobalDirty ? store.take_dirty()
+                                      : store.take_dirty(dirty_shard_);
+}
+
 bool IncrementalEvaluator::skippable(const ActivityStore& store,
                                      const UserActiveness& ua,
                                      util::TimePoint now,
@@ -112,12 +136,21 @@ bool IncrementalEvaluator::skippable(const ActivityStore& store,
   //  * static gap: a gap > 2d between consecutive activities contains a
   //    full boundary-aligned period for ANY t_c — the grid has spacing d,
   //    so (ts_i, ts_{i+1} − d] is longer than d and holds a grid point b,
-  //    and [b, b + d) ⊂ the gap is empty. Only sound while the window is
-  //    uncapped: a max_periods cap can fold the gap into the clamped tail.
+  //    and [b, b + d) ⊂ the gap is empty. Durable as-is when the window is
+  //    unbounded; under a max_periods cap P the capped window [t' − P·d, t')
+  //    can slide past the gap, EXCEPT when the gap ends recently enough:
+  //      ts_{i+1} ≥ ts_{n−1} − (P−4)·d        (P ≥ 4)
+  //    Then for every t' up to ts_{n−1} + d the interval of admissible grid
+  //    points (max(ts_i, t' − (P−1)·d), ts_{i+1} − d] keeps length ≥ d (so
+  //    it holds a grid point and an empty period at depth e ≥ 2, clear of
+  //    the kClampOldest tail), and for every later t' the newest period
+  //    [t' − d, t') itself is empty because ts_{n−1} has gone stale — the
+  //    zero persists at every future trigger (full derivation: DESIGN.md
+  //    §9.2). Gaps ending earlier than that stay transient while the window
+  //    is uncapped and certify nothing once the cap engages.
   // All but the gap rule are monotone in t_c (m only grows, totals are
   // frozen, the newest activity only recedes), so they persist at every
-  // later trigger; the gap rule is monotone too unless a max_periods cap
-  // exists that a growing m could later run into.
+  // later trigger; the gap rule is monotone exactly in the cases above.
   const auto frozen_zero_type = [&](ActivityTypeId type) -> Cert {
     const auto full = store.stream(ua.user, type);
     const auto it = std::upper_bound(
@@ -134,8 +167,28 @@ bool IncrementalEvaluator::skippable(const ActivityStore& store,
     if (m > static_cast<std::int64_t>(n)) return kDurable;
     if (store.prefix(ua.user, type)[n] <= 0.0) return kDurable;
     if (full[n - 1].timestamp < now - plen) return kDurable;
-    if (!capped && store.max_gap_prefix(ua.user, type)[n] > 2 * plen)
-      return base_params_.max_periods > 0 ? kTransient : kDurable;
+    if (store.max_gap_prefix(ua.user, type)[n] > 2 * plen) {
+      if (base_params_.max_periods <= 0) return kDurable;
+      const std::int64_t cap = base_params_.max_periods;
+      if (cap >= 4) {
+        // Find the widest-reaching recent gap: any consecutive pair with
+        // its right end at/after the cutoff and a gap > 2d certifies.
+        const util::TimePoint cutoff =
+            full[n - 1].timestamp - (cap - 4) * plen;
+        const auto lo = std::lower_bound(
+            full.begin(), full.begin() + static_cast<std::ptrdiff_t>(n),
+            cutoff, [](const Activity& a, util::TimePoint t) {
+              return a.timestamp < t;
+            });
+        std::size_t i = static_cast<std::size_t>(lo - full.begin());
+        if (i == 0) i = 1;  // pairs need a left neighbour
+        for (; i < n; ++i) {
+          if (full[i].timestamp - full[i - 1].timestamp > 2 * plen)
+            return kDurable;
+        }
+      }
+      if (!capped) return kTransient;  // holds at this t_c; cap may bite
+    }
     return kNo;
   };
 
@@ -168,13 +221,22 @@ void IncrementalEvaluator::rebuild(ActivityStore& store, util::TimePoint now) {
   EvaluationParams params = base_params_;
   params.now = now;
   Evaluator evaluator(*catalog_, params);
-  users_ = evaluator.evaluate_all(store);
+  if (!ranged_) {
+    users_ = evaluator.evaluate_all(store);
+  } else {
+    users_.resize(range_size(store));
+    util::global_pool().parallel_for(0, users_.size(), [&](std::size_t i) {
+      users_[i] = evaluator.evaluate_user(
+          store, range_begin_ + static_cast<trace::UserId>(i));
+    });
+  }
   groups_.resize(users_.size());
   for (std::size_t u = 0; u < users_.size(); ++u) {
     groups_[u] = classify(users_[u]);
   }
   plan_ = build_scan_plan(users_);
   frozen_.assign(users_.size(), 0);
+  frozen_count_ = 0;
 }
 
 AdvanceStats IncrementalEvaluator::advance(ActivityStore& store,
@@ -188,8 +250,12 @@ AdvanceStats IncrementalEvaluator::advance(ActivityStore& store,
   const bool resolved_full =
       mode_ == EvalMode::kFull || (mode_ == EvalMode::kAuto && auto_full_);
   const bool continuous = evaluated_ && now >= last_now_ &&
-                          users_.size() == store.user_count();
+                          users_.size() == range_size(store);
   const bool delta = !resolved_full && continuous;
+  // Everything below indexes the instance-local dense vectors by
+  // u − range_begin_; in the default full pipeline range_begin_ is 0 and
+  // the bounds checks reduce to the pre-sharding user_count guard.
+  const trace::UserId base = range_begin_;
   if (!delta) {
     if (mode_ == EvalMode::kAuto && auto_full_ && continuous) {
       // Running full under auto: keep measuring the delta candidate fraction
@@ -197,11 +263,13 @@ AdvanceStats IncrementalEvaluator::advance(ActivityStore& store,
       // pipeline can recover once the storm passes. The dirty set is
       // consumed here; the rebuild below re-evaluates everyone anyway.
       candidate_flags_.assign(users_.size(), 0);
-      for (const trace::UserId u : store.take_dirty()) {
-        if (u < candidate_flags_.size()) candidate_flags_[u] = 1;
+      for (const trace::UserId u : drain_dirty(store)) {
+        if (u >= base && u - base < candidate_flags_.size())
+          candidate_flags_[u - base] = 1;
       }
       for (const auto& [ts, u] : store.chrono_window(last_now_, now)) {
-        candidate_flags_[u] = 1;
+        if (u >= base && u - base < candidate_flags_.size())
+          candidate_flags_[u - base] = 1;
       }
       for (const std::uint8_t f : candidate_flags_) stats.users_dirty += f;
       if (stats.users_dirty * 4 < users_.size()) {
@@ -215,8 +283,9 @@ AdvanceStats IncrementalEvaluator::advance(ActivityStore& store,
         calm_streak_ = 0;
       }
     } else {
-      // Everything is re-evaluated; the dirty set is stale by definition.
-      store.take_dirty();
+      // Everything (in range) is re-evaluated; this pipeline's dirty slice
+      // is stale by definition. Other shards' queues are not ours to drain.
+      drain_dirty(store);
     }
     rebuild(store, now);
     stats.full_rebuild = true;
@@ -234,26 +303,35 @@ AdvanceStats IncrementalEvaluator::advance(ActivityStore& store,
     // delta path allocates nothing.
     candidate_flags_.assign(users_.size(), 0);
     reeval_.clear();
-    for (const trace::UserId u : store.take_dirty()) {
-      if (u < candidate_flags_.size()) candidate_flags_[u] = 1;
+    for (const trace::UserId u : drain_dirty(store)) {
+      if (u >= base && u - base < candidate_flags_.size())
+        candidate_flags_[u - base] = 1;
     }
     for (const auto& [ts, u] : store.chrono_window(last_now_, now)) {
-      candidate_flags_[u] = 1;
+      if (u >= base && u - base < candidate_flags_.size())
+        candidate_flags_[u - base] = 1;
     }
     for (const std::uint8_t f : candidate_flags_) stats.users_dirty += f;
 
-    for (trace::UserId u = 0; u < users_.size(); ++u) {
-      if (candidate_flags_[u]) {
-        frozen_[u] = 0;  // new activity voids any memoized skip
+    for (std::size_t i = 0; i < users_.size(); ++i) {
+      const trace::UserId u = base + static_cast<trace::UserId>(i);
+      if (candidate_flags_[i]) {
+        if (frozen_[i]) {  // new activity voids any memoized skip
+          frozen_[i] = 0;
+          --frozen_count_;
+        }
         reeval_.push_back(u);
         continue;
       }
-      if (frozen_[u]) continue;  // durable skip: holds until dirty
+      if (frozen_[i]) continue;  // durable skip: holds until dirty
       bool durable = false;
-      if (skippable(store, users_[u], now, durable)) {
-        if (durable) frozen_[u] = 1;
+      if (skippable(store, users_[i], now, durable)) {
+        if (durable) {
+          frozen_[i] = 1;
+          ++frozen_count_;
+        }
       } else {
-        candidate_flags_[u] = 1;  // marks plan entries to splice out below
+        candidate_flags_[i] = 1;  // marks plan entries to splice out below
         reeval_.push_back(u);
       }
     }
@@ -285,8 +363,8 @@ AdvanceStats IncrementalEvaluator::advance(ActivityStore& store,
       // Near-full delta: patching costs more than sorting from scratch.
       // Same output either way — scan_less is a strict total order.
       for (std::size_t i = 0; i < reeval_.size(); ++i) {
-        users_[reeval_[i]] = updated_[i];
-        groups_[reeval_[i]] = classify(updated_[i]);
+        users_[reeval_[i] - base] = updated_[i];
+        groups_[reeval_[i] - base] = classify(updated_[i]);
       }
       plan_ = build_scan_plan(users_);
     } else if (!reeval_.empty()) {
@@ -297,16 +375,17 @@ AdvanceStats IncrementalEvaluator::advance(ActivityStore& store,
       for (auto& vec : plan_.groups) {
         vec.erase(std::remove_if(vec.begin(), vec.end(),
                                  [this](const UserActiveness& x) {
-                                   return candidate_flags_[x.user];
+                                   return candidate_flags_[x.user -
+                                                           range_begin_];
                                  }),
                   vec.end());
       }
       std::array<std::vector<UserActiveness>, kGroupCount> incoming;
       for (std::size_t i = 0; i < reeval_.size(); ++i) {
         const trace::UserId u = reeval_[i];
-        users_[u] = updated_[i];
+        users_[u - base] = updated_[i];
         const UserGroup g = classify(updated_[i]);
-        groups_[u] = g;
+        groups_[u - base] = g;
         incoming[static_cast<std::size_t>(g)].push_back(updated_[i]);
       }
       for (std::size_t gi = 0; gi < kGroupCount; ++gi) {

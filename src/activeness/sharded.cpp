@@ -1,0 +1,241 @@
+#include "activeness/sharded.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <limits>
+
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
+#include "util/thread_pool.hpp"
+
+namespace adr::activeness {
+
+namespace {
+
+obs::Counter& shard_advances_counter() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::global().counter("shard.advances");
+  return c;
+}
+
+obs::Counter& shard_users_reevaluated_counter() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::global().counter("shard.users_reevaluated");
+  return c;
+}
+
+obs::Gauge& shard_imbalance_gauge() {
+  static obs::Gauge& g = obs::MetricsRegistry::global().gauge(
+      "shard.imbalance_max_over_mean");
+  return g;
+}
+
+}  // namespace
+
+ShardedEvaluator::ShardedEvaluator(const ActivityCatalog& catalog,
+                                   EvaluationParams base_params, EvalMode mode,
+                                   std::size_t shards)
+    : catalog_(&catalog),
+      base_params_(base_params),
+      mode_(mode),
+      shards_(shards == 0 ? default_shard_count() : shards) {}
+
+std::size_t ShardedEvaluator::default_shard_count() {
+  // size() counts spawned workers; the calling thread participates too.
+  const std::size_t parallelism = util::global_pool().size() + 1;
+  return std::min<std::size_t>(parallelism, 16);
+}
+
+const ScanPlan& ShardedEvaluator::plan() const {
+  return shards_ == 1 && !evals_.empty() ? evals_[0].plan() : plan_;
+}
+
+const std::vector<UserActiveness>& ShardedEvaluator::users() const {
+  return shards_ == 1 && !evals_.empty() ? evals_[0].users() : users_;
+}
+
+const std::vector<UserGroup>& ShardedEvaluator::groups() const {
+  return shards_ == 1 && !evals_.empty() ? evals_[0].groups() : groups_;
+}
+
+void ShardedEvaluator::ensure_shards(ActivityStore& store) {
+  if (!evals_.empty() && map_.users() == store.user_count()) return;
+  map_ = ShardMap(store.user_count(), shards_);
+  store.set_dirty_shards(shards_);
+  evals_.clear();
+  evals_.reserve(shards_);
+  if (shards_ == 1) {
+    // The legacy pipeline, verbatim: full range, global dirty drain.
+    evals_.emplace_back(*catalog_, base_params_, mode_);
+  } else {
+    for (std::size_t s = 0; s < shards_; ++s) {
+      evals_.emplace_back(*catalog_, base_params_, mode_, map_.begin(s),
+                          map_.end(s), s);
+    }
+    users_.resize(store.user_count());
+    groups_.assign(store.user_count(), UserGroup::kBothInactive);
+  }
+  shard_stats_.assign(shards_, {});
+  evaluated_ = false;
+}
+
+void ShardedEvaluator::merge_plans() {
+  obs::TimerSpan span("shard.merge");
+  for (std::size_t g = 0; g < kGroupCount; ++g) {
+    const UserGroup group = static_cast<UserGroup>(g);
+    auto& out = plan_.groups[g];
+    out.clear();
+    std::size_t total = 0;
+    for (const auto& ev : evals_) total += ev.plan().groups[g].size();
+    out.reserve(total);
+    // S-way merge by repeated min — S is at most 16 and scan_less is a
+    // strict total order, so the output equals a global sort of the union
+    // element for element.
+    cursors_.assign(shards_, 0);
+    while (out.size() < total) {
+      std::size_t best = shards_;
+      const UserActiveness* best_ua = nullptr;
+      for (std::size_t s = 0; s < shards_; ++s) {
+        const auto& frag = evals_[s].plan().groups[g];
+        if (cursors_[s] >= frag.size()) continue;
+        const UserActiveness& ua = frag[cursors_[s]];
+        if (best == shards_ || scan_less(group, ua, *best_ua)) {
+          best = s;
+          best_ua = &ua;
+        }
+      }
+      out.push_back(*best_ua);
+      ++cursors_[best];
+    }
+  }
+}
+
+AdvanceStats ShardedEvaluator::advance(ActivityStore& store,
+                                       util::TimePoint now) {
+  const auto wall0 = std::chrono::steady_clock::now();
+  if (!store.finalized()) store.sort_all();
+  ensure_shards(store);
+
+  AdvanceStats stats;
+  if (shards_ == 1) {
+    stats = evals_[0].advance(store, now);
+    shard_stats_[0] = stats;
+    shards_advanced_ = 1;
+    shard_advances_counter().add();
+    shard_users_reevaluated_counter().add(stats.users_reevaluated);
+  } else {
+    // Wake filter: a shard must run unless its cached evaluation provably
+    // still holds at `now` — which needs every cached user frozen under a
+    // durable certificate, no queued dirty users, no trace events revealed
+    // in (its last t_c, now], and time moving forward.
+    wake_.assign(shards_, 0);
+    util::TimePoint min_last = std::numeric_limits<util::TimePoint>::max();
+    bool any_asleep = false;
+    for (std::size_t s = 0; s < shards_; ++s) {
+      const auto& ev = evals_[s];
+      if (!ev.evaluated() || now < ev.last_now() || store.has_dirty(s) ||
+          !ev.quiescent()) {
+        wake_[s] = 1;
+      } else {
+        any_asleep = true;
+        min_last = std::min(min_last, ev.last_now());
+      }
+    }
+    if (any_asleep) {
+      // One pass over the global chronological window wakes shards whose
+      // users have events the advancing trim is about to reveal.
+      for (const auto& [ts, u] : store.chrono_window(min_last, now)) {
+        const std::size_t s = map_.shard_of(u);
+        if (!wake_[s] && ts > evals_[s].last_now()) wake_[s] = 1;
+      }
+    }
+
+    woken_.clear();
+    for (std::size_t s = 0; s < shards_; ++s) {
+      if (wake_[s]) {
+        woken_.push_back(s);
+      } else {
+        shard_stats_[s] = {};
+        shard_stats_[s].auto_full = evals_[s].auto_full();
+        shard_stats_[s].users_skipped =
+            static_cast<std::size_t>(map_.end(s) - map_.begin(s));
+      }
+    }
+    shards_advanced_ = woken_.size();
+
+    // Segment advances share nothing mutable: disjoint user ranges,
+    // per-shard dirty queues, per-shard frozen bitmaps. grain = 1 gives the
+    // scheduler one chunk per shard so uneven shards self-balance.
+    if (woken_.size() == 1) {
+      const std::size_t s = woken_[0];
+      shard_stats_[s] = evals_[s].advance(store, now);
+    } else if (!woken_.empty()) {
+      util::global_pool().parallel_for(
+          0, woken_.size(),
+          [&](std::size_t i) {
+            const std::size_t s = woken_[i];
+            shard_stats_[s] = evals_[s].advance(store, now);
+          },
+          /*grain=*/1);
+    }
+
+    stats.full_rebuild = !woken_.empty();
+    for (std::size_t s = 0; s < shards_; ++s) {
+      const AdvanceStats& ss = shard_stats_[s];
+      stats.users_dirty += ss.users_dirty;
+      stats.users_reevaluated += ss.users_reevaluated;
+      stats.users_skipped += ss.users_skipped;
+      stats.auto_full = stats.auto_full || ss.auto_full;
+      if (!wake_[s] || !ss.full_rebuild) stats.full_rebuild = false;
+    }
+
+    // Fold the changed users back into the global dense views. Shards that
+    // took the delta path report exactly who changed; rebuilt shards copy
+    // their whole range.
+    bool plan_dirty = false;
+    for (const std::size_t s : woken_) {
+      const auto& ev = evals_[s];
+      const trace::UserId b = map_.begin(s);
+      const AdvanceStats& ss = shard_stats_[s];
+      if (ss.full_rebuild) {
+        std::copy(ev.users().begin(), ev.users().end(), users_.begin() + b);
+        std::copy(ev.groups().begin(), ev.groups().end(),
+                  groups_.begin() + b);
+        plan_dirty = true;
+      } else {
+        for (const trace::UserId u : ev.last_reevaluated()) {
+          users_[u] = ev.users()[u - b];
+          groups_[u] = ev.groups()[u - b];
+        }
+        plan_dirty = plan_dirty || ss.users_reevaluated > 0;
+      }
+    }
+    if (plan_dirty) merge_plans();
+
+    shard_advances_counter().add(woken_.size());
+    shard_users_reevaluated_counter().add(stats.users_reevaluated);
+    if (!woken_.empty()) {
+      std::size_t max_reeval = 0;
+      std::size_t total_reeval = 0;
+      for (const std::size_t s : woken_) {
+        max_reeval = std::max(max_reeval, shard_stats_[s].users_reevaluated);
+        total_reeval += shard_stats_[s].users_reevaluated;
+      }
+      const double mean =
+          static_cast<double>(total_reeval) / static_cast<double>(woken_.size());
+      shard_imbalance_gauge().set(
+          mean > 0.0 ? static_cast<std::int64_t>(
+                           100.0 * static_cast<double>(max_reeval) / mean)
+                     : 100);
+    }
+  }
+
+  evaluated_ = true;
+  last_now_ = now;
+  seconds_ += std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                            wall0)
+                  .count();
+  return stats;
+}
+
+}  // namespace adr::activeness

@@ -9,6 +9,7 @@
 #include <string>
 
 #include "activeness/incremental.hpp"
+#include "activeness/sharded.hpp"
 #include "activeness/rank_store.hpp"
 #include "obs/metrics.hpp"
 #include "retention/ledger.hpp"
@@ -38,7 +39,7 @@ commands:
   evaluate  --users F --jobs F [--pubs F] --now YYYY-MM-DD
             [--period-days D] [--out ranks.csv]
             [--op-activities F1,F2,...] [--oc-activities F1,F2,...]
-            [--eval-mode auto|full|incremental]
+            [--eval-mode auto|full|incremental] [--shards N]
             Evaluate every user's activeness (Eqs. 1-6) and print the
             classification; optionally save the rank store. Extra activity
             CSVs (header: user,timestamp,impact) register one additional
@@ -53,7 +54,8 @@ commands:
             [--target FRACTION] [--exempt FILE]
             [--out-snapshot F] [--ledger F] [--dry-run] [--victims F]
             [--scan-mode auto|walk|indexed]
-            [--eval-mode auto|full|incremental] [--check-index]
+            [--eval-mode auto|full|incremental] [--shards N]
+            [--check-index]
             One retention pass over a snapshot. --target is the fraction of
             *current usage* to retain (0 disables the byte target). ActiveDR
             needs ranks: either --ranks (from `evaluate`) or --jobs/--pubs
@@ -64,20 +66,24 @@ commands:
             or the legacy namespace walk (auto chooses per policy).
             --eval-mode picks how the inline evaluation runs (see
             activeness/incremental.hpp; both modes rank identically).
+            --shards fans the evaluation out over N user-range shards
+            (0 = one per available thread; identical ranks and victims).
             --check-index cross-verifies the purge index against a full
             namespace walk after the run (exit 3 on mismatch).
 
   compare   --dir DIR --as-of YYYY-MM-DD [--lifetime D] [--target FRACTION]
-            [--eval-mode auto|full|incremental]
+            [--eval-mode auto|full|incremental] [--shards N]
             The paper's §4.4 one-shot retention comparison (Figs. 9-11) on a
             `synth` bundle: both policies chase the same target from the
             state at --as-of.
 
   replay    --dir DIR [--lifetime D] [--interval D] [--target FRACTION]
-            [--eval-mode auto|full|incremental]
+            [--eval-mode auto|full|incremental] [--shards N]
             Year-long FLT-vs-ActiveDR replay over a `synth` bundle.
             --eval-mode selects delta-aware vs full re-evaluation at each
             purge trigger (identical results; incremental is the fast path).
+            --shards N runs each evaluation sharded by user range across
+            the thread pool (activeness/sharded.hpp; same results).
 
   info      --snapshot F
             Summarize a metadata snapshot.
@@ -130,6 +136,14 @@ activeness::EvalMode eval_mode_flag(const util::Config& config) {
                              " (expected auto, full, or incremental)");
   }
   return mode;
+}
+
+std::size_t eval_shards_flag(const util::Config& config) {
+  const auto shards = config.get_int("shards", 0);
+  if (shards < 0) {
+    throw std::runtime_error("--shards must be >= 0 (0 = auto)");
+  }
+  return static_cast<std::size_t>(shards);
 }
 
 // --parse-policy plus the shared LoadStats accumulator behind it. Every
@@ -274,8 +288,9 @@ int cmd_evaluate(const util::Config& config, std::ostream& out) {
   activeness::EvaluationParams params;
   params.period_length_days =
       static_cast<int>(config.get_int("period-days", 90));
-  activeness::IncrementalEvaluator pipeline(catalog, params,
-                                            eval_mode_flag(config));
+  activeness::ShardedEvaluator pipeline(catalog, params,
+                                        eval_mode_flag(config),
+                                        eval_shards_flag(config));
   pipeline.advance(store, now);
   activeness::RankStore ranks(pipeline.users());
 
@@ -335,6 +350,7 @@ int cmd_purge(const util::Config& config, std::ostream& out) {
   // Validated up front (even for FLT, which never evaluates) so a typo
   // fails fast instead of being silently ignored.
   const activeness::EvalMode eval_mode = eval_mode_flag(config);
+  const std::size_t eval_shards = eval_shards_flag(config);
 
   retention::PurgeReport report;
   if (policy_name == "flt") {
@@ -385,8 +401,9 @@ int cmd_purge(const util::Config& config, std::ostream& out) {
             trace::PublicationLog::load_csv(*pubs_path, ingest.opts);
         activeness::ingest_publications(store, 1, 1.0, pubs);
       }
-      activeness::IncrementalEvaluator pipeline(
-          catalog, activeness::EvaluationParams{lifetime}, eval_mode);
+      activeness::ShardedEvaluator pipeline(
+          catalog, activeness::EvaluationParams{lifetime}, eval_mode,
+          eval_shards);
       pipeline.advance(store, now);
       ranks = activeness::RankStore(pipeline.users());
       have_ranks = true;
@@ -468,6 +485,7 @@ int cmd_replay(const util::Config& config, std::ostream& out) {
       static_cast<int>(config.get_int("interval", 7));
   experiment.purge_target_utilization = config.get_double("target", 0.5);
   experiment.eval_mode = eval_mode_flag(config);
+  experiment.eval_shards = eval_shards_flag(config);
 
   out << "Replaying " << util::format_date(scenario.sim_begin) << " .. "
       << util::format_date(scenario.sim_end) << " (" << scenario.replay.size()
@@ -542,6 +560,7 @@ int cmd_compare(const util::Config& config, std::ostream& out) {
   experiment.lifetime_days = static_cast<int>(config.get_int("lifetime", 90));
   experiment.purge_target_utilization = config.get_double("target", 0.5);
   experiment.eval_mode = eval_mode_flag(config);
+  experiment.eval_shards = eval_shards_flag(config);
 
   out << "One-shot retention comparison at " << util::format_date(as_of)
       << " (lifetime " << experiment.lifetime_days << "d, retain "

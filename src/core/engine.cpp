@@ -10,7 +10,8 @@ Engine::Engine(trace::UserRegistry registry, Options options)
   params.period_length_days = options_.lifetime_days;
   params.scheme = options_.scheme;
   params.max_periods = options_.max_periods;
-  pipeline_.emplace(catalog_, params, options_.eval_mode);
+  pipeline_.emplace(catalog_, params, options_.eval_mode,
+                    options_.eval_shards);
 }
 
 activeness::ActivityStore& Engine::ensure_store() {

@@ -22,8 +22,8 @@
 #include <string>
 #include <vector>
 
-#include "activeness/incremental.hpp"
 #include "activeness/rank_store.hpp"
+#include "activeness/sharded.hpp"
 #include "retention/activedr_policy.hpp"
 #include "retention/flt.hpp"
 #include "trace/user_registry.hpp"
@@ -51,6 +51,10 @@ class Engine {
     /// kFull pins the re-evaluate-everyone baseline (see
     /// activeness/incremental.hpp).
     activeness::EvalMode eval_mode = activeness::EvalMode::kAuto;
+    /// User-range shards the evaluation fans out over (see
+    /// activeness/sharded.hpp). 0 = one per available thread (max 16);
+    /// 1 pins the single-pipeline path.
+    std::size_t eval_shards = 0;
   };
 
   Engine(trace::UserRegistry registry, Options options);
@@ -117,7 +121,7 @@ class Engine {
   Options options_;
   activeness::ActivityCatalog catalog_;
   std::optional<activeness::ActivityStore> store_;
-  std::optional<activeness::IncrementalEvaluator> pipeline_;
+  std::optional<activeness::ShardedEvaluator> pipeline_;
 
   fs::Vfs vfs_;
   retention::ExemptionList exemptions_;

@@ -12,22 +12,22 @@ namespace adr::sim {
 ActivenessTimeline::ActivenessTimeline(
     const activeness::ActivityCatalog& catalog,
     activeness::ActivityStore store, activeness::EvaluationParams base_params,
-    activeness::EvalMode mode)
+    activeness::EvalMode mode, std::size_t shards)
     : catalog_(&catalog),
       store_(std::move(store)),
-      pipeline_(catalog, base_params, mode) {
+      pipeline_(catalog, base_params, mode, shards) {
   store_.sort_all();
 }
 
 ActivenessTimeline ActivenessTimeline::for_scenario(
     const synth::TitanScenario& scenario, activeness::EvaluationParams params,
-    activeness::EvalMode mode) {
+    activeness::EvalMode mode, std::size_t shards) {
   static const activeness::ActivityCatalog catalog =
       activeness::ActivityCatalog::paper_default();
   activeness::ActivityStore store(scenario.registry.size(), catalog.size());
   activeness::ingest_jobs(store, 0, 1.0, scenario.jobs);
   activeness::ingest_publications(store, 1, 1.0, scenario.pubs);
-  return ActivenessTimeline(catalog, std::move(store), params, mode);
+  return ActivenessTimeline(catalog, std::move(store), params, mode, shards);
 }
 
 const activeness::ScanPlan& ActivenessTimeline::plan_at(util::TimePoint t) {

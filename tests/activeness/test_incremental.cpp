@@ -318,6 +318,50 @@ TEST(IncrementalEvaluator, AutoModeFallsBackUnderSustainedChurnThenRecovers) {
   EXPECT_FALSE(stats.full_rebuild);
 }
 
+TEST(IncrementalEvaluator, CappedWindowStaticGapFreezesUser) {
+  // A max_periods cap used to disable the static-gap certificate outright
+  // (the capped window can slide past an old gap), so this user was
+  // re-ranked at every trigger forever. The capped variant proves the zero
+  // durable when the gap ends at/after ts_{n-1} - (P-4)·d: here a 35-day
+  // gap against d = 7 days and P = 6 — the gap's empty period stays inside
+  // every future window until the newest activity itself goes stale.
+  const ActivityCatalog catalog = ActivityCatalog::paper_default();
+  const EvaluationParams params = params_for(
+      7, StaleHandling::kClampOldest, ExponentScheme::kPaperExponent, 6);
+  ActivityStore store(1, 2);
+  ActivityStore mirror(1, 2);
+  for (const int age_days : {41, 40, 39, 38, 3, 2, 1}) {
+    const Activity a{kT0 - age_days * kDay, 2.0};
+    store.add(0, 0, a);
+    mirror.add(0, 0, a);
+  }
+  store.sort_all();
+  mirror.sort_all();
+
+  IncrementalEvaluator inc(catalog, params, EvalMode::kIncremental);
+  inc.advance(store, kT0);
+  EXPECT_TRUE(inc.users()[0].op.zero);  // the gap's empty period zeroes op
+
+  // The first delta advance runs the skip rules once — the newest activity
+  // is still inside period 1, the totals are positive, and n >= m, so only
+  // the gap certificate can fire — and memoizes the durable skip.
+  AdvanceStats stats = inc.advance(store, kT0 + 3 * kDay);
+  EXPECT_EQ(stats.users_reevaluated, 0u);
+  EXPECT_EQ(stats.users_skipped, 1u);
+  EXPECT_EQ(inc.frozen_users(), 1u);
+
+  // The frozen skip holds at every later trigger (> 2·plen beyond the
+  // last activity included) without diverging from a full evaluation.
+  for (const int days : {7, 30, 200}) {
+    const util::TimePoint t = kT0 + days * kDay;
+    stats = inc.advance(store, t);
+    EXPECT_EQ(stats.users_reevaluated, 0u) << "at +" << days << "d";
+    IncrementalEvaluator full(catalog, params, EvalMode::kFull);
+    full.advance(mirror, t);
+    expect_same_plan(full.plan(), inc.plan());
+  }
+}
+
 TEST(IncrementalEvaluator, SecondsAccumulatePerInstance) {
   const ActivityCatalog catalog = ActivityCatalog::paper_default();
   const EvaluationParams params = params_for(

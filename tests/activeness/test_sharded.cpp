@@ -1,0 +1,295 @@
+// Sharding invariance: splitting the incremental pipeline into user-range
+// shards must be invisible in every output — ranks, classifications, scan
+// plans, purge victims — across randomized timelines with streaming appends
+// and backwards-time rebuilds. Plus the sharded bookkeeping itself: the
+// partition map, the wake filter, and per-shard kAuto hysteresis.
+
+#include "activeness/sharded.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "retention/activedr_policy.hpp"
+#include "util/rng.hpp"
+
+namespace adr::activeness {
+namespace {
+
+constexpr util::TimePoint kT0 = 1'700'000'000;
+constexpr util::Duration kDay = 86'400;
+
+void expect_same_rank(const Rank& a, const Rank& b, const char* what) {
+  EXPECT_EQ(a.has_data, b.has_data) << what;
+  EXPECT_EQ(a.zero, b.zero) << what;
+  EXPECT_EQ(a.log_phi, b.log_phi) << what;
+}
+
+void expect_same_activeness(const UserActiveness& a, const UserActiveness& b) {
+  EXPECT_EQ(a.user, b.user);
+  expect_same_rank(a.op, b.op, "op");
+  expect_same_rank(a.oc, b.oc, "oc");
+  EXPECT_EQ(a.last_activity, b.last_activity);
+}
+
+void expect_same_plan(const ScanPlan& a, const ScanPlan& b) {
+  for (std::size_t g = 0; g < kGroupCount; ++g) {
+    ASSERT_EQ(a.groups[g].size(), b.groups[g].size()) << "group " << g;
+    for (std::size_t i = 0; i < a.groups[g].size(); ++i) {
+      EXPECT_EQ(a.groups[g][i].user, b.groups[g][i].user)
+          << "group " << g << " position " << i;
+      expect_same_activeness(a.groups[g][i], b.groups[g][i]);
+    }
+  }
+}
+
+/// A random population: most users sparse (many end up at Φ = 0 or fresh),
+/// a few dense enough to hold a positive rank.
+ActivityStore random_store(std::uint64_t seed, std::size_t users) {
+  ActivityStore store(users, 2);
+  util::Rng rng(seed);
+  for (trace::UserId u = 0; u < users; ++u) {
+    const double archetype = rng.uniform();
+    if (archetype < 0.15) continue;  // fresh: no activity at all
+    const bool dense = archetype > 0.8;
+    const int events = dense ? static_cast<int>(rng.uniform_int(30, 80))
+                             : static_cast<int>(rng.uniform_int(1, 6));
+    for (int e = 0; e < events; ++e) {
+      const util::TimePoint ts =
+          kT0 - static_cast<util::Duration>(rng.uniform(0, 700) * kDay);
+      const ActivityTypeId type = rng.uniform() < 0.7 ? 0 : 1;
+      store.add(u, type, Activity{ts, rng.uniform(0.1, 50.0)});
+    }
+  }
+  store.sort_all();
+  return store;
+}
+
+EvaluationParams params_for(int period_days, StaleHandling stale,
+                            ExponentScheme scheme, int max_periods = 0) {
+  EvaluationParams p;
+  p.period_length_days = period_days;
+  p.stale = stale;
+  p.scheme = scheme;
+  p.max_periods = max_periods;
+  return p;
+}
+
+TEST(ShardMap, PartitionsEveryUserExactlyOnce) {
+  for (const std::size_t users : {1u, 3u, 10u, 97u, 1000u}) {
+    for (const std::size_t shards : {1u, 2u, 3u, 7u, 16u, 150u}) {
+      const ShardMap map(users, shards);
+      EXPECT_EQ(map.users(), users);
+      EXPECT_EQ(map.shards(), shards);
+      EXPECT_EQ(map.begin(0), 0u);
+      EXPECT_EQ(map.end(shards - 1), users);
+      std::size_t covered = 0;
+      for (std::size_t s = 0; s < shards; ++s) {
+        ASSERT_LE(map.begin(s), map.end(s)) << "users=" << users
+                                            << " shards=" << shards;
+        covered += map.end(s) - map.begin(s);
+        for (trace::UserId u = map.begin(s); u < map.end(s); ++u) {
+          ASSERT_EQ(map.shard_of(u), s)
+              << "user " << u << " users=" << users << " shards=" << shards;
+        }
+      }
+      EXPECT_EQ(covered, users);
+    }
+  }
+  // Zero shards is clamped to one, never a division by zero.
+  const ShardMap degenerate(5, 0);
+  EXPECT_EQ(degenerate.shards(), 1u);
+  EXPECT_EQ(degenerate.end(0), 5u);
+}
+
+// The tentpole guarantee: for every shard count, the sharded pipeline's
+// users, groups, scan plan, and purge victims are element-for-element
+// identical to the single pipeline's — across 200 randomized timelines
+// mixing streaming appends, future-dated events, and backwards-time jumps.
+TEST(ShardedEvaluator, MatchesSinglePipelineAcrossShardCountsAndTimelines) {
+  const ActivityCatalog catalog = ActivityCatalog::paper_default();
+  constexpr std::size_t kUsers = 80;
+  const trace::UserRegistry registry =
+      trace::UserRegistry::with_synthetic_users(kUsers);
+  int timelines = 0;
+  for (const std::size_t shards : {1u, 2u, 3u, 7u, 16u}) {
+    for (std::uint64_t seed = 1; seed <= 40; ++seed) {
+      const EvaluationParams params = params_for(
+          seed % 2 == 0 ? 30 : 90,
+          seed % 3 == 0 ? StaleHandling::kDrop : StaleHandling::kClampOldest,
+          ExponentScheme::kPaperExponent, seed % 3 == 0 ? 5 : 0);
+      ActivityStore store = random_store(seed, kUsers);
+      ActivityStore mirror = random_store(seed, kUsers);
+      ShardedEvaluator sharded(catalog, params, EvalMode::kAuto, shards);
+      IncrementalEvaluator single(catalog, params, EvalMode::kAuto);
+      util::Rng rng(seed * 7919 + shards);
+      util::TimePoint t = kT0 - 200 * kDay;
+      for (int trigger = 0; trigger < 8; ++trigger) {
+        if (trigger > 0 && rng.uniform() < 0.15) {
+          // Backwards jump: every shard must rebuild, then stay identical.
+          t -= static_cast<util::Duration>(rng.uniform_int(5, 60)) * kDay;
+        } else {
+          t += static_cast<util::Duration>(rng.uniform_int(3, 30)) * kDay;
+        }
+        const int burst = static_cast<int>(rng.uniform_int(0, 15));
+        for (int e = 0; e < burst; ++e) {
+          const auto user =
+              static_cast<trace::UserId>(rng.uniform_int(0, kUsers - 1));
+          const ActivityTypeId type = rng.uniform() < 0.7 ? 0 : 1;
+          // Mostly at-or-before t; sometimes future-dated, so a later
+          // trigger has to reveal it through the chrono window (and wake
+          // the owning shard even though its dirty queue is empty by then).
+          const util::Duration off =
+              static_cast<util::Duration>(rng.uniform_int(0, 20 * kDay)) -
+              10 * kDay;
+          const Activity a{t + off, rng.uniform(0.5, 20.0)};
+          store.append(user, type, a);
+          mirror.append(user, type, a);
+        }
+        single.advance(mirror, t);
+        sharded.advance(store, t);
+        ASSERT_EQ(sharded.users().size(), kUsers);
+        for (std::size_t u = 0; u < kUsers; ++u) {
+          expect_same_activeness(single.users()[u], sharded.users()[u]);
+          EXPECT_EQ(single.groups()[u], sharded.groups()[u]);
+        }
+        expect_same_plan(single.plan(), sharded.plan());
+      }
+
+      // Purge-victim identity at the final instant: a dry run with a byte
+      // target makes the victim list depend on scan order, not just on the
+      // victim set.
+      fs::Vfs vfs_single, vfs_sharded;
+      util::Rng files(seed ^ 0xabc);
+      for (trace::UserId u = 0; u < kUsers; ++u) {
+        for (int f = 0; f < 2; ++f) {
+          fs::FileMeta meta;
+          meta.owner = u;
+          meta.size_bytes = 64 + static_cast<std::uint64_t>(
+                                     files.uniform_int(0, 100));
+          meta.atime =
+              t - static_cast<util::Duration>(files.uniform_int(0, 400)) *
+                      kDay;
+          meta.ctime = meta.atime;
+          const std::string path =
+              registry.home_dir(u) + "/f" + std::to_string(f);
+          vfs_single.create(path, meta);
+          vfs_sharded.create(path, meta);
+        }
+      }
+      retention::ActiveDrConfig config;
+      config.dry_run = true;
+      const retention::ActiveDrPolicy policy(config, registry);
+      const std::uint64_t target = vfs_single.total_bytes() / 3;
+      const retention::PurgeReport a =
+          policy.run(vfs_single, t, target, single.plan());
+      const retention::PurgeReport b =
+          policy.run(vfs_sharded, t, target, sharded.plan());
+      EXPECT_EQ(a.victim_paths, b.victim_paths)
+          << "shards=" << shards << " seed=" << seed;
+      ++timelines;
+    }
+  }
+  EXPECT_EQ(timelines, 200);
+}
+
+TEST(ShardedEvaluator, WakesOnlyDirtyShards) {
+  const ActivityCatalog catalog = ActivityCatalog::paper_default();
+  const EvaluationParams params = params_for(
+      90, StaleHandling::kClampOldest, ExponentScheme::kPaperExponent);
+  ActivityStore store(16, 2);  // everyone fresh: durable skips all around
+  store.sort_all();
+  ShardedEvaluator sharded(catalog, params, EvalMode::kAuto, 4);
+  obs::Counter& advances =
+      obs::MetricsRegistry::global().counter("shard.advances");
+
+  sharded.advance(store, kT0);  // first advance: every shard rebuilds
+  EXPECT_EQ(sharded.shards_advanced(), 4u);
+  sharded.advance(store, kT0 + 7 * kDay);  // delta: every user freezes
+  EXPECT_EQ(sharded.shards_advanced(), 4u);
+  const std::uint64_t settled = advances.value();
+
+  // Fully quiescent trigger: nothing dirty, no chrono events, everyone
+  // frozen — no shard runs, and the cached plan stays served.
+  sharded.advance(store, kT0 + 14 * kDay);
+  EXPECT_EQ(sharded.shards_advanced(), 0u);
+  EXPECT_EQ(advances.value(), settled);
+  EXPECT_TRUE(sharded.evaluated());
+
+  // One streamed event wakes exactly its owner's shard (user 9 -> shard 2).
+  ASSERT_EQ(sharded.shard_map().shard_of(9), 2u);
+  store.append(9, 0, Activity{kT0 + 15 * kDay, 4.0});
+  sharded.advance(store, kT0 + 21 * kDay);
+  EXPECT_EQ(sharded.shards_advanced(), 1u);
+  EXPECT_EQ(advances.value(), settled + 1);
+  EXPECT_EQ(sharded.shard_stats(2).users_reevaluated, 1u);
+  EXPECT_EQ(sharded.shard_stats(0).users_skipped, 4u);  // slept through it
+  EXPECT_TRUE(sharded.users()[9].op.has_data);
+  EXPECT_EQ(sharded.group_of(9), UserGroup::kOperationActiveOnly);
+}
+
+TEST(ShardedEvaluator, PerShardAutoHysteresisIsolation) {
+  const ActivityCatalog catalog = ActivityCatalog::paper_default();
+  const EvaluationParams params = params_for(
+      90, StaleHandling::kClampOldest, ExponentScheme::kPaperExponent);
+  // Shard 0 = users 0..3 (seeded, positive ranks); shard 1 = users 4..7
+  // (fresh, frozen after the first delta advance).
+  ActivityStore store(8, 2);
+  for (trace::UserId u = 0; u < 4; ++u) {
+    store.add(u, 0, Activity{kT0 - 30 * kDay, 5.0});
+  }
+  store.sort_all();
+  ShardedEvaluator sharded(catalog, params, EvalMode::kAuto, 2);
+  obs::Counter& fallbacks =
+      obs::MetricsRegistry::global().counter("incremental.auto_fallbacks");
+  const std::uint64_t before = fallbacks.value();
+
+  util::TimePoint t = kT0;
+  AdvanceStats stats = sharded.advance(store, t);
+  EXPECT_TRUE(stats.full_rebuild);
+
+  // Storm confined to shard 0: 3 of its 4 users churn every trigger,
+  // holding that shard at the rebuild threshold for kFallbackAfter
+  // consecutive delta advances. Shard 1 sees none of it.
+  for (int i = 0; i < IncrementalEvaluator::kFallbackAfter; ++i) {
+    t += 7 * kDay;
+    for (trace::UserId u = 0; u < 3; ++u) {
+      store.append(u, 0, Activity{t - kDay, 3.0});
+    }
+    stats = sharded.advance(store, t);
+  }
+  EXPECT_TRUE(sharded.shard_auto_full(0)) << "hot shard should resolve full";
+  EXPECT_FALSE(sharded.shard_auto_full(1)) << "calm shard must stay delta";
+  EXPECT_TRUE(stats.auto_full);  // aggregate ORs the per-shard flags
+  EXPECT_EQ(fallbacks.value(), before + 1);
+
+  // While shard 0 rides out its storm in full mode, a trickle in shard 1
+  // stays on the delta path — and the aggregate full_rebuild flag reports
+  // that *not* every shard rebuilt.
+  t += 7 * kDay;
+  store.append(5, 1, Activity{t - kDay, 1.0});
+  stats = sharded.advance(store, t);
+  EXPECT_TRUE(sharded.shard_stats(0).full_rebuild);
+  EXPECT_FALSE(sharded.shard_stats(1).full_rebuild);
+  EXPECT_FALSE(stats.full_rebuild);
+
+  // Calm streak (shard 0 sees zero dirty users) flips the hot shard back.
+  for (int i = 1; i < IncrementalEvaluator::kRecoverAfter; ++i) {
+    t += 7 * kDay;
+    store.append(5, 1, Activity{t - kDay, 1.0});
+    sharded.advance(store, t);
+  }
+  EXPECT_FALSE(sharded.shard_auto_full(0)) << "calm streak should recover";
+}
+
+TEST(ShardedEvaluator, DefaultShardCountTracksPoolAndCap) {
+  const std::size_t n = ShardedEvaluator::default_shard_count();
+  EXPECT_GE(n, 1u);
+  EXPECT_LE(n, 16u);
+}
+
+}  // namespace
+}  // namespace adr::activeness

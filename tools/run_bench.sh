@@ -11,7 +11,12 @@
 #   * indexed_seconds regresses more than TOLERANCE x the baseline, or
 #   * full and incremental eval modes produce different ranks/plans, or
 #   * the incremental eval-phase speedup over full re-evaluation drops
-#     below MIN_EVAL_SPEEDUP (default 3.0).
+#     below MIN_EVAL_SPEEDUP (default 3.0), or
+#   * the sharded pipeline diverges from the single pipeline (plans or
+#     purge victims), or
+#   * the run used >= 4 shards and the sharded advance's speedup over the
+#     single pipeline drops below MIN_SHARD_SPEEDUP (default 2.0; the floor
+#     is skipped on hosts whose core count collapses the shard count).
 #
 # Usage: tools/run_bench.sh [extra bench flags, e.g. --users 600 --seed 42]
 
@@ -23,6 +28,7 @@ BASELINE="$REPO_ROOT/bench/baselines/BENCH_fig12.json"
 OUT_JSON="$BUILD_DIR/BENCH_fig12.json"
 MIN_SPEEDUP="${MIN_SPEEDUP:-3.0}"
 MIN_EVAL_SPEEDUP="${MIN_EVAL_SPEEDUP:-3.0}"
+MIN_SHARD_SPEEDUP="${MIN_SHARD_SPEEDUP:-2.0}"
 TOLERANCE="${TOLERANCE:-1.5}"
 
 cmake -S "$REPO_ROOT" -B "$BUILD_DIR" -DCMAKE_BUILD_TYPE=Release >/dev/null
@@ -33,12 +39,15 @@ cmake --build "$BUILD_DIR" --target bench_fig12_performance -j "$(nproc)"
 # environment (benchmark still runs, but it is cheap at bench scale).
 "$BUILD_DIR/bench/bench_fig12_performance" --bench-json "$OUT_JSON" "$@"
 
-python3 - "$OUT_JSON" "$BASELINE" "$MIN_SPEEDUP" "$TOLERANCE" "$MIN_EVAL_SPEEDUP" <<'PY'
+python3 - "$OUT_JSON" "$BASELINE" "$MIN_SPEEDUP" "$TOLERANCE" \
+    "$MIN_EVAL_SPEEDUP" "$MIN_SHARD_SPEEDUP" <<'PY'
 import json, sys
 
-out_path, base_path, min_speedup, tolerance, min_eval_speedup = sys.argv[1:6]
+(out_path, base_path, min_speedup, tolerance, min_eval_speedup,
+ min_shard_speedup) = sys.argv[1:7]
 min_speedup, tolerance = float(min_speedup), float(tolerance)
 min_eval_speedup = float(min_eval_speedup)
+min_shard_speedup = float(min_shard_speedup)
 out = json.load(open(out_path))
 base = json.load(open(base_path))
 
@@ -55,6 +64,18 @@ if out["eval_speedup"] < min_eval_speedup:
     failures.append(
         f"incremental eval speedup {out['eval_speedup']:.2f}x below floor "
         f"{min_eval_speedup}x")
+if not out.get("shard_ranks_identical", True):
+    failures.append(
+        "sharded and single pipelines produced DIFFERENT ranks/plans")
+if not out.get("shard_victims_identical", True):
+    failures.append(
+        "sharded and single pipelines selected DIFFERENT purge victims")
+# The wall-clock floor only means something with real parallelism under it;
+# identity is enforced at every shard count above.
+if out.get("shards", 1) >= 4 and out["shard_speedup"] < min_shard_speedup:
+    failures.append(
+        f"shard speedup {out['shard_speedup']:.2f}x at {out['shards']} "
+        f"shards below floor {min_shard_speedup}x")
 
 # Cross-run comparisons only make sense on the baseline's scenario.
 same_scenario = all(out[k] == base[k] for k in ("users", "seed", "files"))
@@ -91,6 +112,10 @@ print(f"walk {out['walk_seconds']:.4f}s, indexed "
 print(f"eval full {out['eval_full_seconds']:.4f}s, incremental "
       f"{out['eval_incremental_seconds']:.4f}s, speedup "
       f"{out['eval_speedup']:.2f}x over {out['eval_triggers']} triggers")
+print(f"shards {out.get('shards', 1)}: 1-shard "
+      f"{out.get('shard_1_seconds', 0):.4f}s, n-shard "
+      f"{out.get('shard_n_seconds', 0):.4f}s, speedup "
+      f"{out.get('shard_speedup', 0):.2f}x")
 if failures:
     for f in failures:
         print("FAIL:", f, file=sys.stderr)
