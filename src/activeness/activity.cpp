@@ -45,9 +45,21 @@ ActivityStore::ActivityStore(std::size_t user_count, std::size_t type_count)
       streams_(user_count * type_count),
       prefix_(user_count * type_count),
       gap_prefix_(user_count * type_count),
+      chrono_(1),
       dirty_flags_(user_count, 0),
       shard_map_(user_count, 1),
-      dirty_lists_(1) {}
+      dirty_lists_(1),
+      ingest_(make_ingest(1)) {}
+
+std::vector<std::unique_ptr<ActivityStore::IngestShard>>
+ActivityStore::make_ingest(std::size_t shards) {
+  std::vector<std::unique_ptr<IngestShard>> out;
+  out.reserve(shards);
+  for (std::size_t s = 0; s < shards; ++s) {
+    out.push_back(std::make_unique<IngestShard>());
+  }
+  return out;
+}
 
 void ActivityStore::mark_dirty(trace::UserId user) {
   if (dirty_flags_[user]) return;
@@ -66,6 +78,28 @@ void ActivityStore::set_dirty_shards(std::size_t shards) {
     }
   }
   dirty_lists_ = std::move(lists);
+  // Re-bucket the chronological index onto the new partition. Entries from
+  // different old shards interleave in time, so each new shard re-sorts.
+  std::vector<std::vector<std::pair<util::TimePoint, trace::UserId>>> chrono(
+      shards);
+  for (auto& old : chrono_) {
+    for (const auto& entry : old) {
+      chrono[shard_map_.shard_of(entry.second)].push_back(entry);
+    }
+  }
+  for (auto& c : chrono) std::sort(c.begin(), c.end());
+  chrono_ = std::move(chrono);
+  // Re-route queued ingest events (callers guarantee no racing producers).
+  auto ingest = make_ingest(shards);
+  for (auto& old : ingest_) {
+    std::lock_guard<std::mutex> lock(old->mutex);
+    for (auto& event : old->queue) {
+      IngestShard& dst = *ingest[shard_map_.shard_of(std::get<0>(event))];
+      dst.queue.push_back(std::move(event));
+      dst.pending.store(dst.queue.size(), std::memory_order_relaxed);
+    }
+  }
+  ingest_ = std::move(ingest);
 }
 
 bool ActivityStore::has_dirty() const {
@@ -85,8 +119,7 @@ void ActivityStore::add(trace::UserId user, ActivityTypeId type,
 }
 
 void ActivityStore::rebuild_aggregates() {
-  chrono_.clear();
-  chrono_.reserve(total_activities());
+  chrono_.assign(shard_map_.shards(), {});
   for (std::size_t s = 0; s < streams_.size(); ++s) {
     const auto& stream = streams_[s];
     auto& prefix = prefix_[s];
@@ -103,9 +136,10 @@ void ActivityStore::rebuild_aggregates() {
                             stream[i].timestamp - stream[i - 1].timestamp);
     }
     const auto user = static_cast<trace::UserId>(s / types_);
-    for (const auto& a : stream) chrono_.emplace_back(a.timestamp, user);
+    auto& chrono = chrono_[shard_map_.shard_of(user)];
+    for (const auto& a : stream) chrono.emplace_back(a.timestamp, user);
   }
-  std::sort(chrono_.begin(), chrono_.end());
+  for (auto& c : chrono_) std::sort(c.begin(), c.end());
   obs::MetricsRegistry::global()
       .gauge("activity_store.aggregate_entries")
       .set(static_cast<std::int64_t>(aggregate_entries()));
@@ -156,11 +190,12 @@ void ActivityStore::append(trace::UserId user, ActivityTypeId type,
             ? 0
             : std::max(gaps[i], stream[i].timestamp - stream[i - 1].timestamp);
   }
+  auto& chrono = chrono_[shard_map_.shard_of(user)];
   const auto cit = std::upper_bound(
-      chrono_.begin(), chrono_.end(),
+      chrono.begin(), chrono.end(),
       std::make_pair(activity.timestamp,
                      std::numeric_limits<trace::UserId>::max()));
-  chrono_.emplace(cit, activity.timestamp, user);
+  chrono.emplace(cit, activity.timestamp, user);
   mark_dirty(user);
   static obs::Counter& appends =
       obs::MetricsRegistry::global().counter("activity_store.appends");
@@ -241,25 +276,90 @@ std::vector<trace::UserId> ActivityStore::take_dirty(std::size_t shard) {
 }
 
 std::span<const std::pair<util::TimePoint, trace::UserId>>
-ActivityStore::chrono_window(util::TimePoint begin, util::TimePoint end) const {
+ActivityStore::chrono_window(std::size_t shard, util::TimePoint begin,
+                             util::TimePoint end) const {
   if (end <= begin) return {};
+  const auto& chrono = chrono_[shard];
   const auto lo = std::upper_bound(
-      chrono_.begin(), chrono_.end(),
+      chrono.begin(), chrono.end(),
       std::make_pair(begin, std::numeric_limits<trace::UserId>::max()));
   const auto hi = std::upper_bound(
-      chrono_.begin(), chrono_.end(),
+      chrono.begin(), chrono.end(),
       std::make_pair(end, std::numeric_limits<trace::UserId>::max()));
-  return {chrono_.data() + (lo - chrono_.begin()),
+  return {chrono.data() + (lo - chrono.begin()),
           static_cast<std::size_t>(hi - lo)};
 }
 
 std::vector<trace::UserId> ActivityStore::users_active_between(
     util::TimePoint begin, util::TimePoint end) const {
   std::vector<trace::UserId> out;
-  for (const auto& [ts, user] : chrono_window(begin, end)) out.push_back(user);
+  for (std::size_t s = 0; s < chrono_.size(); ++s) {
+    for (const auto& [ts, user] : chrono_window(s, begin, end)) {
+      out.push_back(user);
+    }
+  }
   std::sort(out.begin(), out.end());
   out.erase(std::unique(out.begin(), out.end()), out.end());
   return out;
+}
+
+void ActivityStore::enqueue(trace::UserId user, ActivityTypeId type,
+                            Activity activity) {
+  if (user >= users_ || type >= types_)
+    throw std::out_of_range("ActivityStore: bad user/type");
+  IngestShard& shard = *ingest_[shard_map_.shard_of(user)];
+  {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    shard.queue.emplace_back(user, type, activity);
+    shard.pending.store(shard.queue.size(), std::memory_order_release);
+  }
+  static obs::Counter& enqueued =
+      obs::MetricsRegistry::global().counter("activity_store.ingest_enqueued");
+  enqueued.add();
+}
+
+bool ActivityStore::has_pending_ingest() const {
+  for (std::size_t s = 0; s < ingest_.size(); ++s) {
+    if (has_pending_ingest(s)) return true;
+  }
+  return false;
+}
+
+std::size_t ActivityStore::drain_ingest(std::size_t shard) {
+  IngestShard& iq = *ingest_[shard];
+  std::vector<std::tuple<trace::UserId, ActivityTypeId, Activity>> batch;
+  {
+    std::lock_guard<std::mutex> lock(iq.mutex);
+    if (iq.queue.empty()) return 0;
+    if (!finalized_) {
+      // append() would sort_all(), which touches every shard — not legal
+      // from a parallel per-shard drain. The evaluators finalize before
+      // fanning out; anything else should use the global drain_ingest().
+      // Checked before the swap so the queued events survive the throw.
+      throw std::logic_error(
+          "ActivityStore::drain_ingest(shard): store not finalized");
+    }
+    batch.swap(iq.queue);
+    iq.pending.store(0, std::memory_order_release);
+  }
+  for (const auto& [user, type, activity] : batch) {
+    append(user, type, activity);
+  }
+  static obs::Counter& drained =
+      obs::MetricsRegistry::global().counter("activity_store.ingest_drained");
+  drained.add(batch.size());
+  return batch.size();
+}
+
+std::size_t ActivityStore::drain_ingest() {
+  if (!finalized_ && has_pending_ingest()) {
+    sort_all();  // flush pending bulk rows before applying queued events
+  }
+  std::size_t applied = 0;
+  for (std::size_t s = 0; s < ingest_.size(); ++s) {
+    applied += drain_ingest(s);
+  }
+  return applied;
 }
 
 std::size_t ActivityStore::total_activities() const {
@@ -269,7 +369,8 @@ std::size_t ActivityStore::total_activities() const {
 }
 
 std::size_t ActivityStore::aggregate_entries() const {
-  std::size_t n = chrono_.size();
+  std::size_t n = 0;
+  for (const auto& c : chrono_) n += c.size();
   for (const auto& p : prefix_) n += p.size();
   for (const auto& g : gap_prefix_) n += g.size();
   return n;

@@ -5,8 +5,12 @@
 // or outcomes (things produced by using it). The catalog plus per-user,
 // per-type activity streams are the only inputs the evaluator needs.
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <span>
+#include <tuple>
 #include <utility>
 #include <string>
 #include <vector>
@@ -98,13 +102,22 @@ class ShardMap {
 ///    for whole trace files;
 ///  * streaming: append() events as they happen — each append keeps the
 ///    stream sorted, maintains the per-stream prefix-impact aggregate and
-///    the global chronological index, and marks the user dirty so an
-///    incremental evaluator knows exactly whose rank can have changed.
+///    the chronological index, and marks the user dirty so an incremental
+///    evaluator knows exactly whose rank can have changed;
+///  * concurrent: enqueue() routes the event into its owner shard's ingest
+///    queue (the only locked structure in the store); drain_ingest(shard)
+///    applies a shard's queue via append() at the start of that shard's
+///    advance. Producers on any thread can enqueue while per-shard drains
+///    and evaluations run.
 ///
 /// The prefix aggregates let an evaluation at any t_c resolve per-period
 /// impacts by binary-searching period boundaries (O(m log k)) instead of
 /// walking the whole stream; the chronological index answers "which users
 /// have activity inside a replay window" without touching every stream.
+/// The chronological index is sharded by the same ShardMap as the dirty
+/// queues, so an append during shard s's drain touches only shard-s state —
+/// streams, prefixes, dirty bytes, and chrono slice are all owner-shard
+/// local, which is what makes concurrent per-shard drains race-free.
 class ActivityStore {
  public:
   ActivityStore(std::size_t user_count, std::size_t type_count);
@@ -156,15 +169,18 @@ class ActivityStore {
   // configures S > 1 so an advance can ask "does shard s have work?" without
   // scanning other shards' queues.
   //
-  // Thread-safety: take_dirty(shard) / has_dirty(shard) for *distinct*
-  // shards touch disjoint state (each shard's own queue, and dirty-flag
-  // bytes of users only that shard owns), so per-shard drains may run
-  // concurrently — the one concurrency the sharded advance needs. Everything
-  // else (appends, sort_all, set_dirty_shards, the global take_dirty)
-  // remains single-threaded, as before.
+  // Thread-safety: take_dirty(shard) / has_dirty(shard) / drain_ingest(shard)
+  // for *distinct* shards touch disjoint state (each shard's own queues,
+  // chrono slice, and streams/dirty-flag bytes of users only that shard
+  // owns), so per-shard drains may run concurrently — the one concurrency
+  // the sharded advance needs. enqueue() is additionally safe against
+  // anything except set_dirty_shards. Everything else (appends, sort_all,
+  // set_dirty_shards, the global take_dirty) remains single-threaded.
 
-  /// Re-bucket dirty routing into `shards` queues (pending entries are
-  /// preserved). No-op when the count is unchanged.
+  /// Re-bucket dirty routing, the chronological index, and the ingest
+  /// queues into `shards` partitions (pending entries are preserved).
+  /// No-op when the count is unchanged. Must not race producers: configure
+  /// the shard count before ingest threads start.
   void set_dirty_shards(std::size_t shards);
   const ShardMap& dirty_shard_map() const { return shard_map_; }
 
@@ -178,17 +194,47 @@ class ActivityStore {
   /// Drain one shard's dirty queue, sorted ascending.
   std::vector<trace::UserId> take_dirty(std::size_t shard);
 
+  // -- concurrent ingest (producers: any thread; consumer: shard drains) --
+
+  /// Thread-safe streaming insert: routes the event into its owner shard's
+  /// ingest queue (one mutex per shard — producers for different shards
+  /// never contend) and returns immediately. The store itself is mutated
+  /// only when drain_ingest applies the queue, so producers may enqueue
+  /// while per-shard drains or evaluations run. Events enqueued after a
+  /// shard's drain began are picked up by the next drain.
+  void enqueue(trace::UserId user, ActivityTypeId type, Activity activity);
+
+  /// Whether a shard has queued-but-undrained events (lock-free; exact
+  /// under quiescence, momentarily stale against a racing producer — fine
+  /// for wake checks, which err toward waking).
+  bool has_pending_ingest(std::size_t shard) const {
+    return ingest_[shard]->pending.load(std::memory_order_acquire) > 0;
+  }
+  bool has_pending_ingest() const;
+
+  /// Apply one shard's queued events via append(), in arrival order, and
+  /// return how many were applied. Touches only shard-owned state, so
+  /// distinct shards may drain concurrently — but the store must already be
+  /// finalized (the evaluators sort_all() before any parallel phase).
+  std::size_t drain_ingest(std::size_t shard);
+  /// Drain every shard, single-threaded; finalizes first if events are
+  /// pending over un-sorted bulk rows.
+  std::size_t drain_ingest();
+
   /// Users with at least one activity in (begin, end], sorted ascending —
-  /// resolved against the chronological index, O(log n + hits).
+  /// resolved against the chronological index, O(S log n + hits).
   std::vector<trace::UserId> users_active_between(util::TimePoint begin,
                                                   util::TimePoint end) const;
 
-  /// The chronological-index slice covering (begin, end] — the
+  /// One shard's chronological-index slice covering (begin, end] — the
   /// allocation-free form of users_active_between for hot callers that
-  /// dedupe into their own flag table. Entries are time-sorted and may
-  /// repeat a user.
+  /// dedupe into their own flag table. Entries are time-sorted within the
+  /// shard and may repeat a user; a full-store sweep iterates shards
+  /// 0..chrono_shard_count().
   std::span<const std::pair<util::TimePoint, trace::UserId>> chrono_window(
-      util::TimePoint begin, util::TimePoint end) const;
+      std::size_t shard, util::TimePoint begin, util::TimePoint end) const;
+  /// Number of chrono/ingest shards (== dirty_shard_map().shards()).
+  std::size_t chrono_shard_count() const { return chrono_.size(); }
 
   std::size_t user_count() const { return users_; }
   std::size_t type_count() const { return types_; }
@@ -201,21 +247,35 @@ class ActivityStore {
   std::size_t aggregate_entries() const;
 
  private:
+  /// One shard's producer-facing queue. pending mirrors queue.size() and is
+  /// maintained under the mutex so lock-free wake checks read a consistent
+  /// value.
+  struct IngestShard {
+    std::mutex mutex;
+    std::vector<std::tuple<trace::UserId, ActivityTypeId, Activity>> queue;
+    std::atomic<std::size_t> pending{0};
+  };
+
   void mark_dirty(trace::UserId user);
   void rebuild_aggregates();
+  static std::vector<std::unique_ptr<IngestShard>> make_ingest(
+      std::size_t shards);
 
   std::size_t users_;
   std::size_t types_;
   std::vector<std::vector<Activity>> streams_;  // [user * types_ + type]
   std::vector<std::vector<double>> prefix_;     // parallel to streams_
   std::vector<std::vector<util::Duration>> gap_prefix_;  // parallel to streams_
-  /// All activities, time-sorted, for windowed dirty-user queries.
-  std::vector<std::pair<util::TimePoint, trace::UserId>> chrono_;
+  /// Chronological index for windowed dirty-user queries, sharded by
+  /// shard_map_ so an append during one shard's drain stays shard-local.
+  /// Entries within a shard are time-sorted.
+  std::vector<std::vector<std::pair<util::TimePoint, trace::UserId>>> chrono_;
   bool finalized_ = false;
 
   std::vector<std::uint8_t> dirty_flags_;  // dense by user
   ShardMap shard_map_;                     // dirty routing (1 shard default)
   std::vector<std::vector<trace::UserId>> dirty_lists_;  // one per shard
+  std::vector<std::unique_ptr<IngestShard>> ingest_;     // one per shard
 };
 
 /// Ingest a job log: each job submission becomes one operation activity with

@@ -142,6 +142,9 @@ struct UserActiveness {
 class Evaluator {
  public:
   Evaluator(const ActivityCatalog& catalog, EvaluationParams params);
+  /// The evaluator keeps a pointer to the caller's catalog; a temporary
+  /// would dangle (silently empty type lists, every rank fresh).
+  Evaluator(ActivityCatalog&&, EvaluationParams) = delete;
 
   UserActiveness evaluate_user(const ActivityStore& store,
                                trace::UserId user) const;

@@ -247,6 +247,24 @@ AdvanceStats IncrementalEvaluator::advance(ActivityStore& store,
 
   if (!store.finalized()) store.sort_all();
 
+  // Apply queued concurrent ingest for this pipeline's slice first: the
+  // events land in streams/dirty/chrono exactly as direct appends would
+  // have, so everything below sees them as ordinary dirty users. A ranged
+  // pipeline drains only its own shard's queue (other shards' queues are
+  // their owners' to drain, possibly concurrently).
+  if (dirty_shard_ == kGlobalDirty) {
+    store.drain_ingest();
+  } else {
+    store.drain_ingest(dirty_shard_);
+  }
+
+  // The chrono shards this pipeline scans for window-revealed users.
+  const std::size_t chrono_begin =
+      dirty_shard_ == kGlobalDirty ? 0 : dirty_shard_;
+  const std::size_t chrono_end = dirty_shard_ == kGlobalDirty
+                                     ? store.chrono_shard_count()
+                                     : dirty_shard_ + 1;
+
   const bool resolved_full =
       mode_ == EvalMode::kFull || (mode_ == EvalMode::kAuto && auto_full_);
   const bool continuous = evaluated_ && now >= last_now_ &&
@@ -267,9 +285,11 @@ AdvanceStats IncrementalEvaluator::advance(ActivityStore& store,
         if (u >= base && u - base < candidate_flags_.size())
           candidate_flags_[u - base] = 1;
       }
-      for (const auto& [ts, u] : store.chrono_window(last_now_, now)) {
-        if (u >= base && u - base < candidate_flags_.size())
-          candidate_flags_[u - base] = 1;
+      for (std::size_t cs = chrono_begin; cs < chrono_end; ++cs) {
+        for (const auto& [ts, u] : store.chrono_window(cs, last_now_, now)) {
+          if (u >= base && u - base < candidate_flags_.size())
+            candidate_flags_[u - base] = 1;
+        }
       }
       for (const std::uint8_t f : candidate_flags_) stats.users_dirty += f;
       if (stats.users_dirty * 4 < users_.size()) {
@@ -307,9 +327,11 @@ AdvanceStats IncrementalEvaluator::advance(ActivityStore& store,
       if (u >= base && u - base < candidate_flags_.size())
         candidate_flags_[u - base] = 1;
     }
-    for (const auto& [ts, u] : store.chrono_window(last_now_, now)) {
-      if (u >= base && u - base < candidate_flags_.size())
-        candidate_flags_[u - base] = 1;
+    for (std::size_t cs = chrono_begin; cs < chrono_end; ++cs) {
+      for (const auto& [ts, u] : store.chrono_window(cs, last_now_, now)) {
+        if (u >= base && u - base < candidate_flags_.size())
+          candidate_flags_[u - base] = 1;
+      }
     }
     for (const std::uint8_t f : candidate_flags_) stats.users_dirty += f;
 

@@ -81,6 +81,10 @@ class IncrementalEvaluator {
   IncrementalEvaluator(const ActivityCatalog& catalog,
                        EvaluationParams base_params,
                        EvalMode mode = EvalMode::kAuto);
+  /// The pipeline keeps a pointer to the caller's catalog for its whole
+  /// lifetime; binding a temporary would dangle by the first advance().
+  IncrementalEvaluator(ActivityCatalog&&, EvaluationParams,
+                       EvalMode = EvalMode::kAuto) = delete;
 
   /// Shard-segment pipeline (used by ShardedEvaluator): evaluates only the
   /// users in [range_begin, range_end) and drains dirty shard `dirty_shard`
@@ -93,6 +97,8 @@ class IncrementalEvaluator {
                        EvaluationParams base_params, EvalMode mode,
                        trace::UserId range_begin, trace::UserId range_end,
                        std::size_t dirty_shard);
+  IncrementalEvaluator(ActivityCatalog&&, EvaluationParams, EvalMode,
+                       trace::UserId, trace::UserId, std::size_t) = delete;
 
   /// Advance the evaluation to t_c = `now`. Finalizes the store if bulk
   /// rows are pending, drains its dirty set, re-evaluates what can have

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <chrono>
-#include <limits>
 
 #include "obs/metrics.hpp"
 #include "obs/span.hpp"
@@ -126,27 +125,19 @@ AdvanceStats ShardedEvaluator::advance(ActivityStore& store,
   } else {
     // Wake filter: a shard must run unless its cached evaluation provably
     // still holds at `now` — which needs every cached user frozen under a
-    // durable certificate, no queued dirty users, no trace events revealed
-    // in (its last t_c, now], and time moving forward.
+    // durable certificate, no queued dirty users, no queued concurrent
+    // ingest, no trace events revealed in (its last t_c, now], and time
+    // moving forward.
     wake_.assign(shards_, 0);
-    util::TimePoint min_last = std::numeric_limits<util::TimePoint>::max();
-    bool any_asleep = false;
     for (std::size_t s = 0; s < shards_; ++s) {
       const auto& ev = evals_[s];
       if (!ev.evaluated() || now < ev.last_now() || store.has_dirty(s) ||
-          !ev.quiescent()) {
+          store.has_pending_ingest(s) || !ev.quiescent()) {
         wake_[s] = 1;
-      } else {
-        any_asleep = true;
-        min_last = std::min(min_last, ev.last_now());
-      }
-    }
-    if (any_asleep) {
-      // One pass over the global chronological window wakes shards whose
-      // users have events the advancing trim is about to reveal.
-      for (const auto& [ts, u] : store.chrono_window(min_last, now)) {
-        const std::size_t s = map_.shard_of(u);
-        if (!wake_[s] && ts > evals_[s].last_now()) wake_[s] = 1;
+      } else if (!store.chrono_window(s, ev.last_now(), now).empty()) {
+        // The shard's own chronological slice has events the advancing trim
+        // is about to reveal.
+        wake_[s] = 1;
       }
     }
 

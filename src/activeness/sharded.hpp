@@ -46,6 +46,10 @@ class ShardedEvaluator {
   ShardedEvaluator(const ActivityCatalog& catalog,
                    EvaluationParams base_params,
                    EvalMode mode = EvalMode::kAuto, std::size_t shards = 0);
+  /// The evaluator keeps a pointer to the caller's catalog for its whole
+  /// lifetime; binding a temporary would dangle by the first advance().
+  ShardedEvaluator(ActivityCatalog&&, EvaluationParams,
+                   EvalMode = EvalMode::kAuto, std::size_t = 0) = delete;
 
   /// min(thread-pool parallelism, 16): one shard per thread the advance can
   /// actually run on, capped where merge overhead outgrows the win.

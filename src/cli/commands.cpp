@@ -14,6 +14,7 @@
 #include "obs/metrics.hpp"
 #include "retention/ledger.hpp"
 #include "sim/experiment.hpp"
+#include "sim/loadgen.hpp"
 #include "util/config.hpp"
 #include "util/fault.hpp"
 #include "util/io.hpp"
@@ -84,6 +85,20 @@ commands:
             purge trigger (identical results; incremental is the fast path).
             --shards N runs each evaluation sharded by user range across
             the thread pool (activeness/sharded.hpp; same results).
+
+  loadgen   [--load-rate EV_PER_SEC] [--load-duration SECONDS]
+            [--trigger-interval S] [--p99-budget-ms MS]
+            [--ramp-levels N] [--ramp-factor X] [--users N]
+            [--producers N] [--shards N] [--seed S] [--json FILE]
+            Sustained-load latency harness (DESIGN.md §12): concurrent
+            producers enqueue synthetic trace events into the activity
+            store's per-shard ingest queues at --load-rate while periodic
+            evaluate/purge triggers are timed; the rate ramps by
+            --ramp-factor per level until trigger p99 breaches the budget.
+            Prints per-level p50/p99/p999 and the max sustainable rate;
+            every level is checked rank-for-rank against a serial replay
+            (exit 3 on divergence). --json writes the BENCH_load-shaped
+            report.
 
   info      --snapshot F
             Summarize a metadata snapshot.
@@ -645,6 +660,76 @@ int cmd_info(const util::Config& config, std::ostream& out) {
   return 0;
 }
 
+// ---- loadgen ---------------------------------------------------------------
+
+int cmd_loadgen(const util::Config& config, std::ostream& out) {
+  sim::LoadGenConfig c;
+  c.users = static_cast<std::size_t>(
+      config.get_int("users", static_cast<std::int64_t>(c.users)));
+  c.files_per_user = static_cast<std::size_t>(config.get_int(
+      "files-per-user", static_cast<std::int64_t>(c.files_per_user)));
+  c.seed = static_cast<std::uint64_t>(
+      config.get_int("seed", static_cast<std::int64_t>(c.seed)));
+  c.producers = static_cast<std::size_t>(
+      config.get_int("producers", static_cast<std::int64_t>(c.producers)));
+  c.shards = static_cast<std::size_t>(config.get_int("shards", 0));
+  c.events_per_sec = config.get_double("load-rate", c.events_per_sec);
+  c.duration_seconds = config.get_double("load-duration", c.duration_seconds);
+  c.trigger_interval_seconds =
+      config.get_double("trigger-interval", c.trigger_interval_seconds);
+  c.p99_budget_ms = config.get_double("p99-budget-ms", c.p99_budget_ms);
+  c.ramp_levels = static_cast<std::size_t>(
+      config.get_int("ramp-levels", static_cast<std::int64_t>(c.ramp_levels)));
+  c.ramp_factor = config.get_double("ramp-factor", c.ramp_factor);
+
+  const sim::LoadResult result = sim::run_load(c);
+
+  util::Table table("Sustained load ramp (" + std::to_string(result.shards) +
+                    " shards)");
+  table.set_headers({"Target ev/s", "Achieved", "Triggers", "p50 ms", "p99 ms",
+                     "p999 ms", "Identical", "Sustainable"});
+  char buf[64];
+  const auto f3 = [&buf](double v) {
+    std::snprintf(buf, sizeof(buf), "%.3f", v);
+    return std::string(buf);
+  };
+  for (const sim::LoadLevelResult& level : result.levels) {
+    table.add_row({f3(level.target_rate), f3(level.achieved_rate),
+                   util::fmt_int(static_cast<std::int64_t>(level.triggers)),
+                   f3(level.p50_ms), f3(level.p99_ms), f3(level.p999_ms),
+                   level.ranks_identical ? "yes" : "NO (BUG)",
+                   level.sustainable ? "yes" : "no"});
+  }
+  table.print(out);
+  out << "max sustainable rate: " << result.max_sustainable_rate
+      << " events/sec\n"
+      << "ranks identical to serial replay: "
+      << (result.ranks_identical ? "yes" : "NO (BUG)") << "\n";
+
+  if (const auto json_path = config.get("json")) {
+    std::ofstream json(*json_path);
+    json << "{\n  \"bench\": \"load_harness\",\n  \"shards\": "
+         << result.shards << ",\n  \"levels\": [\n";
+    for (std::size_t i = 0; i < result.levels.size(); ++i) {
+      const sim::LoadLevelResult& level = result.levels[i];
+      json << "    {\"target_rate\": " << level.target_rate
+           << ", \"achieved_rate\": " << level.achieved_rate
+           << ", \"p50_ms\": " << level.p50_ms
+           << ", \"p99_ms\": " << level.p99_ms
+           << ", \"p999_ms\": " << level.p999_ms
+           << ", \"ranks_identical\": "
+           << (level.ranks_identical ? "true" : "false")
+           << ", \"sustainable\": " << (level.sustainable ? "true" : "false")
+           << "}" << (i + 1 < result.levels.size() ? "," : "") << "\n";
+    }
+    json << "  ],\n  \"max_sustainable_rate\": " << result.max_sustainable_rate
+         << ",\n  \"ranks_identical\": "
+         << (result.ranks_identical ? "true" : "false") << "\n}\n";
+    out << "wrote " << *json_path << "\n";
+  }
+  return result.ranks_identical ? 0 : 3;
+}
+
 }  // namespace
 
 namespace {
@@ -699,6 +784,7 @@ int run_cli(int argc, const char* const* argv, std::ostream& out,
     else if (command == "replay") rc = cmd_replay(config, out);
     else if (command == "compare") rc = cmd_compare(config, out);
     else if (command == "info") rc = cmd_info(config, out);
+    else if (command == "loadgen") rc = cmd_loadgen(config, out);
     else if (command == "help" || command == "--help" || command == "-h") {
       out << kUsage;
       rc = 0;

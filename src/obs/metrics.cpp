@@ -1,5 +1,6 @@
 #include "obs/metrics.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <limits>
@@ -69,6 +70,14 @@ void Histogram::observe(double seconds) noexcept {
   }
 }
 
+double Histogram::quantile(double q) const noexcept {
+  MetricsSnapshot::HistogramData d;
+  d.count = count();
+  d.max_seconds = max_seconds();
+  for (std::size_t i = 0; i < kBuckets; ++i) d.buckets[i] = bucket_count(i);
+  return MetricsSnapshot::quantile(d, q);
+}
+
 void Histogram::reset() noexcept {
   for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
   count_.store(0, std::memory_order_relaxed);
@@ -120,6 +129,42 @@ MetricsSnapshot::HistogramData snapshot_histogram(const Histogram& h) {
 }
 
 }  // namespace
+
+double MetricsSnapshot::quantile(const HistogramData& h, double q) noexcept {
+  if (h.count == 0) return 0.0;
+  if (!(q >= 0.0)) q = 0.0;  // also catches NaN
+  if (q > 1.0) q = 1.0;
+  // 1-based rank of the q-th observation; q = 0 maps to the first.
+  const double target =
+      std::max(1.0, q * static_cast<double>(h.count));
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < Histogram::kBuckets; ++i) {
+    const std::uint64_t n = h.buckets[i];
+    if (n == 0) continue;
+    if (static_cast<double>(cum) + static_cast<double>(n) >= target) {
+      const double frac =
+          (target - static_cast<double>(cum)) / static_cast<double>(n);
+      const double lo = i == 0 ? 0.0 : Histogram::bucket_bound(i - 1);
+      // The overflow bucket has no finite upper bound; the recorded maximum
+      // is its only honest anchor.
+      const double hi = i + 1 == Histogram::kBuckets
+                            ? std::max(h.max_seconds, lo)
+                            : Histogram::bucket_bound(i);
+      double v;
+      if (lo <= 0.0) {
+        v = hi * frac;  // first bucket: no finite log anchor below
+      } else if (hi <= lo) {
+        v = lo;
+      } else {
+        v = lo * std::pow(hi / lo, frac);
+      }
+      // The bucket bound can overshoot the largest value actually seen.
+      return std::min(v, std::max(h.max_seconds, 0.0));
+    }
+    cum += n;
+  }
+  return h.max_seconds;
+}
 
 MetricsSnapshot MetricsRegistry::snapshot() const {
   MetricsSnapshot snap;
@@ -178,6 +223,9 @@ void append_histogram_json(std::ostringstream& out,
   out << "{\"count\": " << h.count
       << ", \"sum_seconds\": " << format_double(h.sum_seconds)
       << ", \"max_seconds\": " << format_double(h.max_seconds)
+      << ", \"p50\": " << format_double(MetricsSnapshot::quantile(h, 0.50))
+      << ", \"p99\": " << format_double(MetricsSnapshot::quantile(h, 0.99))
+      << ", \"p999\": " << format_double(MetricsSnapshot::quantile(h, 0.999))
       << ", \"buckets\": [";
   for (std::size_t i = 0; i < Histogram::kBuckets; ++i) {
     if (i > 0) out << ", ";
@@ -217,6 +265,19 @@ void append_section(std::ostringstream& out, const char* title,
 std::string to_json(const MetricsSnapshot& snapshot) {
   std::ostringstream out;
   out << "{\n";
+  // All histograms share one bucket layout; publish it once so consumers
+  // never have to re-derive bounds from bucket indices.
+  out << "  \"bucket_bounds\": [";
+  for (std::size_t i = 0; i < Histogram::kBuckets; ++i) {
+    if (i > 0) out << ", ";
+    const double bound = Histogram::bucket_bound(i);
+    if (std::isinf(bound)) {
+      out << "\"inf\"";
+    } else {
+      out << format_double(bound);
+    }
+  }
+  out << "],\n";
   append_section(out, "counters", snapshot.counters,
                  [](std::ostringstream& o, std::uint64_t v) { o << v; },
                  false);

@@ -88,6 +88,14 @@ class Histogram {
     return buckets_[i].load(std::memory_order_relaxed);
   }
 
+  /// Estimate the q-th quantile (q in [0, 1]) from the bucket counts:
+  /// locate the bucket holding the q-th observation and interpolate
+  /// log-linearly between its bounds (the buckets are x4 log-spaced, so
+  /// geometric interpolation is the unbiased choice). The overflow bucket
+  /// anchors on max_seconds. Returns 0 for an empty histogram. The result
+  /// is monotone in q and always within [0, max_seconds].
+  double quantile(double q) const noexcept;
+
   void reset() noexcept;
 
  private:
@@ -105,6 +113,9 @@ struct MetricsSnapshot {
     double max_seconds = 0.0;
     std::array<std::uint64_t, Histogram::kBuckets> buckets{};
   };
+
+  /// Same estimator as Histogram::quantile, over an already-taken snapshot.
+  static double quantile(const HistogramData& h, double q) noexcept;
 
   std::map<std::string, std::uint64_t> counters;
   std::map<std::string, std::int64_t> gauges;

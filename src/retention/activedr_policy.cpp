@@ -196,12 +196,21 @@ PurgeReport ActiveDrPolicy::run(fs::Vfs& vfs, util::TimePoint now,
         util::global_pool().parallel_for(0, users.size(), [&](std::size_t ui) {
           const auto& ua = users[ui];
           const util::Duration lifetime = effective_lifetime(ua, pass);
+          // Exemption accounting must match the indexed scan: an exempt
+          // file counts once per scanned group, and only if it is expired
+          // at the group's *widest* (fully decayed) cutoff — the same
+          // population the indexed scan materializes. Counting on every
+          // re-walked pass, or counting unexpired exempt files, made
+          // exempted_files diverge between the two modes.
+          const util::Duration widest_lifetime = effective_lifetime(ua, max_pass);
           const std::string home = registry_->home_dir(ua.user);
           auto& mine = victims[ui];
           vfs.for_each_under(home, [&](const std::string& path,
                                        const fs::FileMeta& meta) {
             if (exemptions_.is_exempt(path)) {
-              exempted.fetch_add(1, std::memory_order_relaxed);
+              if (pass == 0 && now - meta.atime > widest_lifetime) {
+                exempted.fetch_add(1, std::memory_order_relaxed);
+              }
               return;
             }
             if (now - meta.atime > lifetime) {

@@ -78,6 +78,63 @@ TEST(Histogram, NegativeAndNanClampToZero) {
   EXPECT_DOUBLE_EQ(h.sum_seconds(), 0.0);
 }
 
+TEST(Histogram, QuantileOfEmptyHistogramIsZero) {
+  Histogram h;
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 0.0);
+}
+
+TEST(Histogram, QuantileSingleBucketStaysInsideItsBounds) {
+  Histogram h;
+  // 100 observations of 2ms, all in the (1.024ms, 4.096ms] bucket.
+  for (int i = 0; i < 100; ++i) h.observe(0.002);
+  for (const double q : {0.0, 0.25, 0.5, 0.9, 0.99, 1.0}) {
+    const double v = h.quantile(q);
+    EXPECT_GT(v, 0.001024) << "q=" << q;
+    EXPECT_LE(v, 0.002) << "q=" << q;  // clamped at the observed maximum
+  }
+  // Log-linear interpolation moves with q inside the bucket.
+  EXPECT_LT(h.quantile(0.1), h.quantile(0.9));
+}
+
+TEST(Histogram, QuantileUsesMaxAsOverflowAnchor) {
+  Histogram h;
+  h.observe(1e-6);
+  for (int i = 0; i < 99; ++i) h.observe(500.0);  // overflow bucket (> 268s)
+  const double p99 = h.quantile(0.99);
+  EXPECT_GT(p99, Histogram::bucket_bound(Histogram::kBuckets - 2));
+  EXPECT_LE(p99, 500.0);
+  EXPECT_NEAR(h.quantile(1.0), 500.0, 1e-6);
+}
+
+TEST(Histogram, QuantileIsMonotoneInQ) {
+  Histogram h;
+  // A spread that touches many buckets including both edge buckets.
+  for (int i = 0; i < 1000; ++i) {
+    h.observe(1e-7 * static_cast<double>((i * 37) % 1000 + 1) *
+              static_cast<double>(1 + i % 13) * 100.0);
+  }
+  h.observe(400.0);  // one overflow observation
+  double prev = -1.0;
+  for (double q = 0.0; q <= 1.0; q += 0.001) {
+    const double v = h.quantile(q);
+    EXPECT_GE(v, prev) << "q=" << q;
+    prev = v;
+  }
+  EXPECT_LE(prev, h.max_seconds());
+}
+
+TEST(Histogram, QuantileMatchesExactRankAcrossBucketBoundary) {
+  Histogram h;
+  // 50 fast (bucket 0: <= 1us) + 50 slow (~2s bucket): the median must sit
+  // at the bucket boundary region, p25 in the fast bucket, p75 in the slow.
+  for (int i = 0; i < 50; ++i) h.observe(5e-7);
+  for (int i = 0; i < 50; ++i) h.observe(2.0);
+  EXPECT_LE(h.quantile(0.25), 1e-6);
+  EXPECT_GT(h.quantile(0.75), 1.0);
+}
+
 TEST(Registry, SameNameYieldsSameMetric) {
   MetricsRegistry reg;
   Counter& a = reg.counter("x");
@@ -181,6 +238,11 @@ TEST(Registry, ToJsonHasAllSectionsAndBalances) {
   EXPECT_NE(json.find("\"vfs.creates\": 2"), std::string::npos);
   EXPECT_NE(json.find("\"policy.scan\""), std::string::npos);
   EXPECT_NE(json.find("\"le\": \"inf\""), std::string::npos);
+  // Quantiles and the shared bucket layout ride along with every export.
+  EXPECT_NE(json.find("\"p50\""), std::string::npos);
+  EXPECT_NE(json.find("\"p99\""), std::string::npos);
+  EXPECT_NE(json.find("\"p999\""), std::string::npos);
+  EXPECT_NE(json.find("\"bucket_bounds\""), std::string::npos);
 }
 
 TEST(Registry, ToJsonEscapesAwkwardNames) {

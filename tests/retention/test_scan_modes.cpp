@@ -1,9 +1,10 @@
 // Walk vs indexed scan equivalence (DESIGN.md "Purge index"): both modes of
 // ActiveDrPolicy must produce byte-identical PurgeReports — same victims, in
-// the same order, with the same accounting — across targets, retrospective
-// passes, and randomized file populations. The only sanctioned difference is
-// exempted_files (the walk counts an exempt file once per pass that scans
-// it, the index once per candidate window) and the phase wall times.
+// the same order, with the same accounting, and the same exempted_files
+// count (an exempt file counts once per scanned group, only when expired at
+// the group's widest fully-decayed cutoff) — across targets, retrospective
+// passes, and randomized file populations. The only sanctioned difference
+// is the phase wall times.
 
 #include <gtest/gtest.h>
 
@@ -85,11 +86,12 @@ ScanPlan make_plan(util::Rng& rng) {
   return activeness::build_scan_plan(std::move(users));
 }
 
-/// Byte-identical modulo exempted_files and wall times (see header comment).
+/// Byte-identical modulo wall times (see header comment).
 void expect_reports_equal(const PurgeReport& walk, const PurgeReport& indexed,
                           const std::string& label) {
   SCOPED_TRACE(label);
   EXPECT_EQ(walk.target_purge_bytes, indexed.target_purge_bytes);
+  EXPECT_EQ(walk.exempted_files, indexed.exempted_files);
   EXPECT_EQ(walk.purged_bytes, indexed.purged_bytes);
   EXPECT_EQ(walk.purged_files, indexed.purged_files);
   EXPECT_EQ(walk.target_reached, indexed.target_reached);
@@ -195,6 +197,8 @@ TEST(ScanModes, ExemptionsRespectedInBothModes) {
   populate(vfs, registry, rng);
   const ScanPlan plan = make_plan(rng);
 
+  std::size_t exempted_by_mode[2] = {0, 0};
+  int i = 0;
   for (const ScanMode mode : {ScanMode::kWalk, ScanMode::kIndexed}) {
     fs::Vfs run;
     run.import_snapshot(vfs.export_snapshot());
@@ -212,7 +216,9 @@ TEST(ScanModes, ExemptionsRespectedInBothModes) {
           << path;
     }
     EXPECT_GT(report.exempted_files, 0u);
+    exempted_by_mode[i++] = report.exempted_files;
   }
+  EXPECT_EQ(exempted_by_mode[0], exempted_by_mode[1]);
 }
 
 TEST(ScanModes, FltStrictModesSelectIdenticalVictimSets) {

@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
-# Perf regression harness for the purge-index scan path.
+# Perf regression harness for the purge-index scan path and the sustained-
+# load harness.
 #
 # Builds the Release bench tree, runs the Fig. 12 walk-vs-indexed purge
-# trigger comparison, and diffs the emitted BENCH_fig12.json against the
-# committed baseline (bench/baselines/BENCH_fig12.json).
+# trigger comparison and the bench_load ramp, and diffs the emitted
+# BENCH_fig12.json / BENCH_load.json against the committed baselines
+# (bench/baselines/).
 #
 # Fails when:
 #   * the two scan modes select different victim sets (correctness), or
@@ -14,42 +16,69 @@
 #     below MIN_EVAL_SPEEDUP (default 3.0), or
 #   * the sharded pipeline diverges from the single pipeline (plans or
 #     purge victims), or
+#   * this machine has >= 4 cores but the shard comparison ran at < 4
+#     shards (the speedup gate would be silently skipped — loud failure,
+#     not a skip), or
 #   * the run used >= 4 shards and the sharded advance's speedup over the
-#     single pipeline drops below MIN_SHARD_SPEEDUP (default 2.0; the floor
-#     is skipped on hosts whose core count collapses the shard count).
+#     single pipeline drops below MIN_SHARD_SPEEDUP (default 2.0; on hosts
+#     with < 4 cores the floor is skipped with an explicit note), or
+#   * bench_load's concurrent ingest diverged from the serial replay at any
+#     shard count (ranks must be byte-identical), or
+#   * bench_load's max sustainable rate drops below MIN_LOAD_RATE (default:
+#     baseline max_sustainable_rate / TOLERANCE).
 #
-# Usage: tools/run_bench.sh [extra bench flags, e.g. --users 600 --seed 42]
+# Usage: tools/run_bench.sh [extra bench_fig12 flags, e.g. --users 600]
+#        LOAD_FLAGS overrides the bench_load invocation (default:
+#        "--load-rate 1000 --load-duration 0.5 --ramp-levels 4").
 
 set -euo pipefail
 
 REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD_DIR="${BUILD_DIR:-$REPO_ROOT/bench-build}"
 BASELINE="$REPO_ROOT/bench/baselines/BENCH_fig12.json"
+LOAD_BASELINE="$REPO_ROOT/bench/baselines/BENCH_load.json"
 OUT_JSON="$BUILD_DIR/BENCH_fig12.json"
+LOAD_JSON="$BUILD_DIR/BENCH_load.json"
 MIN_SPEEDUP="${MIN_SPEEDUP:-3.0}"
 MIN_EVAL_SPEEDUP="${MIN_EVAL_SPEEDUP:-3.0}"
 MIN_SHARD_SPEEDUP="${MIN_SHARD_SPEEDUP:-2.0}"
+MIN_LOAD_RATE="${MIN_LOAD_RATE:-0}"
 TOLERANCE="${TOLERANCE:-1.5}"
+LOAD_FLAGS="${LOAD_FLAGS:---load-rate 1000 --load-duration 0.5 --ramp-levels 4}"
+CORES="$(nproc)"
 
 cmake -S "$REPO_ROOT" -B "$BUILD_DIR" -DCMAKE_BUILD_TYPE=Release >/dev/null
-cmake --build "$BUILD_DIR" --target bench_fig12_performance -j "$(nproc)"
+cmake --build "$BUILD_DIR" --target bench_fig12_performance bench_load \
+    -j "$CORES"
 
 # The google-benchmark suites are not part of the regression gate; the
 # comparison section runs before them, so cut the run short via filter-less
 # environment (benchmark still runs, but it is cheap at bench scale).
 "$BUILD_DIR/bench/bench_fig12_performance" --bench-json "$OUT_JSON" "$@"
 
+# Sustained-load ramp. bench_load itself exits nonzero when the concurrent
+# ranks diverge from the serial replay, so a correctness failure stops the
+# harness before the gate even runs.
+# shellcheck disable=SC2086  # LOAD_FLAGS is intentionally word-split
+"$BUILD_DIR/bench/bench_load" --bench-json "$LOAD_JSON" $LOAD_FLAGS
+
 python3 - "$OUT_JSON" "$BASELINE" "$MIN_SPEEDUP" "$TOLERANCE" \
-    "$MIN_EVAL_SPEEDUP" "$MIN_SHARD_SPEEDUP" <<'PY'
+    "$MIN_EVAL_SPEEDUP" "$MIN_SHARD_SPEEDUP" "$CORES" \
+    "$LOAD_JSON" "$LOAD_BASELINE" "$MIN_LOAD_RATE" <<'PY'
 import json, sys
 
 (out_path, base_path, min_speedup, tolerance, min_eval_speedup,
- min_shard_speedup) = sys.argv[1:7]
+ min_shard_speedup, cores, load_path, load_base_path,
+ min_load_rate) = sys.argv[1:11]
 min_speedup, tolerance = float(min_speedup), float(tolerance)
 min_eval_speedup = float(min_eval_speedup)
 min_shard_speedup = float(min_shard_speedup)
+min_load_rate = float(min_load_rate)
+cores = int(cores)
 out = json.load(open(out_path))
 base = json.load(open(base_path))
+load = json.load(open(load_path))
+load_base = json.load(open(load_base_path))
 
 failures = []
 if not out["victim_sets_identical"]:
@@ -71,11 +100,39 @@ if not out.get("shard_victims_identical", True):
     failures.append(
         "sharded and single pipelines selected DIFFERENT purge victims")
 # The wall-clock floor only means something with real parallelism under it;
-# identity is enforced at every shard count above.
-if out.get("shards", 1) >= 4 and out["shard_speedup"] < min_shard_speedup:
+# identity is enforced at every shard count above. A >= 4-core machine that
+# somehow ran < 4 shards is a broken configuration, not a skip — that is
+# exactly the state in which the floor silently stops gating anything.
+shards = out.get("shards", 1)
+if cores >= 4 and shards < 4:
     failures.append(
-        f"shard speedup {out['shard_speedup']:.2f}x at {out['shards']} "
+        f"shard comparison ran at {shards} shard(s) on a {cores}-core "
+        f"machine: the >= 4-shard speedup gate was silently skipped "
+        f"(check ACTIVEDR_THREADS / --shards)")
+elif shards >= 4 and out["shard_speedup"] < min_shard_speedup:
+    failures.append(
+        f"shard speedup {out['shard_speedup']:.2f}x at {shards} "
         f"shards below floor {min_shard_speedup}x")
+elif cores < 4:
+    print(f"note: {cores} core(s) < 4 — shard speedup floor "
+          f"{min_shard_speedup}x NOT enforced on this host "
+          f"(identity still gated at {shards} shard(s))")
+
+# Sustained-load gate: identity is absolute; the sustainable-rate floor is
+# baseline-relative unless MIN_LOAD_RATE pins it.
+if not load.get("ranks_identical", False):
+    failures.append(
+        "bench_load: concurrent ranks diverged from serial replay")
+if not load.get("identity_all_identical", False):
+    failures.append(
+        "bench_load: identity matrix (1/2/4 shards) found a divergence")
+load_floor = min_load_rate
+if load_floor <= 0:
+    load_floor = load_base.get("max_sustainable_rate", 0.0) / tolerance
+if load["max_sustainable_rate"] < load_floor:
+    failures.append(
+        f"max sustainable rate {load['max_sustainable_rate']:.0f} ev/s "
+        f"below floor {load_floor:.0f} ev/s")
 
 # Cross-run comparisons only make sense on the baseline's scenario.
 same_scenario = all(out[k] == base[k] for k in ("users", "seed", "files"))
@@ -112,10 +169,17 @@ print(f"walk {out['walk_seconds']:.4f}s, indexed "
 print(f"eval full {out['eval_full_seconds']:.4f}s, incremental "
       f"{out['eval_incremental_seconds']:.4f}s, speedup "
       f"{out['eval_speedup']:.2f}x over {out['eval_triggers']} triggers")
-print(f"shards {out.get('shards', 1)}: 1-shard "
+print(f"shards {shards}: 1-shard "
       f"{out.get('shard_1_seconds', 0):.4f}s, n-shard "
       f"{out.get('shard_n_seconds', 0):.4f}s, speedup "
       f"{out.get('shard_speedup', 0):.2f}x")
+levels = load.get("levels", [])
+tail = levels[-1] if levels else {}
+print(f"load: max sustainable {load['max_sustainable_rate']:.0f} ev/s over "
+      f"{len(levels)} level(s) at {load.get('shards', 1)} shard(s), last "
+      f"level p50 {tail.get('p50_ms', 0):.2f}ms p99 "
+      f"{tail.get('p99_ms', 0):.2f}ms p999 {tail.get('p999_ms', 0):.2f}ms, "
+      f"ranks identical: {load.get('ranks_identical', False)}")
 if failures:
     for f in failures:
         print("FAIL:", f, file=sys.stderr)
