@@ -11,10 +11,13 @@
 #include "activeness/incremental.hpp"
 #include "activeness/sharded.hpp"
 #include "activeness/rank_store.hpp"
+#include "cli/flags.hpp"
+#include "cli/serve_commands.hpp"
 #include "obs/metrics.hpp"
 #include "retention/ledger.hpp"
 #include "sim/experiment.hpp"
 #include "sim/loadgen.hpp"
+#include "util/bundle.hpp"
 #include "util/config.hpp"
 #include "util/fault.hpp"
 #include "util/io.hpp"
@@ -100,6 +103,38 @@ commands:
             (exit 3 on divergence). --json writes the BENCH_load-shaped
             report.
 
+  serve     --wal DIR --state DIR --users F [--snapshot F] [--lifetime D]
+            [--eval-mode auto|full|incremental] [--shards N]
+            [--scan-mode auto|walk|indexed] [--checkpoint-every N]
+            [--poll-ms MS] [--max-ticks N] [--metrics-interval TICKS]
+            [--exempt FILE] [--no-seal-on-stop]
+            Resident retention daemon (DESIGN.md §13): tails the --wal event
+            log, keeps rank + purge-index state warm, answers control-file
+            triggers from <state>/ctl with no rescan, and checkpoints every
+            --checkpoint-every applied events. On restart it recovers from
+            the newest valid checkpoint bundle plus the WAL tail — ranks and
+            victims byte-identical to a cold one-shot run. SIGINT/SIGTERM
+            stop it gracefully (seal WAL, final checkpoint, exit 0). With
+            --metrics-out, the registry is re-exported atomically every
+            --metrics-interval ticks while the daemon runs. --snapshot seeds
+            the scratch state on a cold start (no checkpoint yet).
+
+  feed      --wal DIR [--jobs F] [--pubs F] [--applog F] [--rotate N]
+            [--seal]
+            Append trace records to the daemon's event log as WAL events
+            (jobs, then publications, then file ops — file order, the same
+            order the one-shot loaders ingest). --seal closes the open
+            segment with a CRC footer; --fsync makes appends durable.
+
+  ctl       --state DIR --cmd trigger|evaluate|checkpoint|status|stop
+            [--now YYYY-MM-DD | --now-unix SECONDS] [--retain FRACTION]
+            [--policy activedr|flt] [--ranks-out F] [--victims-out F]
+            [--timeout-ms MS]
+            Send one control command to a running daemon and print its
+            reply. `trigger` runs a purge at --now (--retain mirrors purge
+            --target); `evaluate` refreshes ranks; --ranks-out /
+            --victims-out ask the daemon to write those artifacts.
+
   info      --snapshot F
             Summarize a metadata snapshot.
 
@@ -125,41 +160,6 @@ global options:
             An injected crash exits with code 9, leaving the filesystem as
             the crash left it.
 )";
-
-util::TimePoint require_date(const util::Config& config, const char* key) {
-  const auto value = config.get(key);
-  if (!value) throw std::runtime_error(std::string("missing --") + key);
-  util::TimePoint tp = 0;
-  if (!util::parse_date(*value, tp)) {
-    throw std::runtime_error(std::string("--") + key +
-                             " must be YYYY-MM-DD, got: " + *value);
-  }
-  return tp;
-}
-
-std::string require_str(const util::Config& config, const char* key) {
-  const auto value = config.get(key);
-  if (!value) throw std::runtime_error(std::string("missing --") + key);
-  return *value;
-}
-
-activeness::EvalMode eval_mode_flag(const util::Config& config) {
-  const std::string name = config.get_string("eval-mode", "auto");
-  activeness::EvalMode mode = activeness::EvalMode::kAuto;
-  if (!activeness::parse_eval_mode(name, mode)) {
-    throw std::runtime_error("unknown --eval-mode: " + name +
-                             " (expected auto, full, or incremental)");
-  }
-  return mode;
-}
-
-std::size_t eval_shards_flag(const util::Config& config) {
-  const auto shards = config.get_int("shards", 0);
-  if (shards < 0) {
-    throw std::runtime_error("--shards must be >= 0 (0 = auto)");
-  }
-  return static_cast<std::size_t>(shards);
-}
 
 // --parse-policy plus the shared LoadStats accumulator behind it. Every
 // loader in a command threads the same options so the end-of-run summary
@@ -206,14 +206,23 @@ int cmd_synth(const util::Config& config, std::ostream& out) {
   scenario.replay.save_csv(dir + "/applog.csv");
   scenario.snapshot.save_csv(dir + "/snapshot.csv");
   {
-    std::ofstream conf(dir + "/scenario.conf");
-    conf << "# generated by `activedr synth`\n";
-    conf << "users = " << params.users << "\n";
-    conf << "seed = " << params.seed << "\n";
-    conf << "sim_begin = " << scenario.sim_begin << "\n";
-    conf << "sim_end = " << scenario.sim_end << "\n";
-    conf << "capacity_bytes = " << scenario.capacity_bytes << "\n";
+    util::io::AtomicWriter conf(dir + "/scenario.conf",
+                                {.fsync = util::io::default_fsync()});
+    conf.write_line("# generated by `activedr synth`");
+    conf.write_line("users = " + std::to_string(params.users));
+    conf.write_line("seed = " + std::to_string(params.seed));
+    conf.write_line("sim_begin = " + std::to_string(scenario.sim_begin));
+    conf.write_line("sim_end = " + std::to_string(scenario.sim_end));
+    conf.write_line("capacity_bytes = " +
+                    std::to_string(scenario.capacity_bytes));
+    conf.commit();
   }
+  // Seal the directory as a §10.5 bundle: the MANIFEST commits last, so a
+  // crash anywhere above leaves a visibly unsealed bundle, never a silent
+  // mix of old and new trace files.
+  util::io::commit_bundle(dir, {"users.csv", "jobs.csv", "pubs.csv",
+                                "applog.csv", "snapshot.csv",
+                                "scenario.conf"});
 
   util::Table table("Bundle written to " + dir);
   table.set_headers({"Artifact", "Records"});
@@ -352,16 +361,7 @@ int cmd_purge(const util::Config& config, std::ostream& out) {
 
   const bool dry_run = config.get_bool("dry-run", false);
   const bool want_victims = config.contains("victims");
-  const std::string scan_mode_name = config.get_string("scan-mode", "auto");
-  retention::ScanMode scan_mode = retention::ScanMode::kAuto;
-  if (scan_mode_name == "walk") {
-    scan_mode = retention::ScanMode::kWalk;
-  } else if (scan_mode_name == "indexed") {
-    scan_mode = retention::ScanMode::kIndexed;
-  } else if (scan_mode_name != "auto") {
-    throw std::runtime_error("unknown --scan-mode: " + scan_mode_name +
-                             " (expected auto, walk, or indexed)");
-  }
+  const retention::ScanMode scan_mode = scan_mode_flag(config);
   // Validated up front (even for FLT, which never evaluates) so a typo
   // fails fast instead of being silently ignored.
   const activeness::EvalMode eval_mode = eval_mode_flag(config);
@@ -541,6 +541,14 @@ int cmd_replay(const util::Config& config, std::ostream& out) {
 
 synth::TitanScenario load_bundle(const std::string& dir,
                                  const util::ParseOptions& opts) {
+  // A sealed bundle must verify as a *set* before any member is parsed; an
+  // unsealed directory (hand-assembled, pre-manifest era) falls back to the
+  // per-file footer checks inside each loader.
+  const util::io::BundleCheck bundle_check = util::io::verify_bundle(dir);
+  if (bundle_check.state == util::io::BundleState::kInvalid) {
+    throw std::runtime_error("bundle " + dir +
+                             " failed verification: " + bundle_check.error);
+  }
   const util::Config bundle = util::Config::from_file(dir + "/scenario.conf");
   synth::TitanScenario scenario;
   scenario.registry = trace::UserRegistry::load_csv(dir + "/users.csv", opts);
@@ -785,6 +793,9 @@ int run_cli(int argc, const char* const* argv, std::ostream& out,
     else if (command == "compare") rc = cmd_compare(config, out);
     else if (command == "info") rc = cmd_info(config, out);
     else if (command == "loadgen") rc = cmd_loadgen(config, out);
+    else if (command == "serve") rc = cmd_serve(config, out);
+    else if (command == "feed") rc = cmd_feed(config, out);
+    else if (command == "ctl") rc = cmd_ctl(config, out);
     else if (command == "help" || command == "--help" || command == "-h") {
       out << kUsage;
       rc = 0;

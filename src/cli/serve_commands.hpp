@@ -1,0 +1,23 @@
+#pragma once
+// The daemon-facing `activedr` subcommands (their own translation unit so
+// the one-shot commands don't pull in the serve layer):
+//
+//   serve   run the resident retention daemon (serve::Daemon)
+//   feed    append trace files to the daemon's event log (WAL producer)
+//   ctl     drop a control command for a running daemon and await the reply
+//
+// Dispatched from run_cli in commands.cpp.
+
+#include <iosfwd>
+
+namespace adr::util {
+class Config;
+}
+
+namespace adr::cli {
+
+int cmd_serve(const util::Config& config, std::ostream& out);
+int cmd_feed(const util::Config& config, std::ostream& out);
+int cmd_ctl(const util::Config& config, std::ostream& out);
+
+}  // namespace adr::cli

@@ -1,127 +1,23 @@
 #include "core/engine.hpp"
 
-#include "retention/policy.hpp"
-
 namespace adr::core {
 
+ServiceConfig Engine::to_service_config(const Options& options) {
+  ServiceConfig config;
+  config.lifetime_days = options.lifetime_days;
+  config.purge_target_utilization = options.purge_target_utilization;
+  config.retrospective_passes = options.retrospective_passes;
+  config.retrospective_decay = options.retrospective_decay;
+  config.lifetime_mode = options.lifetime_mode;
+  config.scheme = options.scheme;
+  config.max_periods = options.max_periods;
+  config.eval_mode = options.eval_mode;
+  config.eval_shards = options.eval_shards;
+  return config;
+}
+
 Engine::Engine(trace::UserRegistry registry, Options options)
-    : registry_(std::move(registry)), options_(options) {
-  activeness::EvaluationParams params;
-  params.period_length_days = options_.lifetime_days;
-  params.scheme = options_.scheme;
-  params.max_periods = options_.max_periods;
-  pipeline_.emplace(catalog_, params, options_.eval_mode,
-                    options_.eval_shards);
-}
-
-activeness::ActivityStore& Engine::ensure_store() {
-  if (!store_) {
-    store_.emplace(registry_.size(), catalog_.size());
-  }
-  return *store_;
-}
-
-activeness::ActivityTypeId Engine::register_operation_type(
-    const std::string& name, double weight) {
-  const auto id =
-      catalog_.add({name, activeness::ActivityCategory::kOperation, weight});
-  if (store_) store_->add_types(1);
-  return id;
-}
-
-activeness::ActivityTypeId Engine::register_outcome_type(
-    const std::string& name, double weight) {
-  const auto id =
-      catalog_.add({name, activeness::ActivityCategory::kOutcome, weight});
-  if (store_) store_->add_types(1);
-  return id;
-}
-
-void Engine::reserve(const std::string& path) {
-  exemptions_.reserve(path);
-  exemptions_dirty_ = true;
-}
-
-void Engine::record(trace::UserId user, activeness::ActivityTypeId type,
-                    util::TimePoint t, double impact) {
-  if (type >= catalog_.size())
-    throw std::out_of_range("Engine::record: unregistered activity type");
-  const double weight = catalog_.spec(type).weight;
-  // Streaming insert: keeps the store's aggregates live and marks exactly
-  // this user dirty, so the next evaluate() re-ranks only them.
-  ensure_store().append(user, type, activeness::Activity{t, weight * impact});
-}
-
-void Engine::ingest_jobs(const trace::JobLog& jobs,
-                         activeness::ActivityTypeId type, double weight) {
-  activeness::ingest_jobs(ensure_store(), type, weight, jobs);
-}
-
-void Engine::ingest_publications(const trace::PublicationLog& pubs,
-                                 activeness::ActivityTypeId type,
-                                 double weight) {
-  activeness::ingest_publications(ensure_store(), type, weight, pubs);
-}
-
-void Engine::load_snapshot(const trace::Snapshot& snapshot) {
-  vfs_.import_snapshot(snapshot);
-}
-
-const activeness::RankStore& Engine::evaluate(util::TimePoint now) {
-  activeness::ActivityStore& store = ensure_store();
-  if (last_eval_time_ && *last_eval_time_ == now && !store.has_dirty()) {
-    return ranks_;
-  }
-  pipeline_->advance(store, now);
-  ranks_ = activeness::RankStore(pipeline_->users());
-  last_eval_time_ = now;
-  return ranks_;
-}
-
-std::array<std::size_t, activeness::kGroupCount> Engine::group_counts() const {
-  return ranks_.group_counts();
-}
-
-activeness::UserActiveness Engine::activeness_of(trace::UserId user) const {
-  return ranks_.get(user);
-}
-
-util::Duration Engine::effective_lifetime_of(trace::UserId user) const {
-  const double mult = activeness::lifetime_multiplier(
-      ranks_.get(user), options_.lifetime_mode);
-  return static_cast<util::Duration>(
-      static_cast<double>(util::days(options_.lifetime_days)) * mult);
-}
-
-retention::PurgeReport Engine::purge(util::TimePoint now) {
-  evaluate(now);
-  retention::ActiveDrConfig config;
-  config.initial_lifetime_days = options_.lifetime_days;
-  config.retrospective_passes = options_.retrospective_passes;
-  config.retrospective_decay = options_.retrospective_decay;
-  config.lifetime_mode = options_.lifetime_mode;
-  retention::ActiveDrPolicy policy(config, registry_);
-  if (!exemptions_.empty()) {
-    retention::ExemptionList copy;
-    for (const auto& p : exemptions_.reserved_paths()) copy.reserve(p);
-    policy.set_exemptions(std::move(copy));
-  }
-  const std::uint64_t target =
-      options_.purge_target_utilization > 0.0
-          ? retention::purge_target_bytes(vfs_,
-                                          options_.purge_target_utilization)
-          : 0;
-  return policy.run(vfs_, now, target, pipeline_->plan());
-}
-
-retention::PurgeReport Engine::purge_flt(util::TimePoint now) {
-  retention::FltPolicy policy(retention::FltConfig{options_.lifetime_days});
-  const std::uint64_t target =
-      options_.purge_target_utilization > 0.0
-          ? retention::purge_target_bytes(vfs_,
-                                          options_.purge_target_utilization)
-          : 0;
-  return policy.run(vfs_, now, target);
-}
+    : options_(options),
+      service_(std::move(registry), to_service_config(options)) {}
 
 }  // namespace adr::core

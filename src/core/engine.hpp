@@ -16,17 +16,16 @@
 //
 // Eq. 7's knobs, the retrospective-pass policy, and the purge target all sit
 // in Engine::Options.
+//
+// Engine is a thin adapter over core::Service — the orchestration layer
+// that the one-shot CLI and the `activedr serve` daemon also consume (see
+// core/service.hpp). It keeps the historical API shape; new code that needs
+// WAL apply or checkpointing should hold a Service directly.
 
-#include <memory>
-#include <optional>
+#include <array>
 #include <string>
-#include <vector>
 
-#include "activeness/rank_store.hpp"
-#include "activeness/sharded.hpp"
-#include "retention/activedr_policy.hpp"
-#include "retention/flt.hpp"
-#include "trace/user_registry.hpp"
+#include "core/service.hpp"
 
 namespace adr::core {
 
@@ -61,74 +60,88 @@ class Engine {
 
   // -- one-time configuration -------------------------------------------
   activeness::ActivityTypeId register_operation_type(const std::string& name,
-                                                     double weight = 1.0);
+                                                     double weight = 1.0) {
+    return service_.register_operation_type(name, weight);
+  }
   activeness::ActivityTypeId register_outcome_type(const std::string& name,
-                                                   double weight = 1.0);
+                                                   double weight = 1.0) {
+    return service_.register_outcome_type(name, weight);
+  }
 
   /// Reserve a path (file or directory subtree) against purging.
-  void reserve(const std::string& path);
+  void reserve(const std::string& path) { service_.reserve(path); }
 
   // -- activity tracing ---------------------------------------------------
   void record(trace::UserId user, activeness::ActivityTypeId type,
-              util::TimePoint t, double impact);
+              util::TimePoint t, double impact) {
+    service_.record(user, type, t, impact);
+  }
   void ingest_jobs(const trace::JobLog& jobs, activeness::ActivityTypeId type,
-                   double weight = 1.0);
+                   double weight = 1.0) {
+    service_.ingest_jobs(jobs, type, weight);
+  }
   void ingest_publications(const trace::PublicationLog& pubs,
                            activeness::ActivityTypeId type,
-                           double weight = 1.0);
+                           double weight = 1.0) {
+    service_.ingest_publications(pubs, type, weight);
+  }
 
   // -- scratch state ------------------------------------------------------
-  fs::Vfs& vfs() { return vfs_; }
-  const fs::Vfs& vfs() const { return vfs_; }
-  void load_snapshot(const trace::Snapshot& snapshot);
+  fs::Vfs& vfs() { return service_.vfs(); }
+  const fs::Vfs& vfs() const { return service_.vfs(); }
+  void load_snapshot(const trace::Snapshot& snapshot) {
+    service_.load_snapshot(snapshot);
+  }
 
   // -- evaluation ---------------------------------------------------------
   /// Evaluate every registered user at `now` (Eqs. 1–6) and cache the
   /// result; returns the rank store for inspection.
-  const activeness::RankStore& evaluate(util::TimePoint now);
+  const activeness::RankStore& evaluate(util::TimePoint now) {
+    return service_.evaluate(now);
+  }
 
   /// Classification counts G1..G4 from the latest evaluation.
-  std::array<std::size_t, activeness::kGroupCount> group_counts() const;
+  std::array<std::size_t, activeness::kGroupCount> group_counts() const {
+    return service_.group_counts();
+  }
 
   /// The activeness of one user per the latest evaluation (fresh defaults
   /// if the user was never evaluated).
-  activeness::UserActiveness activeness_of(trace::UserId user) const;
+  activeness::UserActiveness activeness_of(trace::UserId user) const {
+    return service_.activeness_of(user);
+  }
 
   /// The file lifetime this user's files currently enjoy (Eq. 7 with the
   /// engine's options), per the latest evaluation — the answer to the
   /// operator question "how long do user X's files live right now?".
-  util::Duration effective_lifetime_of(trace::UserId user) const;
+  util::Duration effective_lifetime_of(trace::UserId user) const {
+    return service_.effective_lifetime_of(user);
+  }
 
   // -- retention ----------------------------------------------------------
   /// One ActiveDR purge trigger at `now` (evaluates first if needed).
-  retention::PurgeReport purge(util::TimePoint now);
+  retention::PurgeReport purge(util::TimePoint now) {
+    return service_.purge(now);
+  }
 
   /// The FLT baseline on the same state (for operator A/B comparisons).
   /// Mutates the vfs just like purge().
-  retention::PurgeReport purge_flt(util::TimePoint now);
+  retention::PurgeReport purge_flt(util::TimePoint now) {
+    return service_.purge_flt(now);
+  }
 
-  const trace::UserRegistry& registry() const { return registry_; }
+  const trace::UserRegistry& registry() const { return service_.registry(); }
   const Options& options() const { return options_; }
 
+  /// The underlying orchestration layer (checkpointing, WAL apply).
+  Service& service() { return service_; }
+  const Service& service() const { return service_; }
+
  private:
-  /// The persistent store, sized to the registry and the catalog's current
-  /// types (created on first use; later type registrations grow it in
-  /// place). Activities stream straight into it — there is no pending
-  /// buffer and no rebuild-on-record.
-  activeness::ActivityStore& ensure_store();
+  static ServiceConfig to_service_config(const Options& options);
 
-  trace::UserRegistry registry_;
   Options options_;
-  activeness::ActivityCatalog catalog_;
-  std::optional<activeness::ActivityStore> store_;
-  std::optional<activeness::ShardedEvaluator> pipeline_;
-
-  fs::Vfs vfs_;
-  retention::ExemptionList exemptions_;
-  bool exemptions_dirty_ = false;
-
-  std::optional<util::TimePoint> last_eval_time_;
-  activeness::RankStore ranks_;
+  Service service_;
 };
 
 }  // namespace adr::core

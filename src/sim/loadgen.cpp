@@ -10,9 +10,9 @@
 #include "activeness/activity.hpp"
 #include "activeness/evaluator.hpp"
 #include "activeness/sharded.hpp"
+#include "core/service.hpp"
 #include "fs/vfs.hpp"
 #include "obs/metrics.hpp"
-#include "retention/activedr_policy.hpp"
 #include "retention/policy.hpp"
 #include "trace/user_registry.hpp"
 #include "util/rng.hpp"
@@ -112,32 +112,30 @@ LoadLevelResult run_load_level(const LoadGenConfig& config, double rate) {
   LoadLevelResult result;
   result.target_rate = rate;
 
-  const activeness::ActivityCatalog catalog =
-      activeness::ActivityCatalog::paper_default();
-  activeness::EvaluationParams params;
-  params.period_length_days = config.period_length_days;
-
-  activeness::ActivityStore store(config.users, catalog.size());
-  activeness::ShardedEvaluator evaluator(catalog, params, config.eval_mode,
-                                         config.shards);
-
-  const trace::UserRegistry registry =
-      trace::UserRegistry::with_synthetic_users(config.users);
-  fs::Vfs vfs = make_vfs(config, registry);
-  retention::ActiveDrConfig purge_config;
-  purge_config.dry_run = true;
-  purge_config.scan_mode = retention::ScanMode::kIndexed;
-  const retention::ActiveDrPolicy policy(purge_config, registry);
+  // The harness drives the same core::Service the daemon keeps resident:
+  // producers enqueue into its store, triggers are evaluate()+purge() — the
+  // exact warm-trigger path `activedr serve` answers from.
+  core::ServiceConfig service_config;
+  service_config.lifetime_days = config.period_length_days;
+  service_config.eval_mode = config.eval_mode;
+  service_config.eval_shards = config.shards;
+  service_config.scan_mode = retention::ScanMode::kIndexed;
+  service_config.dry_run = true;
+  core::Service service(trace::UserRegistry::with_synthetic_users(config.users),
+                        service_config);
+  service.register_paper_types();
+  service.vfs() = make_vfs(config, service.registry());
   const std::uint64_t purge_target =
-      retention::purge_target_bytes(vfs, 0.75);
+      retention::purge_target_bytes(service.vfs(), 0.75);
 
   const std::vector<LoadEvent> events = make_events(config, rate);
 
-  // Warm start before any producer exists: finalizes the store and lets
-  // ensure_shards() run set_dirty_shards() while single-threaded — shard
-  // re-bucketing must never race an enqueue.
-  store.sort_all();
-  evaluator.advance(store, config.sim_begin);
+  // Warm start before any producer exists: sizes the ingest/dirty sharding
+  // and lets ensure_shards() run set_dirty_shards() while single-threaded —
+  // shard re-bucketing must never race an enqueue.
+  service.prepare_ingest();
+  service.evaluate(config.sim_begin);
+  activeness::ActivityStore& store = service.store();
 
   obs::Histogram& trigger_hist =
       obs::MetricsRegistry::global().histogram("loadgen.trigger_seconds");
@@ -194,9 +192,10 @@ LoadLevelResult run_load_level(const LoadGenConfig& config, double rate) {
                         config.trigger_interval_seconds)));
     sim_now += sim_step;
     const Clock::time_point t0 = Clock::now();
-    evaluator.advance(store, sim_now);
     if (config.with_purge) {
-      policy.run(vfs, sim_now, purge_target, evaluator.plan());
+      service.purge(sim_now, purge_target);
+    } else {
+      service.evaluate(sim_now);
     }
     trigger_hist.observe(
         std::chrono::duration<double>(Clock::now() - t0).count());
@@ -213,9 +212,10 @@ LoadLevelResult run_load_level(const LoadGenConfig& config, double rate) {
       util::days(1);
   {
     const Clock::time_point t0 = Clock::now();
-    evaluator.advance(store, sim_final);
     if (config.with_purge) {
-      policy.run(vfs, sim_final, purge_target, evaluator.plan());
+      service.purge(sim_final, purge_target);
+    } else {
+      service.evaluate(sim_final);
     }
     trigger_hist.observe(
         std::chrono::duration<double>(Clock::now() - t0).count());
@@ -236,6 +236,10 @@ LoadLevelResult run_load_level(const LoadGenConfig& config, double rate) {
     // Serial replay: same events in generation order through plain
     // append(), one full single-shard evaluation at the same final
     // instant. Concurrent and serial runs must agree rank for rank.
+    const activeness::ActivityCatalog catalog =
+        activeness::ActivityCatalog::paper_default();
+    activeness::EvaluationParams params;
+    params.period_length_days = config.period_length_days;
     activeness::ActivityStore serial(config.users, catalog.size());
     for (const LoadEvent& e : events) {
       serial.append(e.user, e.type, e.activity);
@@ -243,7 +247,7 @@ LoadLevelResult run_load_level(const LoadGenConfig& config, double rate) {
     activeness::ShardedEvaluator reference(catalog, params,
                                            activeness::EvalMode::kFull, 1);
     reference.advance(serial, sim_final);
-    result.ranks_identical = same_outputs(evaluator, reference);
+    result.ranks_identical = same_outputs(service.pipeline(), reference);
   }
 
   // Sustainable = the latency budget held AND ingestion kept (close to)

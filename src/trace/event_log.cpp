@@ -1,0 +1,563 @@
+#include "trace/event_log.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <stdexcept>
+
+#include "obs/metrics.hpp"
+#include "util/csv.hpp"
+#include "util/fault.hpp"
+#include "util/io.hpp"
+
+namespace adr::trace {
+
+namespace {
+
+namespace fsys = std::filesystem;
+
+constexpr char kOpenSuffix[] = ".open";
+constexpr char kSealedSuffix[] = ".seg";
+
+std::string segment_name(std::uint64_t start, const char* suffix) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "wal-%020llu%s",
+                static_cast<unsigned long long>(start), suffix);
+  return buf;
+}
+
+std::string hex8(std::uint32_t v) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%08x", v);
+  return buf;
+}
+
+/// Byte length of the valid line prefix of `content` (complete,
+/// checksum-passing records only). Updates counts and the last seq seen.
+std::size_t valid_prefix(const std::string& content, std::uint64_t& last_seq,
+                         std::size_t& events, std::size_t& dropped,
+                         bool& torn) {
+  std::size_t pos = 0;
+  while (pos < content.size()) {
+    const std::size_t nl = content.find('\n', pos);
+    if (nl == std::string::npos) {
+      // Incomplete final line: a torn append (or one still in flight).
+      ++dropped;
+      torn = true;
+      break;
+    }
+    const std::string line = content.substr(pos, nl - pos);
+    if (!line.empty() && line[0] == '#') break;  // §10 footer
+    Event e;
+    if (!parse_event(line, e)) {
+      // A complete-but-invalid record: everything after it is suspect too
+      // (suffix semantics, like the ledger salvage).
+      for (std::size_t p = pos; p < content.size();
+           p = content.find('\n', p) + 1) {
+        ++dropped;
+        if (content.find('\n', p) == std::string::npos) break;
+      }
+      torn = true;
+      break;
+    }
+    last_seq = e.seq;
+    ++events;
+    pos = nl + 1;
+  }
+  return pos;
+}
+
+}  // namespace
+
+// ---- record format ---------------------------------------------------------
+
+const char* to_string(EventKind kind) {
+  switch (kind) {
+    case EventKind::kJob: return "job";
+    case EventKind::kPublication: return "pub";
+    case EventKind::kAccess: return "access";
+    case EventKind::kCreate: return "create";
+    case EventKind::kRemove: return "remove";
+  }
+  return "?";
+}
+
+bool parse_event_kind(const std::string& text, EventKind& out) {
+  if (text == "job") out = EventKind::kJob;
+  else if (text == "pub") out = EventKind::kPublication;
+  else if (text == "access") out = EventKind::kAccess;
+  else if (text == "create") out = EventKind::kCreate;
+  else if (text == "remove") out = EventKind::kRemove;
+  else return false;
+  return true;
+}
+
+Event make_job_event(const JobRecord& job, double weight) {
+  Event e;
+  e.kind = EventKind::kJob;
+  e.user = job.user;
+  e.timestamp = job.submit_time;
+  e.impact = weight * job.core_hours();
+  return e;
+}
+
+std::vector<Event> make_publication_events(const PublicationRecord& pub,
+                                           double weight) {
+  std::vector<Event> out;
+  out.reserve(pub.authors.size());
+  for (std::size_t i = 0; i < pub.authors.size(); ++i) {
+    Event e;
+    e.kind = EventKind::kPublication;
+    e.user = pub.authors[i];
+    e.timestamp = pub.published;
+    e.impact = weight * pub.impact_for_author(i + 1);
+    out.push_back(std::move(e));
+  }
+  return out;
+}
+
+Event make_app_event(const AppLogEntry& entry) {
+  Event e;
+  e.kind = entry.op == FileOp::kCreate ? EventKind::kCreate
+                                       : EventKind::kAccess;
+  e.user = entry.user;
+  e.timestamp = entry.timestamp;
+  e.path = entry.path;
+  e.size_bytes = entry.size_bytes;
+  e.stripe_count = entry.stripe_count;
+  return e;
+}
+
+std::string format_event(const Event& event) {
+  char impact[40];
+  std::snprintf(impact, sizeof(impact), "%.17g", event.impact);
+  const std::string body = util::csv_join(
+      {std::to_string(event.seq), to_string(event.kind),
+       std::to_string(event.user), std::to_string(event.timestamp), impact,
+       event.path, std::to_string(event.size_bytes),
+       std::to_string(event.stripe_count)});
+  util::io::Crc32 crc;
+  crc.update(body);
+  return body + "," + hex8(crc.value());
+}
+
+bool parse_event(const std::string& line, Event& out) {
+  // The crc is the last field and never quoted, so the final comma splits
+  // body from checksum even when the path field contains commas.
+  const std::size_t comma = line.rfind(',');
+  if (comma == std::string::npos || line.size() - comma - 1 != 8) return false;
+  const std::string body = line.substr(0, comma);
+  util::io::Crc32 crc;
+  crc.update(body);
+  std::uint32_t want = 0;
+  try {
+    want = static_cast<std::uint32_t>(
+        std::stoul(line.substr(comma + 1), nullptr, 16));
+  } catch (const std::exception&) {
+    return false;
+  }
+  if (crc.value() != want) return false;
+
+  const auto fields = util::csv_split(body);
+  if (fields.size() != 8) return false;
+  Event e;
+  try {
+    e.seq = std::stoull(fields[0]);
+    if (!parse_event_kind(fields[1], e.kind)) return false;
+    e.user = static_cast<UserId>(std::stoul(fields[2]));
+    e.timestamp = std::stoll(fields[3]);
+    e.impact = std::stod(fields[4]);
+    e.path = fields[5];
+    e.size_bytes = std::stoull(fields[6]);
+    e.stripe_count = static_cast<std::int32_t>(std::stol(fields[7]));
+  } catch (const std::exception&) {
+    return false;
+  }
+  out = std::move(e);
+  return true;
+}
+
+// ---- writer ----------------------------------------------------------------
+
+EventLogWriter::EventLogWriter(std::string dir, EventLogOptions opts)
+    : dir_(std::move(dir)), opts_(opts) {
+  fsys::create_directories(dir_);
+
+  // Recover the append position. Layout rules: at most one .open; an .open
+  // whose sealed twin exists is leftover from a crash between seal-commit
+  // and removal — the .seg is the truth, drop the .open.
+  std::uint64_t best_sealed_start = 0;
+  std::string best_sealed_path;
+  std::vector<std::pair<std::uint64_t, std::string>> open_files;
+  for (const auto& entry : fsys::directory_iterator(dir_)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("wal-", 0) != 0) continue;
+    if (name.size() > 5 && name.ends_with(kSealedSuffix)) {
+      const std::uint64_t start = std::stoull(name.substr(4));
+      if (start >= best_sealed_start) {
+        best_sealed_start = start;
+        best_sealed_path = entry.path().string();
+      }
+    } else if (name.ends_with(kOpenSuffix)) {
+      open_files.emplace_back(std::stoull(name.substr(4)),
+                              entry.path().string());
+    }
+  }
+  std::erase_if(open_files, [this](const auto& f) {
+    if (fsys::exists(dir_ + "/" + segment_name(f.first, kSealedSuffix))) {
+      fsys::remove(f.second);
+      return true;
+    }
+    return false;
+  });
+  if (open_files.size() > 1) {
+    throw std::runtime_error("EventLogWriter: multiple open segments in " +
+                             dir_);
+  }
+
+  if (!open_files.empty()) {
+    // Salvage the open segment: truncate any torn suffix, then append on.
+    open_path_ = open_files[0].second;
+    segment_start_ = open_files[0].first;
+    std::string content;
+    {
+      std::ifstream in(open_path_, std::ios::binary);
+      content.assign(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+    }
+    std::uint64_t last_seq = segment_start_ - 1;
+    std::size_t dropped = 0;
+    bool torn = false;
+    segment_events_ = 0;
+    const std::size_t keep =
+        valid_prefix(content, last_seq, segment_events_, dropped, torn);
+    if (keep < content.size()) {
+      fsys::resize_file(open_path_, keep);
+      obs::MetricsRegistry::global().counter("wal.torn_tails").add();
+      obs::MetricsRegistry::global()
+          .counter("wal.salvage_dropped_lines")
+          .add(dropped);
+    }
+    next_seq_ = segment_events_ > 0 ? last_seq + 1 : segment_start_;
+    write_offset_ = keep;
+    out_.open(open_path_, std::ios::binary | std::ios::app);
+    if (!out_) {
+      throw std::runtime_error("EventLogWriter: cannot reopen " + open_path_);
+    }
+  } else if (!best_sealed_path.empty()) {
+    // Resume after the highest sealed segment's last record.
+    const std::string content = util::io::load_verified(
+        best_sealed_path, {.require_footer = true});
+    std::uint64_t last_seq = best_sealed_start - 1;
+    std::size_t events = 0, dropped = 0;
+    bool torn = false;
+    valid_prefix(content, last_seq, events, dropped, torn);
+    if (dropped > 0) {
+      throw std::runtime_error("EventLogWriter: sealed segment " +
+                               best_sealed_path + " has invalid records");
+    }
+    next_seq_ = events > 0 ? last_seq + 1 : best_sealed_start;
+  }
+}
+
+EventLogWriter::~EventLogWriter() {
+  if (out_.is_open()) out_.flush();
+}
+
+void EventLogWriter::open_segment() {
+  if (util::FaultInjector::global().should_fail("wal.append.open")) {
+    throw std::runtime_error("EventLogWriter: injected open failure");
+  }
+  segment_start_ = next_seq_;
+  segment_events_ = 0;
+  write_offset_ = 0;
+  open_path_ = dir_ + "/" + segment_name(segment_start_, kOpenSuffix);
+  out_.open(open_path_, std::ios::binary | std::ios::app);
+  if (!out_) {
+    throw std::runtime_error("EventLogWriter: cannot open " + open_path_);
+  }
+}
+
+std::uint64_t EventLogWriter::append(Event event) {
+  if (open_path_.empty()) open_segment();
+  event.seq = next_seq_;
+  const std::string line = format_event(event) + "\n";
+
+  const auto decision = util::FaultInjector::global().on_write(
+      "wal.append.write", write_offset_, line.size());
+  out_.write(line.data(), static_cast<std::streamsize>(decision.allow));
+  out_.flush();
+  write_offset_ += decision.allow;
+  if (decision.fail || decision.allow < line.size()) {
+    // The torn partial line stays on disk, exactly as a crash would leave
+    // it; the next writer (or reader salvage) drops it.
+    throw std::runtime_error(decision.enospc
+                                 ? "EventLogWriter: no space left on device"
+                                 : "EventLogWriter: short write");
+  }
+  if (!out_) {
+    throw std::runtime_error("EventLogWriter: write failed on " + open_path_);
+  }
+
+  ++next_seq_;
+  ++segment_events_;
+  obs::MetricsRegistry::global().counter("wal.events_appended").add();
+  if (segment_events_ >= opts_.rotate_events) seal();
+  return event.seq;
+}
+
+void EventLogWriter::flush() {
+  if (!out_.is_open()) return;
+  out_.flush();
+  if (opts_.fsync) {
+    // Re-open based fsync is not exposed by ofstream; the AtomicWriter path
+    // handles durable seals. For the open tail, flush() is best-effort.
+  }
+}
+
+void EventLogWriter::seal() {
+  if (open_path_.empty()) return;
+  out_.flush();
+  out_.close();
+
+  std::string content;
+  {
+    std::ifstream in(open_path_, std::ios::binary);
+    content.assign(std::istreambuf_iterator<char>(in),
+                   std::istreambuf_iterator<char>());
+  }
+  std::uint64_t last_seq = 0;
+  std::size_t events = 0, dropped = 0;
+  bool torn = false;
+  const std::size_t keep =
+      valid_prefix(content, last_seq, events, dropped, torn);
+
+  if (events == 0) {
+    // Nothing to seal: just drop the (empty or fully torn) open file.
+    fsys::remove(open_path_);
+    open_path_.clear();
+    return;
+  }
+
+  // Re-commit the valid payload bytes verbatim under a CRC footer. Keeping
+  // the payload byte-identical means a tailing reader's offset into the
+  // .open file remains valid in the .seg after the rename.
+  const std::string seg_path =
+      dir_ + "/" + segment_name(segment_start_, kSealedSuffix);
+  {
+    util::io::AtomicWriter writer(seg_path,
+                                  {.fsync = opts_.fsync ||
+                                            util::io::default_fsync()});
+    writer.write(content.substr(0, keep));
+    writer.commit();
+  }
+  util::FaultInjector::global().crash_point("wal.seal.pre_remove");
+  fsys::remove(open_path_);
+  open_path_.clear();
+  obs::MetricsRegistry::global().counter("wal.segments_sealed").add();
+}
+
+// ---- reader ----------------------------------------------------------------
+
+EventLogReader::EventLogReader(std::string dir) : dir_(std::move(dir)) {}
+
+std::vector<EventLogReader::SegmentFile> EventLogReader::list_segments()
+    const {
+  std::vector<SegmentFile> out;
+  if (!fsys::exists(dir_)) return out;
+  for (const auto& entry : fsys::directory_iterator(dir_)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("wal-", 0) != 0) continue;
+    SegmentFile f;
+    if (name.ends_with(kSealedSuffix)) f.sealed = true;
+    else if (name.ends_with(kOpenSuffix)) f.sealed = false;
+    else continue;
+    f.start = std::stoull(name.substr(4));
+    f.path = entry.path().string();
+    out.push_back(std::move(f));
+  }
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    return a.start != b.start ? a.start < b.start : a.sealed > b.sealed;
+  });
+  // Where both forms exist, the sealed one is the truth.
+  out.erase(std::unique(out.begin(), out.end(),
+                        [](const auto& a, const auto& b) {
+                          return a.start == b.start;
+                        }),
+            out.end());
+  return out;
+}
+
+std::vector<Event> EventLogReader::read_after(std::uint64_t after_seq,
+                                              WalSalvage* salvage) {
+  std::vector<Event> out;
+  WalSalvage local;
+  for (const auto& seg : list_segments()) {
+    std::string content;
+    if (seg.sealed) {
+      content = util::io::load_verified(seg.path, {.require_footer = true});
+    } else {
+      std::ifstream in(seg.path, std::ios::binary);
+      content.assign(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+    }
+    std::size_t pos = 0;
+    while (pos < content.size()) {
+      const std::size_t nl = content.find('\n', pos);
+      if (nl == std::string::npos) {
+        ++local.dropped_lines;
+        local.torn_tail = true;
+        break;
+      }
+      const std::string line = content.substr(pos, nl - pos);
+      if (!line.empty() && line[0] == '#') break;
+      Event e;
+      if (!parse_event(line, e)) {
+        if (seg.sealed) {
+          throw std::runtime_error("EventLog: invalid record in sealed " +
+                                   seg.path);
+        }
+        // Open-segment torn suffix: drop the rest.
+        for (std::size_t p = pos; p < content.size();) {
+          ++local.dropped_lines;
+          const std::size_t q = content.find('\n', p);
+          if (q == std::string::npos) break;
+          p = q + 1;
+        }
+        local.torn_tail = true;
+        break;
+      }
+      ++local.events;
+      if (e.seq > after_seq) out.push_back(std::move(e));
+      pos = nl + 1;
+    }
+  }
+  if (local.torn_tail) {
+    obs::MetricsRegistry::global().counter("wal.torn_tails").add();
+    obs::MetricsRegistry::global()
+        .counter("wal.salvage_dropped_lines")
+        .add(local.dropped_lines);
+  }
+  if (salvage) *salvage = local;
+  return out;
+}
+
+void EventLogReader::seek(std::uint64_t after_seq) {
+  next_seq_ = after_seq + 1;
+  cur_path_.clear();
+  cur_start_ = 0;
+  cur_sealed_ = false;
+  offset_ = 0;
+  cur_done_ = false;
+}
+
+std::size_t EventLogReader::poll(
+    const std::function<void(const Event&)>& fn) {
+  std::size_t delivered = 0;
+  // The guard bounds pathological rescans (e.g. segments vanishing under
+  // us); each iteration either makes progress or breaks out.
+  for (int guard = 0; guard < 1024; ++guard) {
+    if (cur_path_.empty()) {
+      const auto segments = list_segments();
+      if (segments.empty()) break;
+      // The segment that can contain next_seq_: the last start <= next_seq_
+      // (records below next_seq_ are skipped while reading). If the log
+      // begins past next_seq_ (a pruned prefix), jump forward.
+      const SegmentFile* pick = nullptr;
+      for (const auto& seg : segments) {
+        if (seg.start <= next_seq_) pick = &seg;
+      }
+      if (!pick) pick = &segments.front();
+      cur_path_ = pick->path;
+      cur_start_ = pick->start;
+      cur_sealed_ = pick->sealed;
+      offset_ = 0;
+      cur_done_ = false;
+    }
+
+    std::ifstream in(cur_path_, std::ios::binary);
+    if (!in) {
+      // The file vanished: sealed twin (rotation) or pruned. Re-position.
+      const std::string twin =
+          dir_ + "/" + segment_name(cur_start_, kSealedSuffix);
+      if (!cur_sealed_ && fsys::exists(twin)) {
+        cur_path_ = twin;
+        cur_sealed_ = true;
+        continue;  // same payload bytes, same offset
+      }
+      cur_path_.clear();
+      const auto segments = list_segments();
+      bool any_ahead = false;
+      for (const auto& seg : segments) {
+        any_ahead = any_ahead || seg.start > cur_start_;
+      }
+      if (!any_ahead) break;
+      continue;
+    }
+    in.seekg(static_cast<std::streamoff>(offset_));
+    std::string line;
+    bool stalled = false;
+    while (std::getline(in, line)) {
+      if (in.eof()) {
+        // getline without a trailing newline: an append still in flight (or
+        // a torn tail). Retry from the same offset next poll.
+        stalled = true;
+        break;
+      }
+      if (!line.empty() && line[0] == '#') {
+        cur_done_ = true;
+        break;
+      }
+      Event e;
+      if (!parse_event(line, e)) {
+        // Torn/corrupt record: wait — a restarted writer truncates this
+        // suffix before appending, at which point the offset is valid again.
+        stalled = true;
+        break;
+      }
+      offset_ += line.size() + 1;
+      if (e.seq >= next_seq_) {
+        fn(e);
+        next_seq_ = e.seq + 1;
+        ++delivered;
+      }
+    }
+    in.clear();
+
+    if (cur_done_) {
+      // Advance to a later segment if one exists; otherwise stay positioned
+      // at the drained segment (offset_ parked at its footer) so an idle
+      // poll re-reads one line, not the whole file.
+      const auto segments = list_segments();
+      bool any_ahead = false;
+      for (const auto& seg : segments) {
+        any_ahead = any_ahead || seg.start > cur_start_;
+      }
+      if (!any_ahead) break;
+      cur_path_.clear();
+      continue;
+    }
+    if (stalled || !cur_sealed_) {
+      // Mid-file on an open segment: check whether it was sealed under us
+      // (footer now present past our offset) — handled next poll; check for
+      // rotation now so a fully-read open segment does not wedge the tail.
+      const std::string twin =
+          dir_ + "/" + segment_name(cur_start_, kSealedSuffix);
+      if (!cur_sealed_ && fsys::exists(twin)) {
+        cur_path_ = twin;
+        cur_sealed_ = true;
+        continue;
+      }
+      break;
+    }
+    break;
+  }
+  if (delivered > 0) {
+    obs::MetricsRegistry::global()
+        .counter("wal.reader_delivered")
+        .add(delivered);
+  }
+  return delivered;
+}
+
+}  // namespace adr::trace

@@ -1,0 +1,186 @@
+#pragma once
+// Append-only retention event log — the daemon's WAL (DESIGN.md §13).
+//
+// Robinhood-style resident policy engines are fed by a changelog, not by
+// rescans: every state change the retention pipeline cares about (a job
+// submission, a publication, a file access/create/remove) is appended here
+// as one self-checksummed record, and `activedr serve` tails the log to
+// keep rank + purge state warm. The log doubles as the recovery WAL: a
+// restart replays the tail past the last checkpoint, and a cold one-shot
+// run replays the whole log — both must land byte-identical state.
+//
+// On-disk layout (one directory):
+//
+//   wal-<start-seq>.open   the active segment, plain appended CSV lines
+//   wal-<start-seq>.seg    sealed segments: same payload bytes re-committed
+//                          through the §10 AtomicWriter with a CRC footer
+//
+// Record format (one CSV line; `crc` is the CRC32 of the line up to and
+// excluding the final ",<crc>" field, so each record verifies alone):
+//
+//   seq,kind,user,timestamp,impact,path,size,stripes,crc
+//
+// Torn tails: only the *open* segment can tear (a crashed append), and the
+// per-line CRC plus newline framing make the damage a strict suffix — the
+// reader salvages every intact record and drops the rest, exactly the
+// PurgeLedger salvage contract; the writer truncates the torn suffix on
+// restart before appending. Sealed segments are whole-file verified; a
+// sealed segment that fails its footer is quarantined, never applied.
+//
+// Sequence numbers are assigned by the writer, contiguous from 1. They are
+// the replay-idempotence key: appliers track the last applied seq and skip
+// records at or below it, so replaying a tail twice is a no-op.
+//
+// Fault points: wal.append.open (fail), wal.append.write (short/enospc),
+// wal.seal.pre_remove (crash between the sealed segment's commit and the
+// open file's removal); sealing also passes through every io.atomic.*
+// point. Single writer at a time; the reader may tail concurrently.
+
+#include <cstdint>
+#include <fstream>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "trace/types.hpp"
+#include "util/time.hpp"
+
+namespace adr::trace {
+
+enum class EventKind : std::uint8_t {
+  kJob = 0,          ///< operation activity (impact = weighted core-hours)
+  kPublication = 1,  ///< outcome activity (impact = Eq. 8, already per-author)
+  kAccess = 2,       ///< file atime bump (miss if absent)
+  kCreate = 3,       ///< file create/overwrite (size_bytes, stripe_count)
+  kRemove = 4,       ///< file removal
+};
+
+const char* to_string(EventKind kind);
+bool parse_event_kind(const std::string& text, EventKind& out);
+
+/// One WAL record.
+struct Event {
+  std::uint64_t seq = 0;  ///< assigned by EventLogWriter (contiguous from 1)
+  EventKind kind = EventKind::kJob;
+  UserId user = kInvalidUser;
+  util::TimePoint timestamp = 0;
+  double impact = 0.0;            ///< kJob / kPublication
+  std::string path;               ///< file events
+  std::uint64_t size_bytes = 0;   ///< kCreate
+  std::int32_t stripe_count = 1;  ///< kCreate
+
+  bool operator==(const Event&) const = default;
+};
+
+/// Trace-record -> event conversions (shared by `activedr feed`, the
+/// daemon tests, and the one-shot --wal replay). Impacts match the bulk
+/// ingest paths exactly: jobs carry weight x core-hours, publications fan
+/// out to one event per author with the Eq. 8 impact.
+Event make_job_event(const JobRecord& job, double weight = 1.0);
+std::vector<Event> make_publication_events(const PublicationRecord& pub,
+                                           double weight = 1.0);
+Event make_app_event(const AppLogEntry& entry);
+
+/// Serialize / parse one record line (no trailing newline). parse_event
+/// returns false on malformed or checksum-failing lines.
+std::string format_event(const Event& event);
+bool parse_event(const std::string& line, Event& out);
+
+struct EventLogOptions {
+  /// Seal the open segment once it holds this many records.
+  std::uint64_t rotate_events = 4096;
+  /// fsync the open segment on every flush() (crash durability of the
+  /// tail, not just atomicity).
+  bool fsync = false;
+};
+
+/// What a salvage pass over the log observed.
+struct WalSalvage {
+  std::size_t events = 0;         ///< intact records read
+  std::size_t dropped_lines = 0;  ///< torn/corrupt lines dropped
+  bool torn_tail = false;         ///< the open segment ended mid-record
+};
+
+/// Single-writer appender with segment rotation.
+class EventLogWriter {
+ public:
+  explicit EventLogWriter(std::string dir, EventLogOptions opts = {});
+  ~EventLogWriter();
+  EventLogWriter(const EventLogWriter&) = delete;
+  EventLogWriter& operator=(const EventLogWriter&) = delete;
+
+  /// Append one record: assigns the next seq (ignoring event.seq), writes
+  /// and flushes the line, rotates if the segment is full. Returns the
+  /// assigned seq. Throws on IO failure — a torn partial line may then be
+  /// on disk, exactly as a crash would leave it.
+  std::uint64_t append(Event event);
+
+  /// Seal the open segment as a §10-footered .seg (no-op when the open
+  /// segment is empty, which just removes it). Called by rotation, by the
+  /// daemon's graceful shutdown, and by `feed --seal`.
+  void seal();
+
+  /// Flush (and optionally fsync) the open segment.
+  void flush();
+
+  std::uint64_t next_seq() const { return next_seq_; }
+  const std::string& dir() const { return dir_; }
+
+ private:
+  void open_segment();
+
+  std::string dir_;
+  EventLogOptions opts_;
+  std::uint64_t next_seq_ = 1;       // next seq to assign
+  std::uint64_t segment_start_ = 1;  // first seq of the open segment
+  std::uint64_t segment_events_ = 0;
+  std::string open_path_;            // "" when no open segment exists
+  std::ofstream out_;
+  std::uint64_t write_offset_ = 0;   // fault-injection byte offset
+};
+
+/// Reader over a WAL directory: one-shot recovery reads and incremental
+/// tailing. Tailing only ever advances past complete, checksum-valid
+/// lines, so it stays consistent across writer restarts that truncate a
+/// torn tail, and across seals (sealed segments keep the open segment's
+/// payload bytes at the same offsets).
+class EventLogReader {
+ public:
+  explicit EventLogReader(std::string dir);
+
+  /// Every record with seq > after_seq, in seq order: sealed segments are
+  /// footer-verified (a corrupt one is quarantined and throws
+  /// util::io::ArtifactCorrupt), the open segment is salvaged per line.
+  std::vector<Event> read_after(std::uint64_t after_seq,
+                                WalSalvage* salvage = nullptr);
+
+  /// Tailing: deliver records not yet seen by this reader (seq order),
+  /// returning how many were delivered. Safe to call while a writer
+  /// appends; a partially written final line is retried on the next poll.
+  std::size_t poll(const std::function<void(const Event&)>& fn);
+
+  /// Position the tailer so poll() delivers only records with seq >
+  /// after_seq (used after checkpoint recovery).
+  void seek(std::uint64_t after_seq);
+
+  std::uint64_t next_seq() const { return next_seq_; }
+  const std::string& dir() const { return dir_; }
+
+ private:
+  struct SegmentFile {
+    std::uint64_t start = 0;
+    bool sealed = false;  // prefer .seg when both exist
+    std::string path;
+  };
+  std::vector<SegmentFile> list_segments() const;
+
+  std::string dir_;
+  std::uint64_t next_seq_ = 1;   // next seq poll() expects to deliver
+  std::string cur_path_;         // file the tailer is positioned in
+  std::uint64_t cur_start_ = 0;
+  bool cur_sealed_ = false;
+  std::uint64_t offset_ = 0;     // byte offset of the next unread line
+  bool cur_done_ = false;        // saw the footer (sealed segment drained)
+};
+
+}  // namespace adr::trace

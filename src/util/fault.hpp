@@ -38,6 +38,18 @@
 //   gz.open                GzWriter: open                             (fail)
 //   gz.write               GzWriter: payload bytes            (short/enospc)
 //   gz.close               GzWriter: close/flush                      (fail)
+//   wal.append.open        EventLogWriter: open-segment open          (fail)
+//   wal.append.write       EventLogWriter: record bytes       (short/enospc)
+//   wal.seal.pre_remove    EventLogWriter: .seg committed, .open
+//                          not yet removed                           (crash)
+//   bundle.member          commit_bundle: before hashing the Nth
+//                          member                                    (crash)
+//   bundle.pre_manifest    commit_bundle: members verified, MANIFEST
+//                          not yet written                           (crash)
+//   serve.post_apply       Daemon: WAL batch applied in memory,
+//                          nothing persisted                         (crash)
+//   serve.checkpoint.prune Daemon: new checkpoint committed, old one
+//                          not yet removed                           (crash)
 
 #include <cstdint>
 #include <mutex>

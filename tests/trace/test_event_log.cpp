@@ -1,0 +1,365 @@
+#include "trace/event_log.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "util/fault.hpp"
+#include "util/io.hpp"
+
+namespace adr::trace {
+namespace {
+
+namespace fsys = std::filesystem;
+
+Event job_event(UserId user, util::TimePoint t, double impact) {
+  Event e;
+  e.kind = EventKind::kJob;
+  e.user = user;
+  e.timestamp = t;
+  e.impact = impact;
+  return e;
+}
+
+Event create_event(UserId user, util::TimePoint t, const std::string& path,
+                   std::uint64_t bytes, std::int32_t stripes) {
+  Event e;
+  e.kind = EventKind::kCreate;
+  e.user = user;
+  e.timestamp = t;
+  e.path = path;
+  e.size_bytes = bytes;
+  e.stripe_count = stripes;
+  return e;
+}
+
+class EventLogTest : public ::testing::Test {
+ protected:
+  std::string dir_ = ::testing::TempDir() + "/adr_wal_test_" +
+                     std::to_string(::getpid());
+  void SetUp() override {
+    util::FaultInjector::global().clear();
+    fsys::remove_all(dir_);
+    fsys::create_directories(dir_);
+  }
+  void TearDown() override {
+    util::FaultInjector::global().clear();
+    fsys::remove_all(dir_);
+  }
+
+  std::string open_segment_path() const {
+    for (const auto& entry : fsys::directory_iterator(dir_)) {
+      if (entry.path().extension() == ".open") return entry.path().string();
+    }
+    return {};
+  }
+  std::size_t count_ext(const char* ext) const {
+    std::size_t n = 0;
+    for (const auto& entry : fsys::directory_iterator(dir_)) {
+      if (entry.path().extension() == ext) ++n;
+    }
+    return n;
+  }
+};
+
+TEST_F(EventLogTest, FormatParseRoundTripsEveryKind) {
+  std::vector<Event> events;
+  events.push_back(job_event(7, 1'600'000'000, 123.456789012345678));
+  {
+    Event e;
+    e.kind = EventKind::kPublication;
+    e.user = 3;
+    e.timestamp = 1'600'000'500;
+    e.impact = 42.0;
+    events.push_back(e);
+  }
+  events.push_back(create_event(9, 1'600'001'000,
+                                "/scratch/u9/messy, \"quoted\" path.dat",
+                                4096, 4));
+  {
+    Event e;
+    e.kind = EventKind::kAccess;
+    e.user = 9;
+    e.timestamp = 1'600'002'000;
+    e.path = "/scratch/u9/data.h5";
+    events.push_back(e);
+  }
+  {
+    Event e;
+    e.kind = EventKind::kRemove;
+    e.timestamp = 1'600'003'000;
+    e.path = "/scratch/u9/tmp";
+    events.push_back(e);
+  }
+  std::uint64_t seq = 1;
+  for (Event& e : events) {
+    e.seq = seq++;
+    Event parsed;
+    ASSERT_TRUE(parse_event(format_event(e), parsed)) << format_event(e);
+    EXPECT_EQ(parsed, e);
+  }
+}
+
+TEST_F(EventLogTest, ParseRejectsTamperedLine) {
+  std::string line = format_event(job_event(1, 1'600'000'000, 10.0));
+  Event parsed;
+  ASSERT_TRUE(parse_event(line, parsed));
+  line[5] = line[5] == '9' ? '8' : '9';  // flip one payload byte
+  EXPECT_FALSE(parse_event(line, parsed));
+  EXPECT_FALSE(parse_event("not,a,record", parsed));
+  EXPECT_FALSE(parse_event("", parsed));
+}
+
+TEST_F(EventLogTest, FeedConversionsMatchBulkIngestImpacts) {
+  JobRecord job;
+  job.user = 4;
+  job.submit_time = 1'600'000'000;
+  job.cores = 1000;
+  job.duration_seconds = 5400;
+  const Event je = make_job_event(job, 2.0);
+  EXPECT_EQ(je.kind, EventKind::kJob);
+  EXPECT_EQ(je.user, 4u);
+  EXPECT_EQ(je.timestamp, job.submit_time);
+  EXPECT_DOUBLE_EQ(je.impact, 2.0 * job.core_hours());
+
+  PublicationRecord pub;
+  pub.published = 1'600'000'111;
+  pub.citations = 3;
+  pub.authors = {10, 11, 12};
+  const auto events = make_publication_events(pub);
+  ASSERT_EQ(events.size(), 3u);
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].user, pub.authors[i]);
+    EXPECT_DOUBLE_EQ(events[i].impact, pub.impact_for_author(i + 1));
+  }
+
+  AppLogEntry entry;
+  entry.user = 2;
+  entry.timestamp = 1'600'000'222;
+  entry.op = FileOp::kCreate;
+  entry.path = "/scratch/u2/a.dat";
+  entry.size_bytes = 1024;
+  entry.stripe_count = 8;
+  const Event ae = make_app_event(entry);
+  EXPECT_EQ(ae.kind, EventKind::kCreate);
+  EXPECT_EQ(ae.size_bytes, 1024u);
+  EXPECT_EQ(ae.stripe_count, 8);
+}
+
+TEST_F(EventLogTest, AppendAssignsContiguousSeqsAndReadsBack) {
+  std::vector<Event> written;
+  {
+    EventLogWriter writer(dir_);
+    for (int i = 0; i < 10; ++i) {
+      Event e = job_event(static_cast<UserId>(i), 1'600'000'000 + i, i * 1.5);
+      const std::uint64_t seq = writer.append(e);
+      EXPECT_EQ(seq, static_cast<std::uint64_t>(i + 1));
+      e.seq = seq;
+      written.push_back(e);
+    }
+  }
+  EventLogReader reader(dir_);
+  WalSalvage salvage;
+  const auto events = reader.read_after(0, &salvage);
+  EXPECT_EQ(events, written);
+  EXPECT_FALSE(salvage.torn_tail);
+  EXPECT_EQ(salvage.dropped_lines, 0u);
+
+  const auto tail = reader.read_after(7);
+  ASSERT_EQ(tail.size(), 3u);
+  EXPECT_EQ(tail.front().seq, 8u);
+}
+
+TEST_F(EventLogTest, RotationSealsSegmentsAndPreservesOrder) {
+  EventLogOptions opts;
+  opts.rotate_events = 4;
+  {
+    EventLogWriter writer(dir_, opts);
+    for (int i = 0; i < 11; ++i) {
+      writer.append(job_event(1, 1'600'000'000 + i, 1.0));
+    }
+  }
+  EXPECT_EQ(count_ext(".seg"), 2u);   // two full segments sealed
+  EXPECT_EQ(count_ext(".open"), 1u);  // 3 records still open
+
+  EventLogReader reader(dir_);
+  const auto events = reader.read_after(0);
+  ASSERT_EQ(events.size(), 11u);
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].seq, i + 1);
+  }
+
+  // Sealed segments carry a verifying §10 footer.
+  for (const auto& entry : fsys::directory_iterator(dir_)) {
+    if (entry.path().extension() != ".seg") continue;
+    const auto artifact = util::io::read_artifact(entry.path().string());
+    EXPECT_EQ(artifact.state, util::io::ArtifactState::kVerified);
+  }
+}
+
+TEST_F(EventLogTest, TornTailIsSalvagedAsStrictSuffixDrop) {
+  {
+    EventLogWriter writer(dir_);
+    for (int i = 0; i < 5; ++i) {
+      writer.append(job_event(1, 1'600'000'000 + i, 1.0));
+    }
+  }
+  // Tear the open segment mid-line, as a crashed append would.
+  const std::string open_path = open_segment_path();
+  ASSERT_FALSE(open_path.empty());
+  fsys::resize_file(open_path, fsys::file_size(open_path) - 7);
+
+  EventLogReader reader(dir_);
+  WalSalvage salvage;
+  const auto events = reader.read_after(0, &salvage);
+  ASSERT_EQ(events.size(), 4u);  // record 5 torn, 1..4 intact
+  EXPECT_EQ(events.back().seq, 4u);
+  EXPECT_TRUE(salvage.torn_tail);
+  EXPECT_EQ(salvage.dropped_lines, 1u);
+
+  // A restarting writer truncates the torn suffix and reuses seq 5.
+  {
+    EventLogWriter writer(dir_);
+    EXPECT_EQ(writer.next_seq(), 5u);
+    writer.append(job_event(2, 1'600'000'100, 9.0));
+  }
+  EventLogReader reread(dir_);
+  WalSalvage clean;
+  const auto all = reread.read_after(0, &clean);
+  ASSERT_EQ(all.size(), 5u);
+  EXPECT_EQ(all.back().seq, 5u);
+  EXPECT_EQ(all.back().user, 2u);
+  EXPECT_FALSE(clean.torn_tail);
+}
+
+TEST_F(EventLogTest, WriterRestartResumesSeqAcrossSealedSegments) {
+  EventLogOptions opts;
+  opts.rotate_events = 3;
+  {
+    EventLogWriter writer(dir_, opts);
+    for (int i = 0; i < 7; ++i) {
+      writer.append(job_event(1, 1'600'000'000 + i, 1.0));
+    }
+  }
+  {
+    EventLogWriter writer(dir_, opts);
+    EXPECT_EQ(writer.next_seq(), 8u);
+    writer.append(job_event(1, 1'600'000'100, 2.0));
+  }
+  EventLogReader reader(dir_);
+  EXPECT_EQ(reader.read_after(0).size(), 8u);
+}
+
+TEST_F(EventLogTest, CrashBetweenSealCommitAndRemoveRecovers) {
+  {
+    EventLogWriter writer(dir_);
+    for (int i = 0; i < 3; ++i) {
+      writer.append(job_event(1, 1'600'000'000 + i, 1.0));
+    }
+    util::FaultInjector::global().configure("wal.seal.pre_remove:crash@1");
+    EXPECT_THROW(writer.seal(), util::CrashInjected);
+    EXPECT_GE(util::FaultInjector::global().fired_count(), 1u);
+    util::FaultInjector::global().clear();
+  }
+  // Both files exist — the .seg is authoritative, the .open a leftover.
+  EXPECT_EQ(count_ext(".seg"), 1u);
+  EXPECT_EQ(count_ext(".open"), 1u);
+
+  // The reader prefers the sealed twin: no duplicate delivery.
+  EventLogReader reader(dir_);
+  EXPECT_EQ(reader.read_after(0).size(), 3u);
+
+  // A restarted writer removes the leftover and continues.
+  {
+    EventLogWriter writer(dir_);
+    EXPECT_EQ(writer.next_seq(), 4u);
+    writer.append(job_event(2, 1'600'000'100, 1.0));
+  }
+  EXPECT_EQ(count_ext(".open"), 1u);  // fresh segment, old leftover gone
+  EventLogReader reread(dir_);
+  const auto all = reread.read_after(0);
+  ASSERT_EQ(all.size(), 4u);
+  EXPECT_EQ(all.back().seq, 4u);
+}
+
+TEST_F(EventLogTest, AppendIoFaultsLeaveSalvageableLog) {
+  {
+    EventLogWriter writer(dir_);
+    writer.append(job_event(1, 1'600'000'000, 1.0));
+    writer.append(job_event(1, 1'600'000'001, 1.0));
+    // Tear the third append a few bytes in — torn line on disk. The short
+    // directive's byte offset is cumulative over the writer's stream, so
+    // anchor it past what the first two appends already wrote.
+    const auto written = fsys::file_size(open_segment_path());
+    util::FaultInjector::global().configure("wal.append.write:short@" +
+                                            std::to_string(written + 5));
+    EXPECT_THROW(writer.append(job_event(1, 1'600'000'002, 1.0)),
+                 std::exception);
+    util::FaultInjector::global().clear();
+  }
+  EventLogReader reader(dir_);
+  WalSalvage salvage;
+  const auto events = reader.read_after(0, &salvage);
+  EXPECT_EQ(events.size(), 2u);
+  EXPECT_TRUE(salvage.torn_tail);
+}
+
+TEST_F(EventLogTest, PollTailsAcrossAppendsAndSeals) {
+  EventLogOptions opts;
+  opts.rotate_events = 1000;  // manual seal below
+  EventLogWriter writer(dir_, opts);
+  EventLogReader reader(dir_);
+
+  std::vector<Event> seen;
+  const auto sink = [&seen](const Event& e) { seen.push_back(e); };
+
+  EXPECT_EQ(reader.poll(sink), 0u);
+  writer.append(job_event(1, 1'600'000'000, 1.0));
+  writer.append(job_event(2, 1'600'000'001, 2.0));
+  EXPECT_EQ(reader.poll(sink), 2u);
+  EXPECT_EQ(reader.poll(sink), 0u);  // idle poll delivers nothing
+
+  // Seal keeps payload bytes at identical offsets; tailer carries over.
+  writer.seal();
+  EXPECT_EQ(reader.poll(sink), 0u);
+  writer.append(job_event(3, 1'600'000'002, 3.0));
+  writer.append(job_event(4, 1'600'000'003, 4.0));
+  EXPECT_EQ(reader.poll(sink), 2u);
+
+  ASSERT_EQ(seen.size(), 4u);
+  for (std::size_t i = 0; i < seen.size(); ++i) {
+    EXPECT_EQ(seen[i].seq, i + 1);
+  }
+
+  // A torn in-flight line is retried, not half-delivered.
+  writer.append(job_event(5, 1'600'000'004, 5.0));
+  writer.flush();
+  const std::string open_path = open_segment_path();
+  std::ofstream torn(open_path, std::ios::app | std::ios::binary);
+  torn << "6,job,99,160";  // partial line, no newline
+  torn.flush();
+  EXPECT_EQ(reader.poll(sink), 1u);  // seq 5 only
+  EXPECT_EQ(seen.back().seq, 5u);
+}
+
+TEST_F(EventLogTest, SeekPositionsTailAfterCheckpointSeq) {
+  {
+    EventLogWriter writer(dir_);
+    for (int i = 0; i < 6; ++i) {
+      writer.append(job_event(1, 1'600'000'000 + i, 1.0));
+    }
+  }
+  EventLogReader reader(dir_);
+  reader.seek(4);
+  std::vector<Event> seen;
+  EXPECT_EQ(reader.poll([&seen](const Event& e) { seen.push_back(e); }), 2u);
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_EQ(seen.front().seq, 5u);
+  EXPECT_EQ(seen.back().seq, 6u);
+}
+
+}  // namespace
+}  // namespace adr::trace
