@@ -6,6 +6,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "activeness/spill.hpp"
 #include "obs/metrics.hpp"
 #include "util/csv.hpp"
 #include "util/io.hpp"
@@ -49,7 +50,8 @@ ActivityStore::ActivityStore(std::size_t user_count, std::size_t type_count)
       dirty_flags_(user_count, 0),
       shard_map_(user_count, 1),
       dirty_lists_(1),
-      ingest_(make_ingest(1)) {}
+      ingest_(make_ingest(1)),
+      admit_(std::make_unique<AdmissionState>()) {}
 
 std::vector<std::unique_ptr<ActivityStore::IngestShard>>
 ActivityStore::make_ingest(std::size_t shards) {
@@ -303,19 +305,84 @@ std::vector<trace::UserId> ActivityStore::users_active_between(
   return out;
 }
 
-void ActivityStore::enqueue(trace::UserId user, ActivityTypeId type,
-                            Activity activity) {
+EnqueueResult ActivityStore::enqueue(trace::UserId user, ActivityTypeId type,
+                                     Activity activity) {
   if (user >= users_ || type >= types_)
     throw std::out_of_range("ActivityStore: bad user/type");
   IngestShard& shard = *ingest_[shard_map_.shard_of(user)];
-  {
-    std::lock_guard<std::mutex> lock(shard.mutex);
-    shard.queue.emplace_back(user, type, activity);
-    shard.pending.store(shard.queue.size(), std::memory_order_release);
+  AdmissionState& admit = *admit_;
+  const std::size_t cap = admit.config.queue_cap;
+  std::unique_lock<std::mutex> lock(shard.mutex);
+  if (cap > 0 && shard.queue.size() >= cap) {
+    // Over the cap: apply the backpressure policy. Every branch either
+    // accounts for the event (shed log, spill segment) or ends up blocking,
+    // so nothing is ever lost silently.
+    switch (admit.config.policy) {
+      case BackpressurePolicy::kShed: {
+        std::lock_guard<std::mutex> shed_lock(admit.shed_mutex);
+        if (admit.shed_events.size() < admit.config.shed_budget) {
+          admit.shed_events.emplace_back(user, type, activity);
+          admit.shed_total.fetch_add(1, std::memory_order_acq_rel);
+          obs::MetricsRegistry::global()
+              .counter("activity_store.ingest_shed")
+              .add();
+          return EnqueueResult::kShed;
+        }
+        break;  // budget spent: degrade to blocking, never silent loss
+      }
+      case BackpressurePolicy::kSpill: {
+        if (admit.config.spill != nullptr) {
+          lock.unlock();  // file IO must not hold the shard lock
+          try {
+            admit.config.spill->append(user, type, activity);
+            admit.spilled_total.fetch_add(1, std::memory_order_acq_rel);
+            obs::MetricsRegistry::global()
+                .counter("activity_store.ingest_spilled")
+                .add();
+            return EnqueueResult::kSpilled;
+          } catch (const std::exception&) {
+            // Spill segment unwritable (disk full, torn write): fall back
+            // to blocking admission so the event still is not dropped.
+            lock.lock();
+          }
+        }
+        break;
+      }
+      case BackpressurePolicy::kBlock:
+        break;
+    }
+    if (shard.queue.size() >= cap) {
+      obs::MetricsRegistry::global()
+          .counter("activity_store.ingest_blocked")
+          .add();
+      shard.drained.wait(lock, [&] { return shard.queue.size() < cap; });
+    }
+  }
+  shard.queue.emplace_back(user, type, activity);
+  const std::size_t depth = shard.queue.size();
+  shard.pending.store(depth, std::memory_order_release);
+  lock.unlock();
+
+  std::size_t seen = admit.depth_high_water.load(std::memory_order_relaxed);
+  while (depth > seen && !admit.depth_high_water.compare_exchange_weak(
+                             seen, depth, std::memory_order_acq_rel)) {
   }
   static obs::Counter& enqueued =
       obs::MetricsRegistry::global().counter("activity_store.ingest_enqueued");
   enqueued.add();
+  return EnqueueResult::kQueued;
+}
+
+std::size_t ActivityStore::pending_ingest() const {
+  std::size_t total = 0;
+  for (std::size_t s = 0; s < ingest_.size(); ++s) total += pending_ingest(s);
+  return total;
+}
+
+std::vector<std::tuple<trace::UserId, ActivityTypeId, Activity>>
+ActivityStore::shed_events() const {
+  std::lock_guard<std::mutex> lock(admit_->shed_mutex);
+  return admit_->shed_events;
 }
 
 bool ActivityStore::has_pending_ingest() const {
@@ -342,6 +409,7 @@ std::size_t ActivityStore::drain_ingest(std::size_t shard) {
     batch.swap(iq.queue);
     iq.pending.store(0, std::memory_order_release);
   }
+  iq.drained.notify_all();  // wake producers blocked on a full queue
   for (const auto& [user, type, activity] : batch) {
     append(user, type, activity);
   }

@@ -6,6 +6,7 @@
 // per-type activity streams are the only inputs the evaluator needs.
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -93,6 +94,29 @@ class ShardMap {
   std::size_t users_ = 0;
   std::size_t shards_ = 1;
 };
+
+class SpillLog;
+
+/// What a bounded ingest queue does with an event it cannot admit
+/// (DESIGN.md §14.1). Every policy preserves the no-silent-loss invariant:
+/// produced == admitted + shed, with shed exactly counted and bounded.
+enum class BackpressurePolicy {
+  kBlock,  // producer waits until a drain makes room (bounds memory)
+  kShed,   // drop, record, and count — up to shed_budget, then block
+  kSpill,  // divert to a WAL-backed SpillLog, replayed when pressure clears
+};
+
+/// Bounded-admission knobs for ActivityStore::enqueue(). The default
+/// (queue_cap == 0) is the legacy unbounded queue.
+struct AdmissionConfig {
+  std::size_t queue_cap = 0;  // per-shard max queued events; 0 = unbounded
+  BackpressurePolicy policy = BackpressurePolicy::kBlock;
+  std::size_t shed_budget = 0;  // max events kShed may drop before blocking
+  SpillLog* spill = nullptr;    // required for kSpill (not owned)
+};
+
+/// What enqueue() did with the event.
+enum class EnqueueResult { kQueued, kShed, kSpilled };
 
 /// Per-user, per-type activity streams. Dense over users for cache-friendly
 /// parallel evaluation.
@@ -196,13 +220,27 @@ class ActivityStore {
 
   // -- concurrent ingest (producers: any thread; consumer: shard drains) --
 
+  /// Bounded-admission policy for enqueue(). Must not race producers:
+  /// configure before ingest threads start (same contract as
+  /// set_dirty_shards). The SpillLog, if any, is borrowed, not owned.
+  void set_admission(AdmissionConfig config) { admit_->config = config; }
+  const AdmissionConfig& admission() const { return admit_->config; }
+
   /// Thread-safe streaming insert: routes the event into its owner shard's
   /// ingest queue (one mutex per shard — producers for different shards
-  /// never contend) and returns immediately. The store itself is mutated
-  /// only when drain_ingest applies the queue, so producers may enqueue
-  /// while per-shard drains or evaluations run. Events enqueued after a
-  /// shard's drain began are picked up by the next drain.
-  void enqueue(trace::UserId user, ActivityTypeId type, Activity activity);
+  /// never contend). The store itself is mutated only when drain_ingest
+  /// applies the queue, so producers may enqueue while per-shard drains or
+  /// evaluations run. Events enqueued after a shard's drain began are
+  /// picked up by the next drain.
+  ///
+  /// When an AdmissionConfig caps the queue and the owner shard is full,
+  /// the configured BackpressurePolicy decides: kBlock waits for a drain;
+  /// kShed records the event in the shed log and drops it (until the
+  /// budget is spent, then blocks); kSpill appends it to the SpillLog
+  /// (falling back to blocking if the spill write itself fails). Blocking
+  /// requires a live consumer calling drain_ingest — there is no timeout.
+  EnqueueResult enqueue(trace::UserId user, ActivityTypeId type,
+                        Activity activity);
 
   /// Whether a shard has queued-but-undrained events (lock-free; exact
   /// under quiescence, momentarily stale against a racing producer — fine
@@ -211,6 +249,34 @@ class ActivityStore {
     return ingest_[shard]->pending.load(std::memory_order_acquire) > 0;
   }
   bool has_pending_ingest() const;
+
+  /// Queued-but-undrained depth of one shard (lock-free snapshot; same
+  /// staleness caveat as has_pending_ingest).
+  std::size_t pending_ingest(std::size_t shard) const {
+    return ingest_[shard]->pending.load(std::memory_order_acquire);
+  }
+  /// Sum of all shards' pending depths.
+  std::size_t pending_ingest() const;
+
+  /// Events dropped by the kShed policy so far (exact: every shed event is
+  /// also recorded, so loss accounting can be audited event-by-event).
+  std::size_t shed_count() const {
+    return admit_->shed_total.load(std::memory_order_acquire);
+  }
+  /// The recorded shed events, in drop order (bounded by shed_budget).
+  std::vector<std::tuple<trace::UserId, ActivityTypeId, Activity>>
+  shed_events() const;
+
+  /// Events diverted to the SpillLog by the kSpill policy.
+  std::size_t spilled_count() const {
+    return admit_->spilled_total.load(std::memory_order_acquire);
+  }
+
+  /// Deepest any shard's ingest queue has ever been (the obs
+  /// "activity_store.ingest_depth_high_water" gauge).
+  std::size_t ingest_depth_high_water() const {
+    return admit_->depth_high_water.load(std::memory_order_acquire);
+  }
 
   /// Apply one shard's queued events via append(), in arrival order, and
   /// return how many were applied. Touches only shard-owned state, so
@@ -252,6 +318,7 @@ class ActivityStore {
   /// value.
   struct IngestShard {
     std::mutex mutex;
+    std::condition_variable drained;  // signaled when drain_ingest makes room
     std::vector<std::tuple<trace::UserId, ActivityTypeId, Activity>> queue;
     std::atomic<std::size_t> pending{0};
   };
@@ -276,6 +343,19 @@ class ActivityStore {
   ShardMap shard_map_;                     // dirty routing (1 shard default)
   std::vector<std::vector<trace::UserId>> dirty_lists_;  // one per shard
   std::vector<std::unique_ptr<IngestShard>> ingest_;     // one per shard
+
+  /// Admission/backpressure state, heap-held (like the ingest shards) so
+  /// the store stays movable despite the mutex and atomics.
+  struct AdmissionState {
+    AdmissionConfig config;  // read by producers; set only at quiescence
+    mutable std::mutex shed_mutex;
+    std::vector<std::tuple<trace::UserId, ActivityTypeId, Activity>>
+        shed_events;
+    std::atomic<std::size_t> shed_total{0};
+    std::atomic<std::size_t> spilled_total{0};
+    std::atomic<std::size_t> depth_high_water{0};
+  };
+  std::unique_ptr<AdmissionState> admit_;
 };
 
 /// Ingest a job log: each job submission becomes one operation activity with

@@ -119,6 +119,13 @@ class IncrementalEvaluator {
   bool evaluated() const { return evaluated_; }
   util::TimePoint last_now() const { return last_now_; }
   EvalMode mode() const { return mode_; }
+  /// Re-pin the evaluation mode between advances. The degradation ladder
+  /// (DESIGN.md §14.2) uses this to force kIncremental under load — delta
+  /// work is bounded by the dirty set, so no advance can decide to pay a
+  /// full-rebuild latency spike — and to restore the configured mode once
+  /// pressure clears. Output is unaffected: every mode computes identical
+  /// ranks, only the work schedule differs.
+  void set_mode(EvalMode mode) { mode_ = mode; }
   trace::UserId range_begin() const { return range_begin_; }
 
   /// Users re-evaluated by the last advance() (global ids, ascending).

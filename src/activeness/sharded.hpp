@@ -73,6 +73,12 @@ class ShardedEvaluator {
   bool evaluated() const { return evaluated_; }
   util::TimePoint last_now() const { return last_now_; }
   EvalMode mode() const { return mode_; }
+  /// Re-pin the evaluation mode on every shard segment (see
+  /// IncrementalEvaluator::set_mode — the degradation ladder's lever).
+  void set_mode(EvalMode mode) {
+    mode_ = mode;
+    for (auto& eval : evals_) eval.set_mode(mode);
+  }
   /// Wall time spent in advance() on this instance (includes wake
   /// filtering, the parallel segment advances, and the plan merge).
   double seconds() const { return seconds_; }

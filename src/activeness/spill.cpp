@@ -1,0 +1,194 @@
+#include "activeness/spill.hpp"
+
+#include <cstdio>
+#include <filesystem>
+#include <stdexcept>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "util/csv.hpp"
+#include "util/fault.hpp"
+#include "util/io.hpp"
+
+namespace adr::activeness {
+
+namespace {
+
+namespace fsys = std::filesystem;
+
+std::string format_record(trace::UserId user, ActivityTypeId type,
+                          const Activity& activity) {
+  char impact[40];
+  std::snprintf(impact, sizeof(impact), "%.17g", activity.impact);
+  const std::string body = util::csv_join(
+      {std::to_string(user), std::to_string(type),
+       std::to_string(activity.timestamp), impact});
+  util::io::Crc32 crc;
+  crc.update(body);
+  char hex[16];
+  std::snprintf(hex, sizeof(hex), "%08x", crc.value());
+  return body + "," + hex;
+}
+
+bool parse_record(const std::string& line, trace::UserId& user,
+                  ActivityTypeId& type, Activity& activity) {
+  const std::size_t comma = line.rfind(',');
+  if (comma == std::string::npos || line.size() - comma - 1 != 8) return false;
+  const std::string body = line.substr(0, comma);
+  util::io::Crc32 crc;
+  crc.update(body);
+  std::uint32_t want = 0;
+  try {
+    want = static_cast<std::uint32_t>(
+        std::stoul(line.substr(comma + 1), nullptr, 16));
+  } catch (const std::exception&) {
+    return false;
+  }
+  if (crc.value() != want) return false;
+  const auto fields = util::csv_split(body);
+  if (fields.size() != 4) return false;
+  try {
+    user = static_cast<trace::UserId>(std::stoul(fields[0]));
+    type = static_cast<ActivityTypeId>(std::stoull(fields[1]));
+    activity.timestamp = std::stoll(fields[2]);
+    activity.impact = std::stod(fields[3]);
+  } catch (const std::exception&) {
+    return false;
+  }
+  return true;
+}
+
+/// Intact records and the byte length of the valid prefix.
+std::size_t scan(const std::string& content, std::size_t& records,
+                 std::size_t& torn_lines) {
+  std::size_t pos = 0;
+  while (pos < content.size()) {
+    const std::size_t nl = content.find('\n', pos);
+    if (nl == std::string::npos) {
+      ++torn_lines;
+      break;
+    }
+    trace::UserId user;
+    ActivityTypeId type;
+    Activity activity;
+    if (!parse_record(content.substr(pos, nl - pos), user, type, activity)) {
+      // Strict-suffix salvage: everything after the first bad line is
+      // suspect.
+      for (std::size_t p = pos; p < content.size();) {
+        ++torn_lines;
+        const std::size_t q = content.find('\n', p);
+        if (q == std::string::npos) break;
+        p = q + 1;
+      }
+      break;
+    }
+    ++records;
+    pos = nl + 1;
+  }
+  return pos;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return {std::istreambuf_iterator<char>(in),
+          std::istreambuf_iterator<char>()};
+}
+
+}  // namespace
+
+SpillLog::SpillLog(std::string dir) {
+  fsys::create_directories(dir);
+  path_ = dir + "/spill.log";
+
+  // Salvage: truncate any torn suffix left by a crashed append, count the
+  // intact pending records.
+  if (fsys::exists(path_)) {
+    const std::string content = slurp(path_);
+    std::size_t records = 0, torn = 0;
+    const std::size_t keep = scan(content, records, torn);
+    if (keep < content.size()) {
+      fsys::resize_file(path_, keep);
+      obs::MetricsRegistry::global().counter("spill.torn_lines").add(torn);
+    }
+    pending_ = records;
+    write_offset_ = keep;
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  reopen_locked();
+}
+
+void SpillLog::reopen_locked() {
+  out_.open(path_, std::ios::binary | std::ios::app);
+  if (!out_) {
+    throw std::runtime_error("SpillLog: cannot open " + path_);
+  }
+}
+
+void SpillLog::append(trace::UserId user, ActivityTypeId type,
+                      Activity activity) {
+  const std::string line = format_record(user, type, activity) + "\n";
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto decision = util::FaultInjector::global().on_write(
+      "spill.append.write", write_offset_, line.size());
+  out_.write(line.data(), static_cast<std::streamsize>(decision.allow));
+  out_.flush();
+  write_offset_ += decision.allow;
+  if (decision.fail || decision.allow < line.size() || !out_) {
+    // The torn partial line stays; the next replay (or restart) drops it.
+    throw std::runtime_error(decision.enospc
+                                 ? "SpillLog: no space left on device"
+                                 : "SpillLog: short write");
+  }
+  ++pending_;
+  obs::MetricsRegistry::global().counter("spill.appended").add();
+}
+
+std::size_t SpillLog::pending() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return pending_;
+}
+
+std::size_t SpillLog::replay(
+    const std::function<void(trace::UserId, ActivityTypeId, Activity)>& fn) {
+  // Snapshot-and-truncate under the lock, replay outside it so producers
+  // can keep spilling while the drain applies the batch.
+  std::string content;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (pending_ == 0) return 0;
+    out_.close();
+    content = slurp(path_);
+    fsys::resize_file(path_, 0);
+    write_offset_ = 0;
+    pending_ = 0;
+    reopen_locked();
+  }
+
+  std::size_t replayed = 0, torn = 0;
+  std::size_t pos = 0;
+  while (pos < content.size()) {
+    const std::size_t nl = content.find('\n', pos);
+    if (nl == std::string::npos) {
+      ++torn;
+      break;
+    }
+    trace::UserId user;
+    ActivityTypeId type;
+    Activity activity;
+    if (!parse_record(content.substr(pos, nl - pos), user, type, activity)) {
+      ++torn;
+      pos = nl + 1;
+      continue;  // count but keep scanning: later records may be intact
+    }
+    fn(user, type, activity);
+    ++replayed;
+    pos = nl + 1;
+  }
+  if (torn > 0) {
+    obs::MetricsRegistry::global().counter("spill.torn_lines").add(torn);
+  }
+  obs::MetricsRegistry::global().counter("spill.replayed").add(replayed);
+  return replayed;
+}
+
+}  // namespace adr::activeness

@@ -1,0 +1,73 @@
+#pragma once
+// WAL-backed ingest overflow segment (DESIGN.md §14.1).
+//
+// The `spill` backpressure policy needs somewhere durable to put events the
+// bounded ingest queues cannot admit right now. SpillLog is that place: an
+// append-only file of self-checksummed records (the event-log idiom scaled
+// down to one segment), written by any producer thread under a mutex and
+// replayed single-threaded once pressure clears. Replay consumes the file:
+// records are handed back in arrival order and the segment is truncated, so
+// a second replay is a no-op.
+//
+// Record format (one line, CRC32 of the body as the last field — exactly
+// the trace::Event framing, minus the fields an in-store activity event
+// does not have):
+//
+//   user,type,timestamp,impact,crc
+//
+// Torn tails: a crashed or fault-injected append leaves a partial final
+// line; replay salvages every intact record and drops the torn suffix
+// (counted in obs `spill.torn_lines`), the same strict-suffix contract as
+// the WAL reader. A crash *between* spill and replay loses nothing: the
+// next process replays the segment from disk before its first evaluation.
+//
+// Fault points: spill.append.write (short/enospc via FaultInjector).
+
+#include <cstdint>
+#include <fstream>
+#include <functional>
+#include <mutex>
+#include <string>
+
+#include "activeness/activity.hpp"
+#include "trace/types.hpp"
+
+namespace adr::activeness {
+
+class SpillLog {
+ public:
+  /// Opens (and salvages) `dir`/spill.log; creates the directory if needed.
+  /// Pending records from a previous process survive and count toward
+  /// pending().
+  explicit SpillLog(std::string dir);
+  SpillLog(const SpillLog&) = delete;
+  SpillLog& operator=(const SpillLog&) = delete;
+
+  /// Append one overflow event (thread-safe, flushed). Throws on IO failure
+  /// — the caller falls back to blocking admission so the event is not lost.
+  void append(trace::UserId user, ActivityTypeId type, Activity activity);
+
+  /// Records spilled but not yet replayed (includes salvaged pre-crash
+  /// records).
+  std::size_t pending() const;
+
+  /// Hand every intact pending record to `fn` in arrival order, then
+  /// truncate the segment. Single consumer; safe against concurrent
+  /// append() (records appended during replay stay for the next one).
+  /// Returns how many records were replayed.
+  std::size_t replay(
+      const std::function<void(trace::UserId, ActivityTypeId, Activity)>& fn);
+
+  const std::string& path() const { return path_; }
+
+ private:
+  void reopen_locked();
+
+  mutable std::mutex mutex_;
+  std::string path_;
+  std::ofstream out_;
+  std::uint64_t write_offset_ = 0;
+  std::size_t pending_ = 0;
+};
+
+}  // namespace adr::activeness

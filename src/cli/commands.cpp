@@ -16,9 +16,11 @@
 #include "obs/metrics.hpp"
 #include "retention/ledger.hpp"
 #include "sim/experiment.hpp"
+#include "sim/chaos.hpp"
 #include "sim/loadgen.hpp"
 #include "util/bundle.hpp"
 #include "util/config.hpp"
+#include "util/csv.hpp"
 #include "util/fault.hpp"
 #include "util/io.hpp"
 #include "util/parse.hpp"
@@ -103,11 +105,24 @@ commands:
             (exit 3 on divergence). --json writes the BENCH_load-shaped
             report.
 
+  chaos     --dir DIR [--seed S] [--epochs N] [--duration SECONDS]
+            [--users N] [--events-per-epoch N]
+            [--classes kill,enospc,torn,flood,stall]
+            Chaos-soak harness (DESIGN.md §14.4): each epoch draws one fault
+            class from a seeded stream, runs a daemon through it, and checks
+            the §14 invariants — post-fault ranks/victims byte-identical to
+            a cold replay, exact-loss accounting under floods, and health
+            back to ok before the epoch closes. --duration keeps cycling
+            epochs until the wall-clock budget is spent. Exit 3 on any
+            violated invariant; the failure replays from --seed.
+
   serve     --wal DIR --state DIR --users F [--snapshot F] [--lifetime D]
             [--eval-mode auto|full|incremental] [--shards N]
             [--scan-mode auto|walk|indexed] [--checkpoint-every N]
             [--poll-ms MS] [--max-ticks N] [--metrics-interval TICKS]
             [--exempt FILE] [--no-seal-on-stop]
+            [--ingest-queue-cap N] [--backpressure block|shed|spill]
+            [--shed-budget N] [--spill-dir DIR] [--trigger-deadline-ms MS]
             Resident retention daemon (DESIGN.md §13): tails the --wal event
             log, keeps rank + purge-index state warm, answers control-file
             triggers from <state>/ctl with no rescan, and checkpoints every
@@ -118,6 +133,14 @@ commands:
             --metrics-out, the registry is re-exported atomically every
             --metrics-interval ticks while the daemon runs. --snapshot seeds
             the scratch state on a cold start (no checkpoint yet).
+            Overload protection (DESIGN.md §14): --ingest-queue-cap bounds
+            the per-shard ingest queues (--backpressure picks what a full
+            queue does: block producers, shed up to --shed-budget counted
+            events, or spill to a WAL-backed segment replayed when pressure
+            clears); --trigger-deadline-ms arms the trigger watchdog — on
+            breach the daemon degrades to incremental evaluation and, if
+            breaches persist, defers triggers with jittered backoff instead
+            of dying.
 
   feed      --wal DIR [--jobs F] [--pubs F] [--applog F] [--rotate N]
             [--seal]
@@ -738,6 +761,40 @@ int cmd_loadgen(const util::Config& config, std::ostream& out) {
   return result.ranks_identical ? 0 : 3;
 }
 
+// ---- chaos -----------------------------------------------------------------
+
+int cmd_chaos(const util::Config& config, std::ostream& out) {
+  sim::ChaosConfig c;
+  c.dir = require_str(config, "dir");
+  c.seed = static_cast<std::uint64_t>(
+      config.get_int("seed", static_cast<std::int64_t>(c.seed)));
+  c.epochs =
+      static_cast<int>(config.get_int("epochs", c.epochs));
+  c.duration_s = config.get_double("duration", c.duration_s);
+  c.users = static_cast<std::size_t>(
+      config.get_int("users", static_cast<std::int64_t>(c.users)));
+  c.events_per_epoch = static_cast<std::size_t>(config.get_int(
+      "events-per-epoch", static_cast<std::int64_t>(c.events_per_epoch)));
+  if (const auto classes = config.get("classes")) {
+    for (const auto& cls : util::csv_split(*classes)) {
+      if (!cls.empty()) c.classes.push_back(cls);
+    }
+  }
+
+  const sim::ChaosReport report = sim::run_chaos(c, out);
+  out << "epochs: " << report.epochs_run << ", identity checks: "
+      << report.identity_checks << ", recoveries: " << report.recoveries
+      << "\n";
+  for (const auto& [cls, n] : report.faults_injected) {
+    out << "  " << cls << ": " << n << "\n";
+  }
+  if (!report.ok) {
+    out << "chaos soak FAILED: " << report.error << "\n";
+    return 3;
+  }
+  return 0;
+}
+
 }  // namespace
 
 namespace {
@@ -793,6 +850,7 @@ int run_cli(int argc, const char* const* argv, std::ostream& out,
     else if (command == "compare") rc = cmd_compare(config, out);
     else if (command == "info") rc = cmd_info(config, out);
     else if (command == "loadgen") rc = cmd_loadgen(config, out);
+    else if (command == "chaos") rc = cmd_chaos(config, out);
     else if (command == "serve") rc = cmd_serve(config, out);
     else if (command == "feed") rc = cmd_feed(config, out);
     else if (command == "ctl") rc = cmd_ctl(config, out);

@@ -6,6 +6,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "activeness/activity.hpp"
 #include "activeness/incremental.hpp"
 #include "retention/flt.hpp"
 #include "util/config.hpp"
@@ -47,6 +48,16 @@ inline std::size_t eval_shards_flag(const util::Config& config) {
     throw std::runtime_error("--shards must be >= 0 (0 = auto)");
   }
   return static_cast<std::size_t>(shards);
+}
+
+inline activeness::BackpressurePolicy backpressure_flag(
+    const util::Config& config) {
+  const std::string name = config.get_string("backpressure", "block");
+  if (name == "block") return activeness::BackpressurePolicy::kBlock;
+  if (name == "shed") return activeness::BackpressurePolicy::kShed;
+  if (name == "spill") return activeness::BackpressurePolicy::kSpill;
+  throw std::runtime_error("unknown --backpressure: " + name +
+                           " (expected block, shed, or spill)");
 }
 
 inline retention::ScanMode scan_mode_flag(const util::Config& config) {

@@ -62,6 +62,25 @@ int cmd_serve(const util::Config& config, std::ostream& out) {
       static_cast<std::int64_t>(opts.metrics_every_ticks)));
   opts.seal_wal_on_stop = !config.get_bool("no-seal-on-stop", false);
 
+  // Overload-protection knobs (DESIGN.md §14): bounded ingest admission
+  // and the trigger watchdog. All default off, preserving the historical
+  // unbounded/undeadlined behaviour.
+  const auto queue_cap = config.get_int("ingest-queue-cap", 0);
+  if (queue_cap < 0) {
+    throw std::runtime_error("--ingest-queue-cap must be >= 0 (0 = unbounded)");
+  }
+  opts.ingest_queue_cap = static_cast<std::size_t>(queue_cap);
+  opts.backpressure = backpressure_flag(config);
+  const auto shed_budget = config.get_int("shed-budget", 0);
+  if (shed_budget < 0) throw std::runtime_error("--shed-budget must be >= 0");
+  opts.shed_budget = static_cast<std::size_t>(shed_budget);
+  opts.spill_dir = config.get_string("spill-dir", "");
+  const auto deadline_ms = config.get_int("trigger-deadline-ms", 0);
+  if (deadline_ms < 0) {
+    throw std::runtime_error("--trigger-deadline-ms must be >= 0 (0 = off)");
+  }
+  opts.watchdog.trigger_deadline_ms = static_cast<std::uint64_t>(deadline_ms);
+
   g_stop_requested.store(false);
   opts.stop_flag = &g_stop_requested;
 

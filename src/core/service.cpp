@@ -11,6 +11,7 @@
 #include "util/bundle.hpp"
 #include "util/config.hpp"
 #include "util/csv.hpp"
+#include "util/fault.hpp"
 #include "util/io.hpp"
 
 namespace adr::core {
@@ -158,6 +159,14 @@ void Service::load_snapshot(const trace::Snapshot& snapshot) {
   vfs_.import_snapshot(snapshot);
 }
 
+void Service::set_degraded(bool degraded) {
+  if (degraded_ == degraded) return;
+  degraded_ = degraded;
+  pipeline_->set_mode(degraded ? activeness::EvalMode::kIncremental
+                               : config_.eval_mode);
+  obs::MetricsRegistry::global().counter("service.degrade_transitions").add();
+}
+
 const activeness::RankStore& Service::evaluate(util::TimePoint now) {
   activeness::ActivityStore& store = ensure_store();
   // Unlike the pre-refactor Engine guard this also checks the ingest
@@ -167,6 +176,7 @@ const activeness::RankStore& Service::evaluate(util::TimePoint now) {
       !store.has_pending_ingest()) {
     return ranks_;
   }
+  util::FaultInjector::global().crash_point("service.evaluate");
   pipeline_->advance(store, now);
   ranks_ = activeness::RankStore(pipeline_->users());
   last_eval_time_ = now;
@@ -201,6 +211,7 @@ retention::PurgeReport Service::purge(util::TimePoint now) {
 retention::PurgeReport Service::purge(util::TimePoint now,
                                       std::uint64_t target_bytes) {
   evaluate(now);
+  util::FaultInjector::global().crash_point("service.purge");
   retention::ActiveDrConfig config;
   config.initial_lifetime_days = config_.lifetime_days;
   config.retrospective_passes = config_.retrospective_passes;
@@ -239,6 +250,7 @@ retention::PurgeReport Service::purge_flt(util::TimePoint now,
 }
 
 void Service::save_checkpoint(const std::string& dir) {
+  util::FaultInjector::global().crash_point("service.checkpoint");
   fsys::create_directories(dir);
   activeness::ActivityStore& store = ensure_store();
   // Fold queued events in first — a checkpoint must cover everything the

@@ -169,6 +169,15 @@ class Service {
   /// checkpoint's applied seq; replay the WAL tail after it.
   RestoreStatus restore_checkpoint(const std::string& dir);
 
+  // -- degradation (DESIGN.md §14.2) --------------------------------------
+  /// Pin the evaluator pipeline to kIncremental (true) or restore the
+  /// configured eval mode (false). Degraded evaluation bounds per-trigger
+  /// work by the dirty set — no advance can decide to pay a full-rebuild
+  /// latency spike — while computing byte-identical ranks, so a degraded
+  /// daemon still answers triggers exactly. Idempotent.
+  void set_degraded(bool degraded);
+  bool degraded() const { return degraded_; }
+
   // -- introspection -------------------------------------------------------
   activeness::ActivityStore& store() { return ensure_store(); }
   const activeness::ShardedEvaluator& pipeline() const { return *pipeline_; }
@@ -191,6 +200,7 @@ class Service {
   std::uint64_t last_applied_seq_ = 0;
   std::optional<util::TimePoint> last_eval_time_;
   activeness::RankStore ranks_;
+  bool degraded_ = false;
 };
 
 }  // namespace adr::core

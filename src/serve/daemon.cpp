@@ -9,9 +9,11 @@
 
 #include "obs/metrics.hpp"
 #include "trace/snapshot.hpp"
+#include "util/backoff.hpp"
 #include "util/config.hpp"
 #include "util/fault.hpp"
 #include "util/io.hpp"
+#include "util/logging.hpp"
 
 namespace adr::serve {
 
@@ -49,6 +51,25 @@ std::vector<std::pair<std::uint64_t, std::string>> list_checkpoints(
   return found;
 }
 
+/// WAL segments on disk (sealed .seg + the open tail) — the `ctl status`
+/// wal_segments field.
+std::size_t count_wal_segments(const std::string& dir) {
+  std::size_t n = 0;
+  if (!fsys::exists(dir)) return n;
+  for (const auto& entry : fsys::directory_iterator(dir)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string name = entry.path().filename().string();
+    if (name.ends_with(".seg") || name.ends_with(".open")) ++n;
+  }
+  return n;
+}
+
+double elapsed_ms_since(std::chrono::steady_clock::time_point begin) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - begin)
+      .count();
+}
+
 }  // namespace
 
 Daemon::Daemon(trace::UserRegistry registry, DaemonOptions options)
@@ -60,7 +81,8 @@ Daemon::Daemon(trace::UserRegistry registry, DaemonOptions options)
             // lets clients (and the identity tests) read them back.
             config.record_victims = true;
             return config;
-          }(options_.service)) {
+          }(options_.service)),
+      health_(options_.watchdog) {
   if (options_.wal_dir.empty() || options_.state_dir.empty()) {
     throw std::invalid_argument("Daemon: wal_dir and state_dir are required");
   }
@@ -97,9 +119,50 @@ void Daemon::start() {
     service_.load_snapshot(trace::Snapshot::load_csv(options_.snapshot_path));
   }
 
+  // Bounded ingest admission (§14.1) — configured after recovery so the
+  // restored store carries it; the spill segment (and any pending events a
+  // previous run left in it) lives under the daemon's state dir.
+  if (options_.ingest_queue_cap > 0) {
+    activeness::AdmissionConfig admission;
+    admission.queue_cap = options_.ingest_queue_cap;
+    admission.policy = options_.backpressure;
+    admission.shed_budget = options_.shed_budget;
+    if (admission.policy == activeness::BackpressurePolicy::kSpill) {
+      spill_ = std::make_unique<activeness::SpillLog>(
+          options_.spill_dir.empty() ? options_.state_dir + "/spill"
+                                     : options_.spill_dir);
+      admission.spill = spill_.get();
+    }
+    service_.prepare_ingest();
+    service_.store().set_admission(admission);
+  }
+
   reader_.emplace(options_.wal_dir);
   reader_->seek(service_.last_applied_seq());
   started_ = true;
+}
+
+void Daemon::replay_spill() {
+  if (!spill_ || spill_->pending() == 0) return;
+  // Only when the queues have fully drained — replaying into live pressure
+  // would just bounce the events back into the next spill segment.
+  auto& store = service_.store();
+  if (store.pending_ingest() != 0) return;
+  try {
+    const std::size_t n = spill_->replay(
+        [&store](trace::UserId user, activeness::ActivityTypeId type,
+                 activeness::Activity activity) {
+          store.enqueue(user, type, activity);
+        });
+    if (n > 0) {
+      ADR_INFO << "serve: re-admitted " << n << " spilled events";
+    }
+  } catch (const util::CrashInjected&) {
+    throw;
+  } catch (const std::exception& e) {
+    ADR_WARN << "serve: spill replay failed: " << e.what();
+    obs::MetricsRegistry::global().counter("serve.spill_replay_failures").add();
+  }
 }
 
 std::size_t Daemon::poll_wal() {
@@ -124,10 +187,41 @@ std::size_t Daemon::poll_wal() {
   return applied;
 }
 
+void Daemon::observe_phase(const char* phase,
+                           std::chrono::steady_clock::time_point begin) {
+  health_.observe_phase(phase, elapsed_ms_since(begin));
+  apply_health();
+}
+
+void Daemon::apply_health() {
+  const HealthState state = health_.state();
+  // Degradation ladder rung 1: degraded (and worse) pins the evaluator to
+  // incremental mode — bounded delta work, identical output.
+  service_.set_degraded(state == HealthState::kDegraded ||
+                        state == HealthState::kOverloaded);
+  // Rung 2: overloaded defers new triggers with jittered exponential
+  // backoff (the .cmd file stays in place; status/stop keep working).
+  if (state == HealthState::kOverloaded) {
+    defer_until_ = std::chrono::steady_clock::now() +
+                   std::chrono::duration_cast<
+                       std::chrono::steady_clock::duration>(
+                       std::chrono::duration<double, std::milli>(
+                           health_.defer_delay_ms()));
+  }
+}
+
+bool Daemon::defer_trigger() const {
+  return health_.state() == HealthState::kOverloaded &&
+         std::chrono::steady_clock::now() < defer_until_;
+}
+
 std::string Daemon::save_checkpoint_now() {
   const std::string dir =
       checkpoints_dir() + "/" + checkpoint_name(service_.last_applied_seq());
-  service_.save_checkpoint(dir);
+  // Transient write faults retry in place; crashes and corruption surface
+  // (the whole bundle re-commits atomically on a retried attempt).
+  util::retry_io("serve.checkpoint", options_.io_retry,
+                 [&] { service_.save_checkpoint(dir); });
   events_since_checkpoint_ = 0;
   obs::MetricsRegistry::global()
       .gauge("serve.checkpoint_seq")
@@ -148,10 +242,24 @@ void Daemon::prune_checkpoints() {
 
 void Daemon::export_metrics() {
   if (options_.metrics_out.empty()) return;
-  util::io::AtomicWriter writer(options_.metrics_out,
-                                {.fsync = false, .footer = false});
-  writer.write_line(obs::MetricsRegistry::global().to_json());
-  writer.commit();
+  // Best-effort: a metrics file the disk refuses to take must never kill
+  // the daemon. Injected crashes still propagate (simulated kill -9).
+  try {
+    util::retry_io("serve.metrics", options_.io_retry, [&] {
+      util::io::AtomicWriter writer(options_.metrics_out,
+                                    {.fsync = false, .footer = false});
+      writer.write_line(obs::MetricsRegistry::global().to_json());
+      writer.commit();
+    });
+  } catch (const util::CrashInjected&) {
+    throw;
+  } catch (const std::exception& e) {
+    ADR_WARN << "metrics export failed (will retry next cadence): "
+             << e.what();
+    obs::MetricsRegistry::global()
+        .counter("serve.metrics_export_failures")
+        .add();
+  }
 }
 
 void Daemon::handle_command(const std::string& cmd_path) {
@@ -174,6 +282,11 @@ void Daemon::handle_command(const std::string& cmd_path) {
     const util::Config cmd = util::Config::from_file(cmd_path);
     const std::string verb = cmd.get_string("cmd", "");
     if (verb == "trigger" || verb == "evaluate") {
+      if (defer_trigger()) {
+        // Overloaded: leave the .cmd in place — a later tick retries it
+        // once the jittered deferral window passes. No reply yet.
+        return;
+      }
       if (!cmd.contains("now")) throw std::runtime_error("missing now =");
       const auto now = static_cast<util::TimePoint>(cmd.get_int("now", 0));
       const auto begin = std::chrono::steady_clock::now();
@@ -225,9 +338,12 @@ void Daemon::handle_command(const std::string& cmd_path) {
           .observe(std::chrono::duration<double>(
                        std::chrono::steady_clock::now() - begin)
                        .count());
+      observe_phase(verb == "trigger" ? "purge" : "evaluate", begin);
     } else if (verb == "checkpoint") {
+      const auto begin = std::chrono::steady_clock::now();
       put("ok", "true");
       put("dir", save_checkpoint_now());
+      observe_phase("checkpoint", begin);
     } else if (verb == "status") {
       put("ok", "true");
       put("events_applied", std::to_string(events_applied_));
@@ -235,6 +351,21 @@ void Daemon::handle_command(const std::string& cmd_path) {
           std::to_string(events_since_checkpoint_));
       put("users", std::to_string(service_.registry().size()));
       put("ticks", std::to_string(tick_count_));
+      put("health", to_string(health_.state()));
+      put("wal_segments", std::to_string(count_wal_segments(options_.wal_dir)));
+      const activeness::ActivityStore& store = service_.store();
+      put("ingest_pending", std::to_string(store.pending_ingest()));
+      std::string depths;
+      for (std::size_t s = 0; s < store.dirty_shard_map().shards(); ++s) {
+        if (!depths.empty()) depths += ",";
+        depths += std::to_string(store.pending_ingest(s));
+      }
+      put("ingest_pending_per_shard", depths);
+      put("ingest_depth_high_water",
+          std::to_string(store.ingest_depth_high_water()));
+      put("shed_events", std::to_string(store.shed_count()));
+      put("spilled_events", std::to_string(store.spilled_count()));
+      put("watchdog_breaches", std::to_string(health_.breaches()));
     } else if (verb == "stop") {
       put("ok", "true");
       stopped_ = true;
@@ -245,18 +376,33 @@ void Daemon::handle_command(const std::string& cmd_path) {
   } catch (const util::CrashInjected&) {
     throw;  // a simulated kill -9 must not write a reply
   } catch (const std::exception& e) {
+    // Unknown verbs, torn/partial command files, and failed work all land
+    // here: warn, answer ok = false, move on. A malformed drop must never
+    // abort the serve loop.
+    ADR_WARN << "command " << cmd_path << " failed: " << e.what();
     reply.clear();
     put("ok", "false");
     put("error", e.what());
     obs::MetricsRegistry::global().counter("serve.command_errors").add();
   }
 
-  util::io::AtomicWriter writer(out_path, {.fsync = util::io::default_fsync(),
-                                           .footer = false});
-  for (const auto& [key, value] : reply) {
-    writer.write_line(key + " = " + value);
+  try {
+    util::retry_io("serve.reply", options_.io_retry, [&] {
+      util::io::AtomicWriter writer(
+          out_path, {.fsync = util::io::default_fsync(), .footer = false});
+      for (const auto& [key, value] : reply) {
+        writer.write_line(key + " = " + value);
+      }
+      writer.commit();
+    });
+  } catch (const util::CrashInjected&) {
+    throw;
+  } catch (const std::exception& e) {
+    // Reply unwritable even after retries: drop the command anyway (the
+    // client times out and may re-issue) — the daemon itself stays up.
+    ADR_WARN << "reply " << out_path << " unwritable: " << e.what();
+    obs::MetricsRegistry::global().counter("serve.reply_failures").add();
   }
-  writer.commit();
   std::error_code ec;
   fsys::remove(cmd_path, ec);
   obs::MetricsRegistry::global().counter("serve.commands").add();
@@ -278,10 +424,32 @@ void Daemon::process_commands() {
 bool Daemon::tick() {
   if (!started_) start();
   poll_wal();
+  replay_spill();
   process_commands();
   if (options_.checkpoint_every_events > 0 &&
-      events_since_checkpoint_ >= options_.checkpoint_every_events) {
-    save_checkpoint_now();
+      events_since_checkpoint_ >= options_.checkpoint_every_events &&
+      tick_count_ >= checkpoint_retry_at_tick_) {
+    const auto begin = std::chrono::steady_clock::now();
+    try {
+      save_checkpoint_now();
+      checkpoint_failures_in_row_ = 0;
+      observe_phase("checkpoint", begin);
+    } catch (const util::CrashInjected&) {
+      throw;  // simulated kill -9: no graceful handling
+    } catch (const std::exception& e) {
+      // Cadence checkpoints are retried on later ticks with exponential
+      // spacing — a full disk must not hot-loop or kill the daemon. The
+      // age gauge keeps growing, so the debt stays visible.
+      ADR_WARN << "cadence checkpoint failed: " << e.what();
+      obs::MetricsRegistry::global()
+          .counter("serve.checkpoint_failures")
+          .add();
+      checkpoint_retry_at_tick_ =
+          tick_count_ +
+          (1ull << std::min(checkpoint_failures_in_row_, 8));
+      ++checkpoint_failures_in_row_;
+      observe_phase("checkpoint", begin);
+    }
   }
   ++tick_count_;
   if (options_.metrics_every_ticks > 0 &&
@@ -308,6 +476,7 @@ int Daemon::run() {
 
 void Daemon::shutdown() {
   if (!started_) return;
+  health_.begin_drain();
   while (poll_wal() > 0) {
   }
   if (options_.seal_wal_on_stop) {

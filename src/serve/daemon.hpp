@@ -45,13 +45,18 @@
 // point.
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "activeness/spill.hpp"
 #include "core/service.hpp"
+#include "serve/health.hpp"
 #include "trace/event_log.hpp"
+#include "util/backoff.hpp"
 
 namespace adr::serve {
 
@@ -88,6 +93,36 @@ struct DaemonOptions {
   /// Seal the open WAL segment during graceful shutdown (requires that
   /// feeders have quiesced — the log is single-writer).
   bool seal_wal_on_stop = true;
+
+  /// Bounded per-shard ingest admission for in-process producers feeding
+  /// the service store (DESIGN.md §14.1). 0 = unbounded (historical
+  /// behaviour). Applied to the store after recovery in start().
+  std::size_t ingest_queue_cap = 0;
+  /// What enqueue() does at a full shard queue: block the producer, shed
+  /// (counted, bounded by shed_budget), or spill to a WAL-backed overflow
+  /// segment replayed by tick() when pressure clears.
+  activeness::BackpressurePolicy backpressure =
+      activeness::BackpressurePolicy::kBlock;
+  std::size_t shed_budget = 0;
+  /// Spill segment directory for backpressure = spill
+  /// ("" = <state_dir>/spill).
+  std::string spill_dir;
+
+  /// Trigger watchdog + degradation ladder (DESIGN.md §14.2):
+  /// watchdog.trigger_deadline_ms = 0 disables it. On breach the daemon
+  /// degrades (pins incremental evaluation) and, if breaches persist,
+  /// defers new triggers with jittered backoff — it never dies.
+  WatchdogConfig watchdog;
+
+  /// Retry budget for the daemon's own artifact writes — checkpoint
+  /// bundles, metrics exports, command replies (DESIGN.md §14.3).
+  /// Transient faults (ENOSPC bursts, EINTR, short writes) are retried
+  /// with jittered backoff; fatal errors and injected crashes surface
+  /// immediately, keeping the crash-recovery path intact.
+  /// max_attempts = 1 disables retry.
+  util::BackoffPolicy io_retry{.max_attempts = 3,
+                               .initial_delay_ms = 1.0,
+                               .max_delay_ms = 50.0};
 };
 
 class Daemon {
@@ -118,6 +153,7 @@ class Daemon {
   const DaemonOptions& options() const { return options_; }
   std::uint64_t events_applied() const { return events_applied_; }
   bool started() const { return started_; }
+  const HealthMonitor& health() const { return health_; }
 
   std::string checkpoints_dir() const;
   std::string ctl_dir() const;
@@ -128,16 +164,34 @@ class Daemon {
   void handle_command(const std::string& cmd_path);
   void prune_checkpoints();
   void export_metrics();
+  /// Feed a completed watched phase to the HealthMonitor and apply the
+  /// resulting state: degraded/overloaded pins incremental evaluation,
+  /// overloaded additionally arms the trigger-deferral window.
+  void observe_phase(const char* phase,
+                     std::chrono::steady_clock::time_point begin);
+  void apply_health();
+  /// True when an overloaded daemon should leave this trigger command in
+  /// place for a later tick (jittered exponential deferral).
+  bool defer_trigger() const;
+  /// Re-admit spilled events once the ingest queues have drained (spill
+  /// backpressure only; a no-op while pressure persists).
+  void replay_spill();
 
   DaemonOptions options_;
   core::Service service_;
   std::optional<trace::EventLogReader> reader_;
+  HealthMonitor health_;
+  std::unique_ptr<activeness::SpillLog> spill_;
 
   bool started_ = false;
   bool stopped_ = false;
   std::uint64_t events_applied_ = 0;
   std::uint64_t events_since_checkpoint_ = 0;
   std::uint64_t tick_count_ = 0;
+
+  std::chrono::steady_clock::time_point defer_until_{};
+  std::uint64_t checkpoint_retry_at_tick_ = 0;
+  int checkpoint_failures_in_row_ = 0;
 };
 
 }  // namespace adr::serve

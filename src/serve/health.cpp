@@ -1,0 +1,95 @@
+#include "serve/health.hpp"
+
+#include "obs/metrics.hpp"
+#include "util/logging.hpp"
+
+namespace adr::serve {
+
+const char* to_string(HealthState state) {
+  switch (state) {
+    case HealthState::kOk:
+      return "ok";
+    case HealthState::kDegraded:
+      return "degraded";
+    case HealthState::kOverloaded:
+      return "overloaded";
+    case HealthState::kDraining:
+      return "draining";
+  }
+  return "unknown";
+}
+
+namespace {
+
+int level(HealthState state) { return static_cast<int>(state); }
+
+}  // namespace
+
+HealthMonitor::HealthMonitor(WatchdogConfig config)
+    : config_(config), defer_(config.defer_backoff) {
+  obs::MetricsRegistry::global().gauge("serve.health").set(level(state_));
+}
+
+void HealthMonitor::transition_to(HealthState next, const char* why) {
+  if (next == state_) return;
+  ADR_WARN << "health: " << to_string(state_) << " -> " << to_string(next)
+           << " (" << why << ")";
+  state_ = next;
+  ++transitions_;
+  auto& metrics = obs::MetricsRegistry::global();
+  metrics.counter("serve.health_transitions").add();
+  metrics.gauge("serve.health").set(level(state_));
+}
+
+bool HealthMonitor::observe_phase(const char* phase, double elapsed_ms) {
+  auto& metrics = obs::MetricsRegistry::global();
+  metrics.histogram(std::string("serve.phase_seconds.") + phase)
+      .observe(elapsed_ms / 1000.0);
+  if (config_.trigger_deadline_ms == 0) return false;
+  const bool breached =
+      elapsed_ms > static_cast<double>(config_.trigger_deadline_ms);
+  if (state_ == HealthState::kDraining) return breached;
+
+  if (breached) {
+    ++breaches_;
+    ++consecutive_breaches_;
+    consecutive_ok_ = 0;
+    metrics.counter("serve.watchdog_breaches").add();
+    ADR_WARN << "watchdog: phase '" << phase << "' took " << elapsed_ms
+             << " ms (deadline " << config_.trigger_deadline_ms << " ms)";
+    if (state_ == HealthState::kOk &&
+        consecutive_breaches_ >= config_.degrade_after) {
+      transition_to(HealthState::kDegraded, "deadline breached");
+      consecutive_breaches_ = 0;
+    } else if (state_ == HealthState::kDegraded &&
+               consecutive_breaches_ >= config_.overload_after) {
+      transition_to(HealthState::kOverloaded,
+                    "still breaching while degraded");
+      consecutive_breaches_ = 0;
+    }
+  } else {
+    consecutive_breaches_ = 0;
+    ++consecutive_ok_;
+    if (consecutive_ok_ >= config_.recover_after) {
+      consecutive_ok_ = 0;
+      deferrals_in_row_ = 0;
+      if (state_ == HealthState::kOverloaded) {
+        transition_to(HealthState::kDegraded, "phases back under deadline");
+      } else if (state_ == HealthState::kDegraded) {
+        transition_to(HealthState::kOk, "phases back under deadline");
+      }
+    }
+  }
+  return breached;
+}
+
+void HealthMonitor::begin_drain() {
+  transition_to(HealthState::kDraining, "shutdown requested");
+}
+
+double HealthMonitor::defer_delay_ms() {
+  obs::MetricsRegistry::global().counter("serve.trigger_deferrals").add();
+  return defer_.delay_ms(deferrals_in_row_++);
+}
+
+}  // namespace adr::serve

@@ -1,0 +1,80 @@
+#pragma once
+// sim::run_chaos — deterministic chaos-soak harness for the resident daemon
+// (DESIGN.md §14.4).
+//
+// The crash-matrix tests prove single faults recover; a soak proves the
+// daemon survives *sequences* of them without accumulating damage. Each
+// epoch draws one fault class from a seeded stream, feeds a fresh WAL batch,
+// runs a daemon through the fault, and then asserts the §14 invariants:
+//
+//   * identity    a control-file trigger answered after the fault produces
+//                 byte-identical ranks and victim lists to a cold one-shot
+//                 service replaying the full WAL (plus every flood event
+//                 that was *admitted* — triggers run dry, so state
+//                 accumulates but never mutates).
+//   * accounting  under a producer flood with a shed budget, every produced
+//                 event is either admitted or recorded in the shed log:
+//                 produced == admitted + shed, exactly. The identity check
+//                 above folds in only admitted events, so a single lost or
+//                 duplicated event breaks byte identity.
+//   * liveness    the daemon never dies outside an injected kill: torn
+//                 command files answer ok = false, ENOSPC bursts are
+//                 retried/deferred, stalled triggers degrade instead of
+//                 wedging — and health returns to `ok` before the epoch
+//                 closes.
+//
+// Fault classes (ChaosConfig::classes, each exercised via the §10 fault
+// injector, so a failing run replays byte-for-byte from seed + spec):
+//
+//   kill     serve.post_apply:crash — a simulated kill -9 mid-apply; the
+//            next epoch's daemon recovers from checkpoint + WAL tail.
+//   enospc   io.atomic.write:enospc — checkpoint writes fail until the
+//            "disk" clears; the daemon survives and checkpoints after.
+//   torn     a half-written .cmd drop; the serve loop answers the next
+//            valid command.
+//   flood    producer threads enqueue far past the ingest cap under a shed
+//            budget; exact-loss accounting is asserted.
+//   stall    service.evaluate:stall + a tight watchdog deadline; the
+//            daemon degrades, defers, then recovers to `ok`.
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace adr::sim {
+
+struct ChaosConfig {
+  /// Scratch root (removed and recreated by the run).
+  std::string dir;
+  std::uint64_t seed = 1;
+  /// Fault epochs to run. With duration_s > 0, epochs keep cycling until
+  /// the wall-clock budget is spent (at least `epochs` either way).
+  int epochs = 10;
+  double duration_s = 0.0;
+  std::size_t users = 12;
+  std::size_t events_per_epoch = 120;
+  /// Enabled fault classes; empty = all of kill/enospc/torn/flood/stall.
+  std::vector<std::string> classes;
+};
+
+struct ChaosReport {
+  int epochs_run = 0;
+  std::map<std::string, int> faults_injected;  // class -> epochs run
+  std::uint64_t wal_events = 0;
+  std::uint64_t flood_produced = 0;
+  std::uint64_t flood_shed = 0;
+  int identity_checks = 0;
+  int recoveries = 0;  // daemons restarted after an injected kill
+  bool final_health_ok = false;
+  bool ok = false;
+  std::string error;  // first violated invariant ("" when ok)
+};
+
+/// Run the soak; narrates per-epoch progress to `out`. Never throws for an
+/// invariant violation — that lands in report.error (the CLI exits 3 on
+/// it); setup failures (unwritable dir, ...) still throw.
+ChaosReport run_chaos(const ChaosConfig& config, std::ostream& out);
+
+}  // namespace adr::sim

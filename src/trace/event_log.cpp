@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "obs/metrics.hpp"
+#include "util/backoff.hpp"
 #include "util/csv.hpp"
 #include "util/fault.hpp"
 #include "util/io.hpp"
@@ -278,11 +279,7 @@ void EventLogWriter::open_segment() {
   }
 }
 
-std::uint64_t EventLogWriter::append(Event event) {
-  if (open_path_.empty()) open_segment();
-  event.seq = next_seq_;
-  const std::string line = format_event(event) + "\n";
-
+void EventLogWriter::append_attempt(const std::string& line) {
   const auto decision = util::FaultInjector::global().on_write(
       "wal.append.write", write_offset_, line.size());
   out_.write(line.data(), static_cast<std::streamsize>(decision.allow));
@@ -297,6 +294,41 @@ std::uint64_t EventLogWriter::append(Event event) {
   }
   if (!out_) {
     throw std::runtime_error("EventLogWriter: write failed on " + open_path_);
+  }
+}
+
+std::uint64_t EventLogWriter::append(Event event) {
+  event.seq = next_seq_;
+  const std::string line = format_event(event) + "\n";
+
+  if (opts_.retry.max_attempts <= 1) {
+    if (open_path_.empty()) open_segment();
+    append_attempt(line);
+  } else {
+    // §14.3 transient-fault path: every re-attempt restores the pre-append
+    // tail first (closing the stream and truncating the torn partial line)
+    // so the retried record lands exactly once, at the same seq. Fatal
+    // errors and CrashInjected propagate out of retry_io untouched.
+    const std::uint64_t record_start = open_path_.empty() ? 0 : write_offset_;
+    util::retry_io("wal.append", opts_.retry, [&] {
+      if (open_path_.empty()) open_segment();
+      if (write_offset_ > record_start || !out_ || !out_.is_open()) {
+        out_.close();
+        out_.clear();
+        std::error_code ec;
+        const auto size = fsys::file_size(open_path_, ec);
+        if (!ec && size > record_start) {
+          fsys::resize_file(open_path_, record_start);
+        }
+        out_.open(open_path_, std::ios::binary | std::ios::app);
+        if (!out_) {
+          throw std::runtime_error("EventLogWriter: cannot open " +
+                                   open_path_);
+        }
+        write_offset_ = record_start;
+      }
+      append_attempt(line);
+    });
   }
 
   ++next_seq_;

@@ -43,6 +43,7 @@
 #include <vector>
 
 #include "trace/types.hpp"
+#include "util/backoff.hpp"
 #include "util/time.hpp"
 
 namespace adr::trace {
@@ -92,6 +93,13 @@ struct EventLogOptions {
   /// fsync the open segment on every flush() (crash durability of the
   /// tail, not just atomicity).
   bool fsync = false;
+  /// Retry budget for append() against *transient* faults — EINTR, an
+  /// ENOSPC burst, a torn line (DESIGN.md §14.3). Each re-attempt first
+  /// truncates the torn partial line back off the tail, so a retried
+  /// record lands exactly once at the same seq. Fatal errors and injected
+  /// crashes surface immediately. max_attempts = 1 (the default) keeps
+  /// the historical throw-on-first-failure behaviour.
+  util::BackoffPolicy retry{.max_attempts = 1};
 };
 
 /// What a salvage pass over the log observed.
@@ -128,6 +136,9 @@ class EventLogWriter {
 
  private:
   void open_segment();
+  /// One write attempt of a fully formatted line (fault-injected); throws
+  /// on short/failed writes, leaving any torn partial line on disk.
+  void append_attempt(const std::string& line);
 
   std::string dir_;
   EventLogOptions opts_;

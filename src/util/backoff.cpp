@@ -1,0 +1,79 @@
+#include "util/backoff.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "obs/metrics.hpp"
+#include "util/fault.hpp"
+#include "util/logging.hpp"
+#include "util/rng.hpp"
+
+namespace adr::util {
+
+double Backoff::delay_ms(int attempt) {
+  double delay = policy_.initial_delay_ms;
+  for (int i = 0; i < attempt; ++i) {
+    delay *= policy_.multiplier;
+    if (delay >= policy_.max_delay_ms) break;
+  }
+  delay = std::min(delay, policy_.max_delay_ms);
+  if (policy_.jitter > 0.0) {
+    const double u = static_cast<double>(splitmix64(rng_) >> 11) *
+                     (1.0 / 9007199254740992.0);
+    delay *= 1.0 - policy_.jitter * u;
+  }
+  return delay;
+}
+
+bool is_retryable_io_error(const std::string& what) {
+  // Lower-case scan so errno strings ("No space left on device") and the
+  // injector's messages ("no space left on device", "short write") both hit.
+  std::string lower(what.size(), '\0');
+  std::transform(what.begin(), what.end(), lower.begin(),
+                 [](unsigned char c) { return static_cast<char>(
+                     c >= 'A' && c <= 'Z' ? c - 'A' + 'a' : c); });
+  // "injected open failure" is the FaultInjector's fail/flaky-point message:
+  // the only way tests can simulate a transient burst that clears.
+  for (const char* needle :
+       {"no space left", "enospc", "short write", "interrupted system call",
+        "eintr", "resource temporarily unavailable", "eagain",
+        "injected open failure"}) {
+    if (lower.find(needle) != std::string::npos) return true;
+  }
+  return false;
+}
+
+RetryStats retry_io(const char* what, const BackoffPolicy& policy,
+                    const std::function<void()>& op) {
+  auto& metrics = obs::MetricsRegistry::global();
+  Backoff backoff(policy);
+  RetryStats stats;
+  for (;;) {
+    try {
+      ++stats.attempts;
+      op();
+      stats.succeeded = true;
+      if (stats.attempts > 1) metrics.counter("io.retry_successes").add();
+      return stats;
+    } catch (const CrashInjected&) {
+      throw;  // a simulated kill -9 must not be retried
+    } catch (const std::exception& e) {
+      if (!is_retryable_io_error(e.what())) throw;  // fatal: crash-recovery path
+      if (!backoff.should_retry(stats.attempts)) {
+        metrics.counter("io.retry_exhausted").add();
+        throw;
+      }
+      metrics.counter("io.retries").add();
+      const double delay = backoff.delay_ms(stats.attempts - 1);
+      ADR_WARN << what << ": transient IO failure (attempt " << stats.attempts
+               << "/" << policy.max_attempts << ", retrying in " << delay
+               << " ms): " << e.what();
+      if (delay > 0.0) {
+        std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(delay));
+      }
+    }
+  }
+}
+
+}  // namespace adr::util

@@ -1,0 +1,79 @@
+#pragma once
+// Retry-with-backoff for transient IO faults (DESIGN.md §14).
+//
+// A resident daemon cannot treat every IO hiccup as fatal: EINTR, a brief
+// ENOSPC while a purge is freeing space, or a short write against a
+// saturated device are *transient* — the correct response is to retry with
+// jittered exponential backoff, not to crash-and-recover (that path costs a
+// full checkpoint restore plus a WAL tail replay). Corruption, injected
+// crashes, and logic errors stay fatal: retrying those would turn a clean
+// old-or-new crash state into a hybrid.
+//
+// Two pieces:
+//  * Backoff — the delay schedule: delay(i) = initial · mult^i, capped, with
+//    a deterministic jitter fraction drawn from a seeded stream so a failing
+//    run replays byte-for-byte (the same discipline as util::FaultInjector).
+//  * retry_io — run an operation, classify any failure via
+//    classify_io_error, re-run retryable ones within the attempt budget.
+//    util::CrashInjected is always rethrown immediately: a simulated
+//    kill -9 must never be retried into oblivion.
+//
+// Observability: counters io.retries (re-runs performed), io.retry_successes
+// (ops that eventually succeeded after ≥ 1 retry), io.retry_exhausted
+// (ops that failed every attempt and surfaced the final error).
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace adr::util {
+
+struct BackoffPolicy {
+  /// Total attempts (first try + retries). 1 = no retry.
+  int max_attempts = 4;
+  double initial_delay_ms = 1.0;
+  double multiplier = 2.0;
+  double max_delay_ms = 200.0;
+  /// Fraction of each delay randomized away: delay · (1 − jitter·u),
+  /// u ∈ [0, 1) from the seeded stream. 0 = fully deterministic delays.
+  double jitter = 0.5;
+  std::uint64_t seed = 0x5EEDBACC0FFULL;
+};
+
+/// The delay schedule. Stateful only for the jitter stream.
+class Backoff {
+ public:
+  explicit Backoff(BackoffPolicy policy) : policy_(policy), rng_(policy.seed) {}
+
+  /// Jittered delay before retry `attempt` (0-based: the delay after the
+  /// first failure is delay_ms(0)).
+  double delay_ms(int attempt);
+
+  bool should_retry(int attempts_done) const {
+    return attempts_done < policy_.max_attempts;
+  }
+  const BackoffPolicy& policy() const { return policy_; }
+
+ private:
+  BackoffPolicy policy_;
+  std::uint64_t rng_;
+};
+
+/// Is this failure worth retrying? Classifies by message because the IO
+/// layer surfaces faults as std::runtime_error text (both real errno
+/// strings and the FaultInjector's short-write/ENOSPC messages).
+bool is_retryable_io_error(const std::string& what);
+
+struct RetryStats {
+  int attempts = 0;     ///< times `op` ran
+  bool succeeded = false;
+};
+
+/// Run `op`, retrying transient failures per `policy`. Sleeps the jittered
+/// delay between attempts. Returns stats on success; rethrows on a fatal
+/// error or once the attempt budget is exhausted. CrashInjected is never
+/// caught — a simulated crash propagates on the first attempt.
+RetryStats retry_io(const char* what, const BackoffPolicy& policy,
+                    const std::function<void()>& op);
+
+}  // namespace adr::util

@@ -1,7 +1,9 @@
 #include "util/fault.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdlib>
+#include <thread>
 
 #include "util/rng.hpp"
 
@@ -15,9 +17,12 @@ FaultInjector::Action parse_action(const std::string& text,
   if (text == "crash") return FaultInjector::Action::kCrash;
   if (text == "short") return FaultInjector::Action::kShortWrite;
   if (text == "enospc") return FaultInjector::Action::kEnospc;
+  if (text == "stall") return FaultInjector::Action::kStall;
+  if (text == "flaky") return FaultInjector::Action::kFlaky;
   throw std::invalid_argument("fault spec: unknown action '" + text +
                               "' in '" + directive +
-                              "' (expected fail, crash, short, or enospc)");
+                              "' (expected fail, crash, short, enospc, "
+                              "stall, or flaky)");
 }
 
 std::uint64_t parse_uint(const std::string& text,
@@ -75,7 +80,8 @@ void FaultInjector::configure(const std::string& spec, std::uint64_t seed) {
     }
     d.point = body.substr(0, colon);
     d.action = parse_action(body.substr(colon + 1), item);
-    if ((d.action == Action::kFail || d.action == Action::kCrash) &&
+    if ((d.action == Action::kFail || d.action == Action::kCrash ||
+         d.action == Action::kFlaky) &&
         d.arg == 0) {
       throw std::invalid_argument("fault spec: hit count must be >= 1 in '" +
                                   item + "'");
@@ -102,13 +108,28 @@ bool FaultInjector::roll(Directive& d) {
 
 void FaultInjector::crash_point(const char* point) {
   if (!armed()) return;
-  std::lock_guard<std::mutex> lock(mutex_);
-  for (auto& d : directives_) {
-    if (d.action != Action::kCrash || d.point != point) continue;
-    if (++d.hits < d.arg || !roll(d)) continue;
-    d.fired = true;
-    crashed_.store(true, std::memory_order_relaxed);
-    throw CrashInjected(d.point);
+  std::uint64_t stall_ms = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto& d : directives_) {
+      if (d.point != point) continue;
+      if (d.action == Action::kStall) {
+        // Stalls fire on every hit; the sleep happens outside the lock so a
+        // stalled phase never wedges other threads' injector checks.
+        if (!roll(d)) continue;
+        d.fired = true;
+        stall_ms += d.arg;
+        continue;
+      }
+      if (d.action != Action::kCrash) continue;
+      if (++d.hits < d.arg || !roll(d)) continue;
+      d.fired = true;
+      crashed_.store(true, std::memory_order_relaxed);
+      throw CrashInjected(d.point);
+    }
+  }
+  if (stall_ms > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(stall_ms));
   }
 }
 
@@ -116,7 +137,14 @@ bool FaultInjector::should_fail(const char* point) {
   if (!armed()) return false;
   std::lock_guard<std::mutex> lock(mutex_);
   for (auto& d : directives_) {
-    if (d.action != Action::kFail || d.point != point) continue;
+    if (d.point != point) continue;
+    if (d.action == Action::kFlaky) {
+      // Transient: fail the first `arg` hits, then succeed forever.
+      if (++d.hits > d.arg || !roll(d)) continue;
+      d.fired = true;
+      return true;
+    }
+    if (d.action != Action::kFail) continue;
     if (++d.hits < d.arg || !roll(d)) continue;
     d.fired = true;
     return true;

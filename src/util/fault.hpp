@@ -13,16 +13,23 @@
 // Spec grammar (';'-separated directives):
 //
 //   directive := point ':' action ['@' N] ['?' P]
-//   action    := fail | crash | short | enospc
+//   action    := fail | crash | short | enospc | stall | flaky
 //
 //   point:fail        fail every matching call from the Nth on (open
 //                     refused, close error); N defaults to 1.
+//   point:flaky@N     fail the first N matching calls, then succeed — the
+//                     *transient* fault (a burst that clears), paired with
+//                     util::retry_io in tests; N defaults to 1.
 //   point:crash       throw CrashInjected at the Nth matching call. Writers
 //                     treat a fired crash as a real crash: temp files and
 //                     partial appends are left on disk exactly as they were.
 //   point:short@N     writes through the point stop after byte N (the write
 //                     that crosses N is truncated, then the stream fails).
 //   point:enospc@N    like short@N but surfaced as an out-of-space error.
+//   point:stall@N     sleep N milliseconds at every matching crash point —
+//                     the chaos harness's "stalled trigger" lever (a slow
+//                     metadata scan, a wedged backend) for exercising the
+//                     serve watchdog without real load.
 //   ...?P             arm the directive with probability P per hit, drawn
 //                     from the seeded stream (deterministic given the seed).
 //
@@ -50,6 +57,12 @@
 //                          nothing persisted                         (crash)
 //   serve.checkpoint.prune Daemon: new checkpoint committed, old one
 //                          not yet removed                           (crash)
+//   service.evaluate       Service: before the evaluator advance (crash/stall)
+//   service.purge          Service: ranks ready, before the purge
+//                          policy runs                         (crash/stall)
+//   service.checkpoint     Service: before any checkpoint file is
+//                          written                             (crash/stall)
+//   spill.append.write     SpillLog: appended bytes             (short/enospc)
 
 #include <cstdint>
 #include <mutex>
@@ -76,12 +89,13 @@ class CrashInjected : public std::runtime_error {
 
 class FaultInjector {
  public:
-  enum class Action { kFail, kCrash, kShortWrite, kEnospc };
+  enum class Action { kFail, kCrash, kShortWrite, kEnospc, kStall, kFlaky };
 
   struct Directive {
     std::string point;
     Action action = Action::kFail;
-    std::uint64_t arg = 1;    // hit index (fail/crash) or byte offset (writes)
+    std::uint64_t arg = 1;    // hit index (fail/crash), byte offset (writes),
+                              // or sleep milliseconds (stall)
     double probability = 1.0; // per-hit arming chance, seeded stream
     std::uint64_t hits = 0;   // calls seen (fail/crash points)
     int rolled = 0;           // write points: 0 = pending, 1 = armed, -1 = no
@@ -117,7 +131,9 @@ class FaultInjector {
   }
 
   /// Crash point: throws CrashInjected when an armed crash directive for
-  /// `point` reaches its hit count.
+  /// `point` reaches its hit count. Armed stall directives for the same
+  /// point sleep here instead (every hit) — crash points double as the
+  /// slow-phase injection sites.
   void crash_point(const char* point);
 
   /// Fail point: true when an armed fail directive for `point` reaches its

@@ -307,6 +307,62 @@ TEST_F(EventLogTest, AppendIoFaultsLeaveSalvageableLog) {
   EXPECT_TRUE(salvage.torn_tail);
 }
 
+TEST_F(EventLogTest, AppendRetriesTransientOpenFailureWithinBudget) {
+  // A flaky segment open (the transient fault: a burst that clears) is
+  // absorbed by the writer's §14.3 retry budget — the caller never sees it.
+  util::FaultInjector::global().configure("wal.append.open:flaky@2");
+  EventLogOptions opts;
+  opts.retry = {.max_attempts = 3, .initial_delay_ms = 0.0,
+                .max_delay_ms = 0.0};
+  EventLogWriter writer(dir_, opts);
+  EXPECT_EQ(writer.append(job_event(1, 1'600'000'000, 1.0)), 1u);
+  EXPECT_EQ(writer.append(job_event(2, 1'600'000'001, 2.0)), 2u);
+  util::FaultInjector::global().clear();
+
+  EventLogReader reader(dir_);
+  WalSalvage salvage;
+  const auto events = reader.read_after(0, &salvage);
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].seq, 1u);
+  EXPECT_EQ(events[1].seq, 2u);
+  EXPECT_FALSE(salvage.torn_tail);
+  EXPECT_EQ(salvage.dropped_lines, 0u);
+}
+
+TEST_F(EventLogTest, AppendRetryRestoresTornTailBetweenAttempts) {
+  // A *persistent* short-write fault exhausts the budget — but each
+  // re-attempt must first truncate the previous attempt's torn line, so
+  // the failed append leaves exactly one torn suffix, never a pile-up,
+  // and a restarted writer resumes at the right seq with no duplicates.
+  EventLogOptions opts;
+  opts.retry = {.max_attempts = 3, .initial_delay_ms = 0.0,
+                .max_delay_ms = 0.0};
+  std::uint64_t tear_at = 0;
+  {
+    EventLogWriter writer(dir_, opts);
+    writer.append(job_event(1, 1'600'000'000, 1.0));
+    writer.append(job_event(1, 1'600'000'001, 1.0));
+    tear_at = fsys::file_size(open_segment_path()) + 5;
+    util::FaultInjector::global().configure("wal.append.write:short@" +
+                                            std::to_string(tear_at));
+    EXPECT_THROW(writer.append(job_event(1, 1'600'000'002, 1.0)),
+                 std::exception);
+    util::FaultInjector::global().clear();
+  }
+  // One torn partial line on disk — the tail was restored between
+  // attempts, so the file ends exactly at the short-write boundary.
+  EXPECT_EQ(fsys::file_size(open_segment_path()), tear_at);
+
+  EventLogWriter writer(dir_, opts);  // restart: truncates the torn suffix
+  EXPECT_EQ(writer.append(job_event(1, 1'600'000'002, 1.0)), 3u);
+  EventLogReader reader(dir_);
+  const auto events = reader.read_after(0);
+  ASSERT_EQ(events.size(), 3u);
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].seq, i + 1);
+  }
+}
+
 TEST_F(EventLogTest, PollTailsAcrossAppendsAndSeals) {
   EventLogOptions opts;
   opts.rotate_events = 1000;  // manual seal below

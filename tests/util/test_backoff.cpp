@@ -1,0 +1,124 @@
+// Retry-with-backoff (DESIGN.md §14): delay schedule determinism, the
+// retryable/fatal classification split, and retry_io's contract — transient
+// faults succeed within the budget, fatal faults and injected crashes
+// surface immediately so the crash-recovery path stays in charge of them.
+
+#include "util/backoff.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "util/fault.hpp"
+
+namespace adr::util {
+namespace {
+
+TEST(Backoff, ScheduleIsExponentialAndCapped) {
+  BackoffPolicy policy;
+  policy.initial_delay_ms = 1.0;
+  policy.multiplier = 2.0;
+  policy.max_delay_ms = 5.0;
+  policy.jitter = 0.0;  // deterministic
+  Backoff backoff(policy);
+  EXPECT_DOUBLE_EQ(backoff.delay_ms(0), 1.0);
+  EXPECT_DOUBLE_EQ(backoff.delay_ms(1), 2.0);
+  EXPECT_DOUBLE_EQ(backoff.delay_ms(2), 4.0);
+  EXPECT_DOUBLE_EQ(backoff.delay_ms(3), 5.0);  // capped
+  EXPECT_DOUBLE_EQ(backoff.delay_ms(9), 5.0);
+}
+
+TEST(Backoff, JitterIsSeededAndBounded) {
+  BackoffPolicy policy;
+  policy.initial_delay_ms = 100.0;
+  policy.jitter = 0.5;
+  std::vector<double> a, b;
+  Backoff first(policy), second(policy);
+  for (int i = 0; i < 4; ++i) {
+    a.push_back(first.delay_ms(0));
+    b.push_back(second.delay_ms(0));
+  }
+  EXPECT_EQ(a, b);  // same seed → same stream
+  for (const double d : a) {
+    EXPECT_GT(d, 50.0 - 1e-9);  // at most `jitter` shaved off
+    EXPECT_LE(d, 100.0);
+  }
+}
+
+TEST(Backoff, ClassifierSplitsTransientFromFatal) {
+  EXPECT_TRUE(is_retryable_io_error("write: No space left on device"));
+  EXPECT_TRUE(is_retryable_io_error("SpillLog: short write"));
+  EXPECT_TRUE(is_retryable_io_error("read: Interrupted system call"));
+  EXPECT_TRUE(is_retryable_io_error("socket: Resource temporarily unavailable"));
+  EXPECT_FALSE(is_retryable_io_error("artifact corrupt: bad CRC"));
+  EXPECT_FALSE(is_retryable_io_error("No such file or directory"));
+  EXPECT_FALSE(is_retryable_io_error("injected crash at io.atomic.pre_rename"));
+}
+
+BackoffPolicy fast_policy() {
+  BackoffPolicy policy;
+  policy.max_attempts = 4;
+  policy.initial_delay_ms = 0.0;  // tests must not sleep
+  policy.max_delay_ms = 0.0;
+  return policy;
+}
+
+TEST(Backoff, RetryIoSucceedsWithinBudget) {
+  int runs = 0;
+  const RetryStats stats = retry_io("op", fast_policy(), [&] {
+    if (++runs < 3) throw std::runtime_error("flaky: short write");
+  });
+  EXPECT_TRUE(stats.succeeded);
+  EXPECT_EQ(stats.attempts, 3);
+  EXPECT_EQ(runs, 3);
+}
+
+TEST(Backoff, RetryIoExhaustsBudgetAndRethrows) {
+  int runs = 0;
+  EXPECT_THROW(retry_io("op", fast_policy(),
+                        [&] {
+                          ++runs;
+                          throw std::runtime_error("enospc forever");
+                        }),
+               std::runtime_error);
+  EXPECT_EQ(runs, 4);  // max_attempts
+}
+
+TEST(Backoff, RetryIoSurfacesFatalErrorsImmediately) {
+  int runs = 0;
+  EXPECT_THROW(retry_io("op", fast_policy(),
+                        [&] {
+                          ++runs;
+                          throw std::runtime_error("manifest missing");
+                        }),
+               std::runtime_error);
+  EXPECT_EQ(runs, 1);  // not retried
+}
+
+TEST(Backoff, RetryIoNeverRetriesInjectedCrashes) {
+  int runs = 0;
+  EXPECT_THROW(retry_io("op", fast_policy(),
+                        [&] {
+                          ++runs;
+                          throw CrashInjected("io.atomic.pre_rename");
+                        }),
+               CrashInjected);
+  EXPECT_EQ(runs, 1);
+}
+
+TEST(Backoff, SingleAttemptPolicyDisablesRetry) {
+  BackoffPolicy policy = fast_policy();
+  policy.max_attempts = 1;
+  int runs = 0;
+  EXPECT_THROW(retry_io("op", policy,
+                        [&] {
+                          ++runs;
+                          throw std::runtime_error("eintr");
+                        }),
+               std::runtime_error);
+  EXPECT_EQ(runs, 1);
+}
+
+}  // namespace
+}  // namespace adr::util

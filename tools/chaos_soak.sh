@@ -1,0 +1,59 @@
+#!/usr/bin/env bash
+# Chaos soak for the resident daemon (`activedr chaos`, DESIGN.md §14.4).
+#
+# Runs the deterministic fault-epoch harness across a seed matrix: each
+# epoch draws one fault class (kill / enospc / torn / flood / stall) from a
+# seeded stream and asserts the §14 invariants — post-fault ranks and
+# victims byte-identical to a cold replay, exact-loss accounting under
+# floods, health back to `ok` before the epoch closes. A failing seed
+# replays byte-for-byte: rerun with SEEDS=<seed> DURATION=0 EPOCHS=<n>.
+#
+# Usage: tools/chaos_soak.sh [build-dir]   (default: build)
+#   SEEDS="1 2 3"    seed matrix (default: 1 2 3)
+#   EPOCHS=20        minimum fault epochs per seed (default: 20)
+#   DURATION=60      wall-clock budget per seed in seconds; epochs keep
+#                    cycling until it is spent (default: 60, 0 = epochs only)
+#   USERS=12 EVENTS=120   workload size per epoch
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+build_dir="${1:-build}"
+if [[ ! -x "$build_dir/tools/activedr" ]]; then
+  cmake -B "$build_dir" -S . >/dev/null
+  cmake --build "$build_dir" -j "$(nproc 2>/dev/null || echo 2)" --target activedr_tool
+fi
+adr="$PWD/$build_dir/tools/activedr"
+
+seeds="${SEEDS:-1 2 3}"
+epochs="${EPOCHS:-20}"
+duration="${DURATION:-60}"
+users="${USERS:-12}"
+events="${EVENTS:-120}"
+
+work="$(mktemp -d "${TMPDIR:-/tmp}/adr_chaos_soak.XXXXXX")"
+trap 'rm -rf "$work"' EXIT
+
+failed=0
+for seed in $seeds; do
+  echo "==> chaos soak seed=$seed epochs>=$epochs duration=${duration}s"
+  log="$work/soak_$seed.log"
+  if "$adr" chaos --dir "$work/run_$seed" --seed "$seed" \
+      --epochs "$epochs" --duration "$duration" \
+      --users "$users" --events-per-epoch "$events" >"$log" 2>&1 \
+      && grep -q "chaos: PASS" "$log"; then
+    grep "chaos: PASS" "$log"
+  else
+    echo "FAIL: seed $seed — replay with:"
+    echo "  $adr chaos --dir /tmp/chaos_repro --seed $seed --epochs $epochs" \
+         "--users $users --events-per-epoch $events"
+    tail -n 25 "$log"
+    failed=1
+  fi
+done
+
+if [[ "$failed" -ne 0 ]]; then
+  echo "==> chaos soak FAILED"
+  exit 1
+fi
+echo "==> chaos soak OK"

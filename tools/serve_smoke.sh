@@ -33,6 +33,32 @@ cd "$work"
 now=2017-01-01
 retain=0.5
 
+# Poll a condition with a deadline instead of waiting unboundedly — a hung
+# daemon fails the smoke in seconds, not a CI-job timeout.
+poll_until() {  # poll_until <timeout-s> <what> <cmd...>
+  local deadline=$((SECONDS + $1)) what="$2"
+  shift 2
+  until "$@"; do
+    if ((SECONDS >= deadline)); then
+      echo "FAIL: timed out waiting for $what"
+      exit 1
+    fi
+    sleep 0.1
+  done
+}
+
+wait_pid_bounded() {  # wait_pid_bounded <timeout-s> <what> [expected-rc]
+  local timeout="$1" what="$2" expect="${3:-}"
+  poll_until "$timeout" "$what" bash -c "! kill -0 $daemon_pid 2>/dev/null"
+  local rc=0
+  wait "$daemon_pid" 2>/dev/null || rc=$?
+  daemon_pid=""
+  if [[ -n "$expect" && "$rc" -ne "$expect" ]]; then
+    echo "FAIL: $what exited rc=$rc (expected $expect)"
+    exit 1
+  fi
+}
+
 echo "==> synth + feed"
 "$adr" synth --out bundle --users 40 --seed 7 >/dev/null
 "$adr" feed --wal wal --jobs bundle/jobs.csv --pubs bundle/pubs.csv
@@ -63,15 +89,14 @@ cmp cold_victims.txt warm1.txt
 
 echo "==> kill -9, restart, trigger again"
 kill -9 "$daemon_pid"
-wait "$daemon_pid" 2>/dev/null || true
+wait_pid_bounded 30 "killed daemon to reap"
 start_daemon serve2.log
 warm_trigger warm2.txt
 cmp cold_victims.txt warm2.txt
 
 echo "==> graceful stop (SIGTERM)"
 kill -TERM "$daemon_pid"
-wait "$daemon_pid"
-daemon_pid=""
+wait_pid_bounded 60 "graceful SIGTERM stop" 0
 ls wal/*.open >/dev/null 2>&1 && { echo "FAIL: WAL not sealed"; exit 1; }
 ls state/checkpoints/checkpoint-* >/dev/null
 
@@ -79,8 +104,7 @@ echo "==> recovery from the final checkpoint"
 start_daemon serve3.log
 "$adr" ctl --state state --cmd status --timeout-ms 30000 | grep -q "ok = true"
 "$adr" ctl --state state --cmd stop --timeout-ms 30000 >/dev/null
-wait "$daemon_pid"
-daemon_pid=""
-grep -q serve.graceful_stops state/metrics.json
+wait_pid_bounded 60 "ctl stop shutdown" 0
+poll_until 30 "final metrics export" grep -q serve.graceful_stops state/metrics.json
 
 echo "==> serve smoke OK"
