@@ -84,7 +84,11 @@ class ShardMap {
   trace::UserId end(std::size_t shard) const { return begin(shard + 1); }
 
   /// Inverse of begin/end: the unique s with begin(s) <= user < end(s).
+  /// An empty map (users == 0) owns no users, but enqueue-before-resize
+  /// races and zero-user stores still ask — route everything to shard 0
+  /// instead of dividing by zero.
   std::size_t shard_of(trace::UserId user) const {
+    if (users_ == 0) return 0;
     return (static_cast<std::size_t>(user + 1) * shards_ - 1) / users_;
   }
 

@@ -124,7 +124,9 @@ bool Service::apply(const trace::Event& event) {
       break;
     }
     case trace::EventKind::kAccess:
-      if (!vfs_.access(event.path, event.timestamp)) {
+      // The acting user doubles as the residency owner hint: an access to
+      // an evicted subtree faults it back instead of counting a miss.
+      if (!vfs_.access(event.path, event.timestamp, event.user)) {
         metrics.counter("service.access_misses").add();
       }
       break;
@@ -139,7 +141,7 @@ bool Service::apply(const trace::Event& event) {
       break;
     }
     case trace::EventKind::kRemove:
-      vfs_.remove(event.path);
+      vfs_.remove(event.path, event.user);
       break;
   }
   if (event.seq != 0) {

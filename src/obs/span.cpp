@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "util/memory.hpp"
+
 namespace adr::obs {
 
 namespace {
@@ -9,6 +11,16 @@ namespace {
 // Raw pointers into live TimerSpan objects; entries are pushed/popped in
 // strict LIFO order by the spans themselves (they are scoped objects).
 thread_local std::vector<const TimerSpan*> t_span_stack;
+
+// Process-memory gauges sampled when a thread's *outermost* span closes —
+// once per trigger/run boundary, not per nested phase, because each sample
+// is a /proc/self/status read (~tens of µs).
+void sample_process_memory() {
+  static Gauge& rss = MetricsRegistry::global().gauge("proc.rss_bytes");
+  static Gauge& peak = MetricsRegistry::global().gauge("proc.rss_peak_bytes");
+  rss.set(static_cast<std::int64_t>(util::current_rss_bytes()));
+  peak.set(static_cast<std::int64_t>(util::rss_peak()));
+}
 
 }  // namespace
 
@@ -38,6 +50,7 @@ double TimerSpan::stop() {
       break;
     }
   }
+  if (t_span_stack.empty()) sample_process_memory();
   return elapsed;
 }
 

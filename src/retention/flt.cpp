@@ -72,7 +72,7 @@ PurgeReport FltPolicy::run(fs::Vfs& vfs, util::TimePoint now,
     if (!no_target && remaining == 0) break;
     const std::string& path = vfs.purge_index().path(v.id);
     if (record) report.victim_paths.push_back(path);
-    if (!config_.dry_run) vfs.remove(path);
+    if (!config_.dry_run) vfs.remove(path, v.owner);
     report.purged_bytes += v.size;
     ++report.purged_files;
     auto& g = report.group(group_of_(v.owner));

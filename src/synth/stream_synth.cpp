@@ -1,0 +1,181 @@
+#include "synth/stream_synth.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+
+namespace adr::synth {
+
+namespace {
+
+/// Independent 64-bit stream root for one user: a splitmix64 chain over the
+/// run seed and the user id. Position-independent by construction (unlike
+/// Rng::fork, which consumes parent state).
+std::uint64_t user_seed(std::uint64_t seed, trace::UserId user) {
+  std::uint64_t s =
+      seed ^ (0xA24BAED4963EE407ULL * (static_cast<std::uint64_t>(user) + 1));
+  return util::splitmix64(s);
+}
+
+std::uint64_t hash3(std::uint64_t seed, std::uint64_t a, std::uint64_t b) {
+  std::uint64_t s = seed ^ (a * 0x9E3779B97F4A7C15ULL) ^
+                    (b * 0xD6E8FEB86659FD93ULL);
+  return util::splitmix64(s);
+}
+
+}  // namespace
+
+std::string StreamSynth::path_of(trace::UserId user, std::uint32_t ordinal) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "/scratch/user_%05u/f%u", user, ordinal);
+  return buf;
+}
+
+std::uint64_t StreamSynth::size_of(std::uint64_t seed, trace::UserId user,
+                                   std::uint32_t ordinal) {
+  const std::uint64_t h = hash3(seed, user, ordinal);
+  // Log-uniform over [4 KiB, 8 MiB]: shift 4 KiB by 0..11 doublings, then
+  // add sub-doubling jitter so sizes are not all powers of two.
+  const std::uint64_t base = std::uint64_t{4096} << (h % 12);
+  return base + ((h >> 8) % base);
+}
+
+StreamSynth::Cursor StreamSynth::make_cursor(const StreamSynthConfig& config,
+                                             trace::UserId user) {
+  Cursor c;
+  c.rng.reseed(user_seed(config.seed, user));
+  // Personal activity rate around the configured mean (lognormal spread,
+  // sigma 0.5 — active users a few times the mean, lurkers well under it).
+  const double rate_per_day =
+      config.events_per_user_day * std::exp(c.rng.normal(0.0, 0.5));
+  c.rate = rate_per_day / static_cast<double>(util::kSecondsPerDay);
+  c.backfill_left = static_cast<std::uint32_t>(config.initial_files_per_user);
+  const double span_days = static_cast<double>(config.sim_span_days);
+  c.activity_left = static_cast<std::uint32_t>(
+      c.rng.poisson(rate_per_day * span_days));
+  // The first pending event starts the backfill just after the window
+  // opens; advance() walks it forward from there.
+  c.pending.timestamp =
+      config.sim_begin - util::days(config.backfill_days);
+  return c;
+}
+
+bool StreamSynth::Cursor::advance(const StreamSynthConfig& config,
+                                  trace::UserId user) {
+  StreamEvent e;
+  e.user = user;
+  if (backfill_left > 0) {
+    // Backfill creates: spread over the pre-span window, strictly
+    // increasing. Jitter stays in (0.4, 1.0) of the even stride so the
+    // worst-case sum (count/(count+1) of the window) still lands before
+    // sim_begin.
+    const double window =
+        static_cast<double>(util::days(config.backfill_days));
+    const double per_file =
+        window / static_cast<double>(config.initial_files_per_user + 1);
+    const auto dt = static_cast<util::Duration>(
+        std::max(1.0, per_file * rng.uniform(0.4, 1.0)));
+    e.timestamp = pending.timestamp + dt;
+    e.kind = StreamEventKind::kFileCreate;
+    e.ordinal = files++;
+    e.size_bytes = size_of(config.seed, user, e.ordinal);
+    --backfill_left;
+    pending = e;
+    return true;
+  }
+  if (activity_left == 0) return false;
+  // In-span activity: exponential inter-arrivals at the personal rate,
+  // clamped to keep per-user times strictly increasing (the global
+  // (time, user) order must be total for stream/materialize identity).
+  const util::TimePoint floor_time = std::max(
+      pending.timestamp + 1, config.sim_begin);
+  const auto dt = static_cast<util::Duration>(
+      std::max(1.0, rng.exponential(std::max(rate, 1e-9))));
+  e.timestamp = std::max(floor_time, pending.timestamp + dt);
+  const double kind_draw = rng.uniform();
+  if (kind_draw < 0.45) {
+    e.kind = StreamEventKind::kJobSubmit;
+    e.impact = rng.uniform(0.5, 50.0);
+  } else if (kind_draw < 0.50) {
+    e.kind = StreamEventKind::kPublication;
+    e.impact = rng.uniform(0.5, 10.0);
+  } else if (kind_draw < 0.60 || files == 0) {
+    e.kind = StreamEventKind::kFileCreate;
+    e.ordinal = files++;
+    e.size_bytes = size_of(config.seed, user, e.ordinal);
+  } else {
+    e.kind = StreamEventKind::kFileAccess;
+    e.ordinal = static_cast<std::uint32_t>(rng.bounded(files));
+  }
+  --activity_left;
+  pending = e;
+  return true;
+}
+
+StreamSynth::StreamSynth(const StreamSynthConfig& config) : config_(config) {
+  cursors_.reserve(config.users);
+  heap_.reserve(config.users);
+  for (std::size_t u = 0; u < config.users; ++u) {
+    const auto user = static_cast<trace::UserId>(u);
+    Cursor c = make_cursor(config, user);
+    total_events_ += c.backfill_left + c.activity_left;
+    if (c.advance(config, user)) {
+      heap_.push_back({c.pending.timestamp, user});
+    }
+    cursors_.push_back(std::move(c));
+  }
+  const auto later = [](const std::pair<util::TimePoint, trace::UserId>& a,
+                        const std::pair<util::TimePoint, trace::UserId>& b) {
+    return a > b;  // min-heap on (time, user)
+  };
+  std::make_heap(heap_.begin(), heap_.end(), later);
+}
+
+bool StreamSynth::next(StreamEvent& out) {
+  const auto later = [](const std::pair<util::TimePoint, trace::UserId>& a,
+                        const std::pair<util::TimePoint, trace::UserId>& b) {
+    return a > b;
+  };
+  if (heap_.empty()) return false;
+  std::pop_heap(heap_.begin(), heap_.end(), later);
+  const trace::UserId user = heap_.back().second;
+  heap_.pop_back();
+  Cursor& c = cursors_[user];
+  out = c.pending;
+  ++emitted_;
+  if (c.advance(config_, user)) {
+    heap_.push_back({c.pending.timestamp, user});
+    std::push_heap(heap_.begin(), heap_.end(), later);
+  }
+  return true;
+}
+
+std::vector<StreamEvent> StreamSynth::user_sequence(
+    const StreamSynthConfig& config, trace::UserId user) {
+  std::vector<StreamEvent> out;
+  Cursor c = make_cursor(config, user);
+  out.reserve(c.backfill_left + c.activity_left);
+  while (c.advance(config, user)) out.push_back(c.pending);
+  return out;
+}
+
+std::vector<StreamEvent> StreamSynth::materialize(
+    const StreamSynthConfig& config) {
+  std::vector<StreamEvent> all;
+  for (std::size_t u = 0; u < config.users; ++u) {
+    const auto seq =
+        user_sequence(config, static_cast<trace::UserId>(u));
+    all.insert(all.end(), seq.begin(), seq.end());
+  }
+  // Per-user times are strictly increasing, so a stable sort on (time,
+  // user) reproduces the heap-merge order exactly.
+  std::sort(all.begin(), all.end(),
+            [](const StreamEvent& a, const StreamEvent& b) {
+              return a.timestamp != b.timestamp ? a.timestamp < b.timestamp
+                                                : a.user < b.user;
+            });
+  return all;
+}
+
+}  // namespace adr::synth

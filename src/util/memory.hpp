@@ -1,17 +1,51 @@
 #pragma once
 // Process memory probes for the Fig. 12a reproduction (trace-loading memory
-// footprint). Linux-specific: reads /proc/self/status. Returns 0 where the
-// proc filesystem is unavailable so callers degrade gracefully.
+// footprint) and the §15 scale tier. Linux-specific: reads
+// /proc/self/status. Returns 0 where the proc filesystem is unavailable so
+// callers degrade gracefully.
+//
+// Header-only on purpose: obs/span.cpp samples these into the proc.rss_*
+// gauges, and adr_obs sits *below* adr_util in the link order (util reports
+// through obs) — an out-of-line definition in adr_util would be unresolvable
+// from obs.
 
 #include <cstdint>
+#include <cstdio>
+#include <cstring>
 
 namespace adr::util {
 
+namespace detail {
+
+inline std::uint64_t read_status_kb(const char* key) {
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (!f) return 0;
+  char line[256];
+  unsigned long kb = 0;  // NOLINT(google-runtime-int) — matches %lu
+  const std::size_t key_len = std::strlen(key);
+  while (std::fgets(line, sizeof(line), f)) {
+    if (std::strncmp(line, key, key_len) == 0) {
+      std::sscanf(line + key_len, ": %lu", &kb);
+      break;
+    }
+  }
+  std::fclose(f);
+  return static_cast<std::uint64_t>(kb) * 1024;
+}
+
+}  // namespace detail
+
 /// Current resident set size in bytes (VmRSS).
-std::uint64_t current_rss_bytes();
+inline std::uint64_t current_rss_bytes() {
+  return detail::read_status_kb("VmRSS");
+}
 
 /// Peak resident set size in bytes (VmHWM).
-std::uint64_t peak_rss_bytes();
+inline std::uint64_t peak_rss_bytes() { return detail::read_status_kb("VmHWM"); }
+
+/// Scale-tier alias for peak_rss_bytes() — the name used by bench_scale and
+/// the obs proc.rss_peak_bytes gauge (DESIGN.md §15).
+inline std::uint64_t rss_peak() { return peak_rss_bytes(); }
 
 /// RAII delta probe: bytes of RSS growth across a scope.
 class RssDelta {

@@ -105,6 +105,43 @@ TEST(ShardMap, PartitionsEveryUserExactlyOnce) {
   EXPECT_EQ(degenerate.end(0), 5u);
 }
 
+TEST(ShardMap, EmptyMapRoutesEverythingToShardZero) {
+  // users == 0 used to divide by zero in shard_of; an empty map owns no
+  // users but still answers (default-constructed stores, zero-user synth).
+  for (const std::size_t shards : {1u, 2u, 16u}) {
+    const ShardMap empty(0, shards);
+    EXPECT_EQ(empty.users(), 0u);
+    EXPECT_EQ(empty.shard_of(0), 0u);
+    EXPECT_EQ(empty.shard_of(41), 0u);
+    for (std::size_t s = 0; s < shards; ++s) {
+      EXPECT_EQ(empty.begin(s), 0u);
+      EXPECT_EQ(empty.end(s), 0u);
+    }
+  }
+  const ShardMap degenerate(0, 0);  // both axes degenerate at once
+  EXPECT_EQ(degenerate.shards(), 1u);
+  EXPECT_EQ(degenerate.shard_of(7), 0u);
+}
+
+TEST(ShardMap, MoreShardsThanUsersLeavesTrailingShardsEmpty) {
+  for (const std::size_t users : {1u, 2u, 5u}) {
+    for (const std::size_t shards : {7u, 16u, 64u}) {
+      const ShardMap map(users, shards);
+      std::size_t nonempty = 0;
+      for (std::size_t s = 0; s < shards; ++s) {
+        ASSERT_LE(map.begin(s), map.end(s));
+        if (map.begin(s) != map.end(s)) ++nonempty;
+        for (trace::UserId u = map.begin(s); u < map.end(s); ++u) {
+          ASSERT_EQ(map.shard_of(u), s) << "users=" << users
+                                        << " shards=" << shards;
+        }
+      }
+      EXPECT_EQ(nonempty, users);  // each owner shard holds exactly one user
+      EXPECT_EQ(map.end(shards - 1), users);
+    }
+  }
+}
+
 // The tentpole guarantee: for every shard count, the sharded pipeline's
 // users, groups, scan plan, and purge victims are element-for-element
 // identical to the single pipeline's — across 200 randomized timelines

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -40,15 +41,13 @@ TEST(PurgeIndex, EntriesOrderedByAtimeThenId) {
   const FileMeta tie1 = indexed(index, "/s/u0/c", 0, 1, 200);
   const FileMeta tie2 = indexed(index, "/s/u0/d", 0, 1, 200);
 
-  const auto* set = index.entries(0);
-  ASSERT_NE(set, nullptr);
+  const auto set = index.entries(0);
+  ASSERT_EQ(set.size(), 4u);
   std::vector<util::TimePoint> atimes;
-  for (const auto& e : *set) atimes.push_back(e.atime);
+  for (const auto& e : set) atimes.push_back(e.atime);
   EXPECT_EQ(atimes, (std::vector<util::TimePoint>{100, 200, 200, 300}));
   // Equal atimes break ties by ascending path id (deterministic order).
-  auto it = set->begin();
-  ++it;
-  EXPECT_EQ(it->id, std::min(tie1.path_id, tie2.path_id));
+  EXPECT_EQ(set[1].id, std::min(tie1.path_id, tie2.path_id));
 }
 
 TEST(PurgeIndex, CollectExpiredIsStrictPrefix) {
@@ -91,11 +90,11 @@ TEST(PurgeIndex, TouchRekeysEntry) {
   indexed(index, "/s/u0/b", 0, 1, 200);
 
   index.touch(a, 500);  // /a moves from front to back
-  const auto* set = index.entries(0);
-  ASSERT_EQ(set->size(), 2u);
-  EXPECT_EQ(set->begin()->atime, 200);
-  EXPECT_EQ(set->rbegin()->atime, 500);
-  EXPECT_EQ(set->rbegin()->id, a.path_id);
+  const auto set = index.entries(0);
+  ASSERT_EQ(set.size(), 2u);
+  EXPECT_EQ(set.front().atime, 200);
+  EXPECT_EQ(set.back().atime, 500);
+  EXPECT_EQ(set.back().id, a.path_id);
 }
 
 TEST(PurgeIndex, UpdateMovesEntryAcrossOwners) {
@@ -107,11 +106,12 @@ TEST(PurgeIndex, UpdateMovesEntryAcrossOwners) {
   after.atime = 400;
   index.update(before, after);
 
-  EXPECT_EQ(index.entries(0), nullptr);  // old owner's set dropped when empty
-  const auto* set = index.entries(1);
-  ASSERT_NE(set, nullptr);
-  EXPECT_EQ(set->begin()->size_bytes, 20u);
-  EXPECT_EQ(set->begin()->atime, 400);
+  EXPECT_FALSE(index.has_entries(0));  // old owner emptied out
+  EXPECT_TRUE(index.entries(0).empty());
+  const auto set = index.entries(1);
+  ASSERT_EQ(set.size(), 1u);
+  EXPECT_EQ(set.front().size_bytes, 20u);
+  EXPECT_EQ(set.front().atime, 400);
   EXPECT_TRUE(index.contains(after));
   EXPECT_FALSE(index.contains(before));
 }
@@ -146,6 +146,80 @@ TEST(PurgeIndex, ContainsDetectsMismatches) {
   EXPECT_FALSE(index.contains(wrong));
 }
 
+// Drive enough churn through one owner to cross the deferred-merge buffer
+// caps many times, checking every query shape against a std::set reference.
+TEST(PurgeIndex, RandomizedChurnMatchesSetReference) {
+  struct RefOrder {
+    bool operator()(const PurgeIndex::Entry& a,
+                    const PurgeIndex::Entry& b) const {
+      return PurgeIndex::EntryOrder{}(a, b);
+    }
+  };
+  util::Rng rng(20260809);
+  PurgeIndex index;
+  std::set<PurgeIndex::Entry, RefOrder> ref[3];
+  std::vector<FileMeta> live;
+
+  for (int step = 0; step < 6000; ++step) {
+    const int op = static_cast<int>(rng.uniform_int(0, 9));
+    if (live.empty() || op < 5) {  // add
+      const auto owner = static_cast<trace::UserId>(rng.uniform_int(0, 2));
+      FileMeta m = meta(owner, static_cast<std::uint64_t>(
+                                   rng.uniform_int(1, 1000)),
+                        rng.uniform_int(0, 1'000'000));
+      m.path_id = index.intern("/s/f" + std::to_string(step));
+      index.add(m);
+      ref[owner].insert({m.atime, m.path_id, m.size_bytes});
+      live.push_back(m);
+    } else if (op < 7) {  // touch
+      const std::size_t pick =
+          static_cast<std::size_t>(rng.uniform_int(0, 1'000'000)) %
+          live.size();
+      FileMeta& m = live[pick];
+      const util::TimePoint t = rng.uniform_int(0, 1'000'000);
+      index.touch(m, t);
+      ref[m.owner].erase({m.atime, m.path_id, 0});
+      m.atime = t;
+      ref[m.owner].insert({m.atime, m.path_id, m.size_bytes});
+    } else {  // remove
+      const std::size_t pick =
+          static_cast<std::size_t>(rng.uniform_int(0, 1'000'000)) %
+          live.size();
+      const FileMeta m = live[pick];
+      index.remove(m);
+      ref[m.owner].erase({m.atime, m.path_id, 0});
+      live[pick] = live.back();
+      live.pop_back();
+    }
+
+    if (step % 251 != 0) continue;
+    std::size_t total = 0;
+    for (trace::UserId owner = 0; owner < 3; ++owner) {
+      const std::vector<PurgeIndex::Entry> expect(ref[owner].begin(),
+                                                  ref[owner].end());
+      const auto got = index.entries(owner);
+      ASSERT_EQ(got.size(), expect.size()) << "step " << step;
+      for (std::size_t k = 0; k < got.size(); ++k) {
+        EXPECT_EQ(got[k].atime, expect[k].atime);
+        EXPECT_EQ(got[k].id, expect[k].id);
+        EXPECT_EQ(got[k].size_bytes, expect[k].size_bytes);
+      }
+      EXPECT_EQ(index.has_entries(owner), !expect.empty());
+      std::vector<PurgeIndex::Entry> expired;
+      index.collect_expired(owner, 500'000, expired);
+      std::size_t want = 0;
+      while (want < expect.size() && expect[want].atime < 500'000) ++want;
+      EXPECT_EQ(expired.size(), want) << "step " << step;
+      total += expect.size();
+    }
+    EXPECT_EQ(index.entry_count(), total);
+    EXPECT_EQ(index.owner_count(),
+              static_cast<std::size_t>(!ref[0].empty()) +
+                  static_cast<std::size_t>(!ref[1].empty()) +
+                  static_cast<std::size_t>(!ref[2].empty()));
+  }
+}
+
 // -- Vfs maintenance integration --------------------------------------------
 
 TEST(VfsPurgeIndex, CreateAccessRemoveKeepIndexConsistent) {
@@ -158,8 +232,9 @@ TEST(VfsPurgeIndex, CreateAccessRemoveKeepIndexConsistent) {
 
   vfs.access("/s/u0/a", 500);
   EXPECT_TRUE(vfs.verify_purge_index());
-  const auto* set = vfs.purge_index().entries(0);
-  EXPECT_EQ(set->rbegin()->atime, 500);
+  const auto set = vfs.purge_index().entries(0);
+  ASSERT_FALSE(set.empty());
+  EXPECT_EQ(set.back().atime, 500);
 
   vfs.remove("/s/u0/b");
   EXPECT_EQ(vfs.purge_index().entry_count(), 2u);
@@ -185,8 +260,8 @@ TEST(VfsPurgeIndex, OverwritePreservesIdAndReindexes) {
   EXPECT_EQ(displaced, std::vector<std::string>{"/s/shared/f"});
   EXPECT_EQ(vfs.stat("/s/shared/f")->path_id, original_id);
   EXPECT_EQ(vfs.purge_index().entry_count(), 1u);
-  EXPECT_EQ(vfs.purge_index().entries(0), nullptr);
-  ASSERT_NE(vfs.purge_index().entries(1), nullptr);
+  EXPECT_FALSE(vfs.purge_index().has_entries(0));
+  EXPECT_TRUE(vfs.purge_index().has_entries(1));
   EXPECT_TRUE(vfs.verify_purge_index());
 }
 

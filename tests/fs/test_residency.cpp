@@ -1,0 +1,280 @@
+// Tests for the Vfs residency layer (DESIGN.md §15): explicit evict/fault
+// round-trips, budget-driven eviction of cold users, owner-hint faulting on
+// access/remove/create, and the purge-index / snapshot guarantees that hold
+// while subtrees are spilled.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "fs/vfs.hpp"
+#include "util/time.hpp"
+
+namespace adr::fs {
+namespace {
+
+FileMeta meta(trace::UserId owner, std::uint64_t size, util::TimePoint atime,
+              std::int32_t stripes = 1) {
+  FileMeta m;
+  m.owner = owner;
+  m.size_bytes = size;
+  m.atime = atime;
+  m.ctime = atime;
+  m.stripe_count = stripes;
+  return m;
+}
+
+std::string path_of(trace::UserId user, int i) {
+  return "/s/u" + std::to_string(user) + "/f" + std::to_string(i);
+}
+
+/// Three users, `files` files each, atimes staggered so collect_expired has
+/// structure to chew on.
+Vfs make_vfs(int files = 4) {
+  Vfs vfs;
+  for (trace::UserId u = 0; u < 3; ++u) {
+    for (int i = 0; i < files; ++i) {
+      vfs.create(path_of(u, i),
+                 meta(u, static_cast<std::uint64_t>(1000 + 10 * i),
+                      100 + 7 * i + u, 2 + i));
+    }
+  }
+  return vfs;
+}
+
+TEST(VfsResidency, EvictDropsTrieButKeepsAccounting) {
+  Vfs vfs = make_vfs();
+  const std::size_t files_before = vfs.file_count();
+  const std::uint64_t bytes_before = vfs.total_bytes();
+  const UserUsage u0 = vfs.usage(0);
+
+  vfs.evict_user(0);
+
+  EXPECT_FALSE(vfs.user_resident(0));
+  EXPECT_TRUE(vfs.user_resident(1));
+  EXPECT_EQ(vfs.evicted_user_count(), 1u);
+  EXPECT_EQ(vfs.spilled_file_count(), 4u);
+  EXPECT_GT(vfs.spilled_bytes(), 0u);
+
+  // Evicted files stat as absent (resident view), but totals, usage, and
+  // file_count still cover them.
+  EXPECT_EQ(vfs.stat(path_of(0, 0)), nullptr);
+  EXPECT_FALSE(vfs.exists(path_of(0, 1)));
+  EXPECT_EQ(vfs.file_count(), files_before);
+  EXPECT_EQ(vfs.total_bytes(), bytes_before);
+  EXPECT_EQ(vfs.usage(0).bytes, u0.bytes);
+  EXPECT_EQ(vfs.usage(0).files, u0.files);
+
+  // The purge index never sheds evicted entries: victim selection must not
+  // fault.
+  EXPECT_EQ(vfs.purge_index().entries(0).size(), 4u);
+  std::string error;
+  EXPECT_TRUE(vfs.verify_purge_index(&error)) << error;
+}
+
+TEST(VfsResidency, FaultRestoresExactMetadata) {
+  Vfs vfs = make_vfs();
+  std::vector<FileMeta> before;
+  for (int i = 0; i < 4; ++i) {
+    const FileMeta* m = vfs.stat(path_of(0, i));
+    ASSERT_NE(m, nullptr);
+    before.push_back(*m);
+  }
+  // Bump one access count so the spill record carries a non-default value.
+  vfs.access(path_of(0, 2), 900);
+  before[2] = *vfs.stat(path_of(0, 2));
+
+  vfs.evict_user(0);
+  vfs.fault_user(0);
+
+  EXPECT_TRUE(vfs.user_resident(0));
+  EXPECT_EQ(vfs.evicted_user_count(), 0u);
+  EXPECT_EQ(vfs.spilled_file_count(), 0u);
+  EXPECT_EQ(vfs.spilled_bytes(), 0u);
+  for (int i = 0; i < 4; ++i) {
+    const FileMeta* m = vfs.stat(path_of(0, i));
+    ASSERT_NE(m, nullptr) << "file " << i;
+    const FileMeta& want = before[static_cast<std::size_t>(i)];
+    EXPECT_EQ(m->owner, want.owner);
+    EXPECT_EQ(m->size_bytes, want.size_bytes);
+    EXPECT_EQ(m->atime, want.atime);
+    EXPECT_EQ(m->ctime, want.ctime);
+    EXPECT_EQ(m->stripe_count, want.stripe_count);
+    EXPECT_EQ(m->access_count, want.access_count);
+    EXPECT_EQ(m->path_id, want.path_id);
+  }
+  std::string error;
+  EXPECT_TRUE(vfs.verify_purge_index(&error)) << error;
+}
+
+TEST(VfsResidency, AccessWithOwnerHintFaultsBack) {
+  Vfs vfs = make_vfs();
+  vfs.evict_user(1);
+  ASSERT_FALSE(vfs.user_resident(1));
+
+  // Without a hint the access is a miss — const-resident view.
+  EXPECT_FALSE(vfs.access(path_of(1, 0), 5000));
+  ASSERT_FALSE(vfs.user_resident(1));
+
+  // With the owner hint the subtree faults back and the access lands.
+  EXPECT_TRUE(vfs.access(path_of(1, 0), 5000, 1));
+  EXPECT_TRUE(vfs.user_resident(1));
+  ASSERT_NE(vfs.stat(path_of(1, 0)), nullptr);
+  EXPECT_EQ(vfs.stat(path_of(1, 0))->atime, 5000);
+}
+
+TEST(VfsResidency, RemoveWithOwnerHintFaultsAndRemoves) {
+  Vfs vfs = make_vfs();
+  std::vector<std::string> sunk;
+  vfs.set_removal_sink(
+      [&](const std::string& path, const FileMeta&) { sunk.push_back(path); });
+  const std::size_t files_before = vfs.file_count();
+  const std::uint64_t bytes_before = vfs.total_bytes();
+
+  vfs.evict_user(2);
+  EXPECT_FALSE(vfs.remove(path_of(2, 3)));  // no hint: resident view only
+  EXPECT_TRUE(vfs.remove(path_of(2, 3), 2));
+
+  EXPECT_TRUE(vfs.user_resident(2));
+  EXPECT_EQ(vfs.file_count(), files_before - 1);
+  EXPECT_LT(vfs.total_bytes(), bytes_before);
+  EXPECT_EQ(vfs.usage(2).files, 3u);
+  ASSERT_EQ(sunk.size(), 1u);
+  EXPECT_EQ(sunk[0], path_of(2, 3));
+  std::string error;
+  EXPECT_TRUE(vfs.verify_purge_index(&error)) << error;
+}
+
+TEST(VfsResidency, CreateByEvictedOwnerFaultsFirst) {
+  Vfs vfs = make_vfs();
+  vfs.evict_user(0);
+
+  // Brand-new file by the evicted owner.
+  EXPECT_TRUE(vfs.create(path_of(0, 9), meta(0, 77, 2000)));
+  EXPECT_TRUE(vfs.user_resident(0));
+  EXPECT_EQ(vfs.usage(0).files, 5u);
+
+  // Overwrite of one's own (previously evicted, now resident) file re-keys.
+  vfs.evict_user(0);
+  EXPECT_FALSE(vfs.create(path_of(0, 1), meta(0, 5, 3000)));
+  EXPECT_TRUE(vfs.user_resident(0));
+  ASSERT_NE(vfs.stat(path_of(0, 1)), nullptr);
+  EXPECT_EQ(vfs.stat(path_of(0, 1))->size_bytes, 5u);
+  std::string error;
+  EXPECT_TRUE(vfs.verify_purge_index(&error)) << error;
+}
+
+TEST(VfsResidency, BudgetEvictsColdestUsersFirst) {
+  Vfs vfs;
+  // 8 users x 20 files; touch order makes user 0 coldest, user 7 hottest.
+  for (trace::UserId u = 0; u < 8; ++u) {
+    for (int i = 0; i < 20; ++i) {
+      vfs.create(path_of(u, i), meta(u, 100, 100 + i));
+    }
+  }
+  ASSERT_EQ(vfs.evicted_user_count(), 0u);
+  const std::uint64_t full_cost = vfs.resident_bytes_estimate();
+  ASSERT_GT(full_cost, 0u);
+
+  // Budget for roughly half the users: enforcement evicts from the cold end.
+  vfs.set_memory_budget_bytes(full_cost / 2);
+  EXPECT_GT(vfs.evicted_user_count(), 0u);
+  EXPECT_LE(vfs.resident_bytes_estimate(), full_cost / 2);
+  EXPECT_FALSE(vfs.user_resident(0));   // coldest: created first
+  EXPECT_TRUE(vfs.user_resident(7));    // hottest: created last
+
+  // Faulting a cold user back must never push the estimate over the budget.
+  EXPECT_TRUE(vfs.access(path_of(0, 0), 9000, 0));
+  EXPECT_TRUE(vfs.user_resident(0));
+  EXPECT_LE(vfs.resident_bytes_estimate(), full_cost / 2);
+
+  // All files remain reachable with hints, none were lost.
+  EXPECT_EQ(vfs.file_count(), 160u);
+  std::string error;
+  EXPECT_TRUE(vfs.verify_purge_index(&error)) << error;
+}
+
+TEST(VfsResidency, BudgetZeroDisablesEviction) {
+  Vfs vfs = make_vfs();
+  vfs.set_memory_budget_bytes(1);  // absurdly tight: everyone cold goes out
+  EXPECT_GT(vfs.evicted_user_count(), 0u);
+  vfs.set_memory_budget_bytes(0);  // disable: nothing new gets evicted
+  const std::size_t evicted = vfs.evicted_user_count();
+  vfs.create("/s/u9/fresh", meta(9, 10, 4000));
+  EXPECT_EQ(vfs.evicted_user_count(), evicted);
+  // Explicit faults still work with the budget off.
+  vfs.fault_user(0);
+  vfs.fault_user(1);
+  vfs.fault_user(2);
+  EXPECT_EQ(vfs.evicted_user_count(), 0u);
+}
+
+TEST(VfsResidency, SnapshotExportCoversEvictedFiles) {
+  Vfs vfs = make_vfs(3);
+  vfs.evict_user(1);
+  const trace::Snapshot snap = vfs.export_snapshot();
+  EXPECT_EQ(snap.entries().size(), vfs.file_count());
+
+  // Re-import into a fresh Vfs: identical shape.
+  Vfs replay;
+  replay.import_snapshot(snap);
+  EXPECT_EQ(replay.file_count(), vfs.file_count());
+  EXPECT_EQ(replay.total_bytes(), vfs.total_bytes());
+  for (trace::UserId u = 0; u < 3; ++u) {
+    EXPECT_EQ(replay.usage(u).bytes, vfs.usage(u).bytes) << "user " << u;
+    EXPECT_EQ(replay.usage(u).files, vfs.usage(u).files) << "user " << u;
+  }
+  const FileMeta* m = replay.stat(path_of(1, 2));
+  ASSERT_NE(m, nullptr);
+  EXPECT_EQ(m->owner, 1u);
+}
+
+TEST(VfsResidency, UsageViewSkipsEmptySlots) {
+  Vfs vfs;
+  vfs.create("/s/u0/a", meta(0, 10, 1));
+  vfs.create("/s/u5/b", meta(5, 20, 2));
+  vfs.create("/s/u5/c", meta(5, 30, 3));
+
+  UserUsageView view = vfs.usage_by_user();
+  EXPECT_EQ(view.size(), 2u);
+  EXPECT_EQ(view.count(0), 1u);
+  EXPECT_EQ(view.count(3), 0u);
+  EXPECT_EQ(view.count(5), 1u);
+  EXPECT_EQ(view.count(trace::kInvalidUser), 0u);
+
+  std::vector<std::pair<trace::UserId, UserUsage>> seen;
+  for (const auto& [user, usage] : view) seen.emplace_back(user, usage);
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_EQ(seen[0].first, 0u);
+  EXPECT_EQ(seen[0].second.bytes, 10u);
+  EXPECT_EQ(seen[1].first, 5u);
+  EXPECT_EQ(seen[1].second.files, 2u);
+
+  // Removing the last file empties the slot and shrinks the view.
+  vfs.remove("/s/u0/a");
+  view = vfs.usage_by_user();
+  EXPECT_EQ(view.size(), 1u);
+  EXPECT_EQ(view.count(0), 0u);
+  EXPECT_TRUE(view.begin() != view.end());
+}
+
+TEST(VfsResidency, ClearResetsResidencyState) {
+  Vfs vfs = make_vfs();
+  vfs.set_memory_budget_bytes(1);
+  ASSERT_GT(vfs.evicted_user_count(), 0u);
+  vfs.clear();
+  EXPECT_EQ(vfs.file_count(), 0u);
+  EXPECT_EQ(vfs.evicted_user_count(), 0u);
+  EXPECT_EQ(vfs.spilled_file_count(), 0u);
+  EXPECT_EQ(vfs.spilled_bytes(), 0u);
+  EXPECT_EQ(vfs.resident_bytes_estimate(), 0u);
+  EXPECT_TRUE(vfs.usage_by_user().empty());
+  // clear() also drops the budget back to disabled; fresh creates stay
+  // resident.
+  EXPECT_TRUE(vfs.create("/s/u0/a", meta(0, 10, 1)));
+  EXPECT_TRUE(vfs.user_resident(0));
+}
+
+}  // namespace
+}  // namespace adr::fs

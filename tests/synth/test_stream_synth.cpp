@@ -1,0 +1,171 @@
+#include "synth/stream_synth.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "util/time.hpp"
+
+namespace adr::synth {
+namespace {
+
+StreamSynthConfig small_config() {
+  StreamSynthConfig c;
+  c.users = 40;
+  c.seed = 1234;
+  c.sim_span_days = 10;
+  c.initial_files_per_user = 5;
+  c.backfill_days = 100;
+  c.events_per_user_day = 1.5;
+  return c;
+}
+
+bool same_event(const StreamEvent& a, const StreamEvent& b) {
+  return a.timestamp == b.timestamp && a.user == b.user && a.kind == b.kind &&
+         a.ordinal == b.ordinal && a.impact == b.impact &&
+         a.size_bytes == b.size_bytes;
+}
+
+std::vector<StreamEvent> drain(StreamSynth& s) {
+  std::vector<StreamEvent> out;
+  StreamEvent e;
+  while (s.next(e)) out.push_back(e);
+  return out;
+}
+
+TEST(StreamSynth, SameSeedSameStream) {
+  const StreamSynthConfig config = small_config();
+  StreamSynth a(config);
+  StreamSynth b(config);
+  const auto ea = drain(a);
+  const auto eb = drain(b);
+  ASSERT_EQ(ea.size(), eb.size());
+  for (std::size_t i = 0; i < ea.size(); ++i) {
+    EXPECT_TRUE(same_event(ea[i], eb[i])) << "event " << i;
+  }
+  EXPECT_EQ(a.emitted(), ea.size());
+  EXPECT_EQ(a.total_events(), ea.size());
+}
+
+TEST(StreamSynth, StreamedMatchesMaterializedExactly) {
+  const StreamSynthConfig config = small_config();
+  StreamSynth stream(config);
+  const auto streamed = drain(stream);
+  const auto materialized = StreamSynth::materialize(config);
+  ASSERT_EQ(streamed.size(), materialized.size());
+  for (std::size_t i = 0; i < streamed.size(); ++i) {
+    EXPECT_TRUE(same_event(streamed[i], materialized[i])) << "event " << i;
+  }
+}
+
+TEST(StreamSynth, GlobalOrderIsTimeThenUser) {
+  const StreamSynthConfig config = small_config();
+  StreamSynth stream(config);
+  const auto events = drain(stream);
+  ASSERT_FALSE(events.empty());
+  std::map<trace::UserId, util::TimePoint> last_per_user;
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    const auto& prev = events[i - 1];
+    const auto& cur = events[i];
+    ASSERT_LE(prev.timestamp, cur.timestamp) << "event " << i;
+    if (prev.timestamp == cur.timestamp) {
+      ASSERT_LT(prev.user, cur.user) << "tie at event " << i;
+    }
+  }
+  // Per-user times strictly increase — the property that makes the global
+  // (time, user) order total.
+  for (const auto& e : events) {
+    const auto it = last_per_user.find(e.user);
+    if (it != last_per_user.end()) {
+      ASSERT_LT(it->second, e.timestamp) << "user " << e.user;
+    }
+    last_per_user[e.user] = e.timestamp;
+  }
+}
+
+TEST(StreamSynth, UserSequenceRegeneratesFromSeedAlone) {
+  const StreamSynthConfig config = small_config();
+  const auto all = StreamSynth::materialize(config);
+  for (trace::UserId user = 0; user < 5; ++user) {
+    std::vector<StreamEvent> expected;
+    for (const auto& e : all) {
+      if (e.user == user) expected.push_back(e);
+    }
+    const auto regenerated = StreamSynth::user_sequence(config, user);
+    ASSERT_EQ(regenerated.size(), expected.size()) << "user " << user;
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+      EXPECT_TRUE(same_event(regenerated[i], expected[i]))
+          << "user " << user << " event " << i;
+    }
+  }
+}
+
+TEST(StreamSynth, BackfillCreatesLandBeforeSimBegin) {
+  const StreamSynthConfig config = small_config();
+  const auto all = StreamSynth::materialize(config);
+  std::vector<std::size_t> backfill_creates(config.users, 0);
+  std::size_t past_span_end = 0;
+  for (const auto& e : all) {
+    if (e.timestamp < config.sim_begin) {
+      // Everything before sim_begin is backfill, and backfill is only
+      // creates inside the backfill window.
+      ASSERT_EQ(e.kind, StreamEventKind::kFileCreate);
+      ++backfill_creates[e.user];
+      EXPECT_GE(e.timestamp, config.sim_begin - util::days(config.backfill_days));
+    } else if (e.timestamp >
+               config.sim_begin + util::days(config.sim_span_days)) {
+      // The in-span count is Poisson over the span but the gaps are
+      // exponential, so a per-user tail can drift past the end; it must
+      // stay a small minority of the stream.
+      ++past_span_end;
+    }
+  }
+  for (std::size_t u = 0; u < config.users; ++u) {
+    EXPECT_EQ(backfill_creates[u], config.initial_files_per_user)
+        << "user " << u;
+  }
+  EXPECT_LT(past_span_end, all.size() / 10)
+      << "activity tail past sim_end should be a small minority";
+}
+
+TEST(StreamSynth, OrdinalsAreDenseAndAccessesTargetExistingFiles) {
+  const StreamSynthConfig config = small_config();
+  const auto all = StreamSynth::materialize(config);
+  std::vector<std::uint32_t> created(config.users, 0);
+  for (const auto& e : all) {
+    if (e.kind == StreamEventKind::kFileCreate) {
+      EXPECT_EQ(e.ordinal, created[e.user]) << "create out of order";
+      ++created[e.user];
+      EXPECT_EQ(e.size_bytes,
+                StreamSynth::size_of(config.seed, e.user, e.ordinal));
+    } else if (e.kind == StreamEventKind::kFileAccess) {
+      EXPECT_LT(e.ordinal, created[e.user]) << "access before create";
+    }
+  }
+}
+
+TEST(StreamSynth, PathAndSizeArePureFunctions) {
+  EXPECT_EQ(StreamSynth::path_of(7, 3), "/scratch/user_00007/f3");
+  EXPECT_EQ(StreamSynth::path_of(12345, 0), "/scratch/user_12345/f0");
+  const std::uint64_t s1 = StreamSynth::size_of(42, 7, 3);
+  EXPECT_EQ(s1, StreamSynth::size_of(42, 7, 3));
+  EXPECT_GE(s1, std::uint64_t{4096});
+  EXPECT_NE(StreamSynth::size_of(42, 7, 4), 0u);
+}
+
+TEST(StreamSynth, DifferentSeedsDiverge) {
+  StreamSynthConfig a = small_config();
+  StreamSynthConfig b = small_config();
+  b.seed = a.seed + 1;
+  const auto ea = StreamSynth::materialize(a);
+  const auto eb = StreamSynth::materialize(b);
+  bool diverged = ea.size() != eb.size();
+  for (std::size_t i = 0; !diverged && i < ea.size(); ++i) {
+    diverged = !same_event(ea[i], eb[i]);
+  }
+  EXPECT_TRUE(diverged);
+}
+
+}  // namespace
+}  // namespace adr::synth

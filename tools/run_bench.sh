@@ -25,11 +25,21 @@
 #   * bench_load's concurrent ingest diverged from the serial replay at any
 #     shard count (ranks must be byte-identical), or
 #   * bench_load's max sustainable rate drops below MIN_LOAD_RATE (default:
-#     baseline max_sustainable_rate / TOLERANCE).
+#     baseline max_sustainable_rate / TOLERANCE), or
+#   * bench_scale's 600-user streamed-vs-materialized identity anchor
+#     diverges (events, ranks, or purge victims), or
+#   * any bench_scale tier's peak RSS exceeds SCALE_RSS_GB (default 4.0).
 #
 # Usage: tools/run_bench.sh [extra bench_fig12 flags, e.g. --users 600]
 #        LOAD_FLAGS overrides the bench_load invocation (default:
 #        "--load-rate 1000 --load-duration 0.5 --ramp-levels 4").
+#        SCALE_USERS overrides the bench_scale tier list (default 100000).
+#        The full 1M-user tier (SCALE_USERS=1000000) is wall-clock-bound on
+#        the single driver thread: budget minutes on a multi-core machine
+#        (shard fan-out soaks up the evaluate/purge side) and tens of
+#        minutes on a 1-core container — it is deliberately NOT part of the
+#        default gate. The RSS budget is the interesting axis and 100k
+#        already exercises eviction; run 1M manually before a release.
 
 set -euo pipefail
 
@@ -45,11 +55,14 @@ MIN_SHARD_SPEEDUP="${MIN_SHARD_SPEEDUP:-2.0}"
 MIN_LOAD_RATE="${MIN_LOAD_RATE:-0}"
 TOLERANCE="${TOLERANCE:-1.5}"
 LOAD_FLAGS="${LOAD_FLAGS:---load-rate 1000 --load-duration 0.5 --ramp-levels 4}"
+SCALE_USERS="${SCALE_USERS:-100000}"
+SCALE_RSS_GB="${SCALE_RSS_GB:-4.0}"
+SCALE_JSON="$BUILD_DIR/BENCH_scale.json"
 CORES="$(nproc)"
 
 cmake -S "$REPO_ROOT" -B "$BUILD_DIR" -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build "$BUILD_DIR" --target bench_fig12_performance bench_load \
-    -j "$CORES"
+    bench_scale -j "$CORES"
 
 # The google-benchmark suites are not part of the regression gate; the
 # comparison section runs before them, so cut the run short via filter-less
@@ -61,6 +74,12 @@ cmake --build "$BUILD_DIR" --target bench_fig12_performance bench_load \
 # harness before the gate even runs.
 # shellcheck disable=SC2086  # LOAD_FLAGS is intentionally word-split
 "$BUILD_DIR/bench/bench_load" --bench-json "$LOAD_JSON" $LOAD_FLAGS
+
+# Scale tier (DESIGN.md §15). bench_scale self-gates: it exits nonzero when
+# the 600-user streamed-vs-materialized identity anchor diverges or when a
+# tier's peak RSS exceeds the budget, so no post-processing is needed here.
+"$BUILD_DIR/bench/bench_scale" --users "$SCALE_USERS" \
+    --rss-budget-gb "$SCALE_RSS_GB" --bench-json "$SCALE_JSON"
 
 python3 - "$OUT_JSON" "$BASELINE" "$MIN_SPEEDUP" "$TOLERANCE" \
     "$MIN_EVAL_SPEEDUP" "$MIN_SHARD_SPEEDUP" "$CORES" \
